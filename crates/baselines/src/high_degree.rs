@@ -1,0 +1,59 @@
+//! HighDegree: the simplest heuristic — take the `k` highest out-degree
+//! nodes. A standard reference point since Kempe et al. \[17\].
+
+use crate::SeedSelector;
+use tim_graph::{Graph, NodeId};
+
+/// Top-`k` out-degree selection (ties broken by node id).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HighDegree;
+
+impl SeedSelector for HighDegree {
+    fn select(&self, graph: &Graph, k: usize) -> Vec<NodeId> {
+        let k = k.min(graph.n());
+        let mut nodes: Vec<NodeId> = (0..graph.n() as NodeId).collect();
+        nodes.sort_by_key(|&v| (std::cmp::Reverse(graph.out_degree(v)), v));
+        nodes.truncate(k);
+        nodes
+    }
+
+    fn name(&self) -> String {
+        "HighDegree".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tim_graph::GraphBuilder;
+
+    #[test]
+    fn picks_highest_out_degree() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(2, 0);
+        b.add_edge(2, 1);
+        b.add_edge(2, 3);
+        b.add_edge(4, 1);
+        b.add_edge(4, 3);
+        let g = b.build();
+        assert_eq!(HighDegree.select(&g, 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(1, 0);
+        b.add_edge(3, 0);
+        let g = b.build();
+        assert_eq!(HighDegree.select(&g, 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(HighDegree.select(&g, 10).len(), 3);
+    }
+}

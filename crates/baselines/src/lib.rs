@@ -1,0 +1,32 @@
+//! Baselines from the paper's experimental comparison (§7).
+//!
+//! | Method | Paper role | Module |
+//! |---|---|---|
+//! | RIS (Borgs et al. \[3\]) | the near-optimal predecessor TIM refines; threshold-τ sampling | [`ris`] |
+//! | Greedy (Kempe et al. \[17\]) + CELF \[21\] + CELF++ \[11\] | the `(1−1/e−ε)` Monte Carlo family | [`celf`] |
+//! | IRIE \[16\] | state-of-the-art IC heuristic (Figures 8–9) | [`irie`] |
+//! | SimPath \[12\] | state-of-the-art LT heuristic (Figures 10–11) | [`simpath`] |
+//! | HighDegree / DegreeDiscount \[6\] / PageRank | classic cheap heuristics | [`high_degree`], [`degree_discount`], [`pagerank`] |
+//!
+//! All selectors implement [`SeedSelector`], so the experiment harness can
+//! sweep them uniformly.
+
+pub mod celf;
+pub mod degree_discount;
+pub mod high_degree;
+pub mod irie;
+pub mod pagerank;
+pub mod ris;
+pub mod simpath;
+
+use tim_graph::{Graph, NodeId};
+
+/// A seed-selection algorithm: the common interface of every method in the
+/// paper's evaluation.
+pub trait SeedSelector {
+    /// Selects `k` seed nodes on `graph`.
+    fn select(&self, graph: &Graph, k: usize) -> Vec<NodeId>;
+
+    /// Display name for experiment tables.
+    fn name(&self) -> String;
+}

@@ -1,0 +1,55 @@
+//! Forward-simulation throughput: the cost unit of Greedy/CELF++
+//! (`O(kmnr)` total) and of ground-truth spread evaluation, across the
+//! three engines (IC fast path, LT fast path, generic triggering).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tim_bench::{prepare, Model};
+use tim_diffusion::{DiffusionModel, IndependentCascade, LinearThreshold, SimWorkspace};
+use tim_eval::Dataset;
+use tim_rng::Rng;
+
+fn forward_sim(c: &mut Criterion) {
+    let g_ic = prepare(Dataset::NetHept, Some(0.2), Model::Ic);
+    let g_lt = prepare(Dataset::NetHept, Some(0.2), Model::Lt);
+    let seeds: Vec<u32> = (0..10).collect();
+    let mut group = c.benchmark_group("forward_simulation");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("ic_fast_path", |b| {
+        let mut ws = SimWorkspace::new();
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| black_box(ws.simulate_ic(&g_ic, &seeds, &mut rng)));
+    });
+    group.bench_function("lt_fast_path", |b| {
+        let mut ws = SimWorkspace::new();
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| black_box(ws.simulate_lt(&g_lt, &seeds, &mut rng)));
+    });
+    group.bench_function("ic_generic_triggering", |b| {
+        let mut ws = SimWorkspace::new();
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| black_box(ws.simulate_triggering(&IndependentCascade, &g_ic, &seeds, &mut rng)));
+    });
+    group.bench_function("lt_generic_triggering", |b| {
+        let mut ws = SimWorkspace::new();
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| black_box(ws.simulate_triggering(&LinearThreshold, &g_lt, &seeds, &mut rng)));
+    });
+    // Trait-dispatched entry point (what SpreadEstimator calls).
+    group.bench_function("ic_via_trait", |b| {
+        let mut ws = SimWorkspace::new();
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| black_box(IndependentCascade.simulate(&mut ws, &g_ic, &seeds, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = forward_sim
+}
+criterion_main!(benches);

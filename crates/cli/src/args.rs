@@ -1,0 +1,133 @@
+//! Tiny flag parser shared by the subcommands (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: positionals plus `--flag value` / `--flag` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["undirected", "quiet"];
+
+impl Args {
+    /// Parses argv (without the subcommand name).
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    args.switches.push(name.to_string());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    args.flags.insert(name.to_string(), value.clone());
+                }
+            } else if let Some(name) = a.strip_prefix('-') {
+                // Short flags: -k 50 style.
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("-{name} requires a value"))?;
+                args.flags.insert(name.to_string(), value.clone());
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// True when the boolean switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// String flag value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Parsed flag with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Required positional argument.
+    pub fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}"))
+    }
+}
+
+/// Parses a comma-separated list of node labels.
+pub fn parse_id_list(s: &str) -> Result<Vec<u64>, String> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad node id '{t}'"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_positionals_flags_and_switches() {
+        let a = Args::parse(&argv("edges.txt -k 50 --eps 0.2 --undirected")).unwrap();
+        assert_eq!(a.positional, vec!["edges.txt"]);
+        assert_eq!(a.get("k"), Some("50"));
+        assert_eq!(a.get_parsed("eps", 0.1).unwrap(), 0.2);
+        assert!(a.switch("undirected"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_when_flag_absent() {
+        let a = Args::parse(&argv("x")).unwrap();
+        assert_eq!(a.get_parsed("runs", 10_000usize).unwrap(), 10_000);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv("x --eps")).is_err());
+        assert!(Args::parse(&argv("x -k")).is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_reported() {
+        let a = Args::parse(&argv("x --eps abc")).unwrap();
+        assert!(a.get_parsed("eps", 0.1f64).is_err());
+    }
+
+    #[test]
+    fn missing_positional_is_reported() {
+        let a = Args::parse(&argv("--eps 0.1")).unwrap();
+        assert!(a.positional(0, "input file").is_err());
+    }
+
+    #[test]
+    fn id_list_parses_and_rejects() {
+        assert_eq!(parse_id_list("1,2, 3").unwrap(), vec![1, 2, 3]);
+        assert!(parse_id_list("1,x").is_err());
+        assert_eq!(parse_id_list("").unwrap(), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,378 @@
+//! The four subcommands: select, evaluate, stats, generate.
+
+use crate::args::{parse_id_list, Args};
+use tim_baselines::{
+    celf::CelfGreedy, degree_discount::DegreeDiscount, high_degree::HighDegree, irie::Irie,
+    pagerank::PageRank, ris::Ris, simpath::SimPath, SeedSelector,
+};
+use tim_core::{Imm, Tim, TimPlus};
+use tim_diffusion::{DiffusionModel, IndependentCascade, LinearThreshold, SpreadEstimator};
+use tim_eval::Dataset;
+use tim_graph::io::LoadedGraph;
+use tim_graph::{analysis, io, weights, Graph, NodeId};
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage:
+  tim select   <edges.txt> -k <K> [--algo tim+|tim|imm|ris|celf|celf++|greedy|irie|simpath|degree|degreediscount|pagerank]
+               [--model ic|lt] [--weights wc|lt|keep|const:<p>|tri] [--eps 0.1] [--ell 1.0]
+               [--seed 0] [--runs 10000] [--undirected] [--quiet]
+  tim evaluate <edges.txt> --seeds <id,id,...> [--model ic|lt] [--weights wc|lt|keep|const:<p>|tri]
+               [--runs 10000] [--seed 0] [--undirected]
+  tim stats    <edges.txt> [--undirected]
+  tim generate <ba|gnm|ws|powerlaw|nethept|epinions|dblp|livejournal|twitter>
+               --out <path> [--n 10000] [--param 4] [--scale 1.0] [--seed 0]";
+
+/// Entry point: dispatches on the subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv
+        .split_first()
+        .ok_or_else(|| "missing subcommand".to_string())?;
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "select" => select(&args),
+        "evaluate" => evaluate(&args),
+        "stats" => stats(&args),
+        "generate" => generate(&args),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Loads the input graph and applies the requested weight model.
+fn load(args: &Args) -> Result<LoadedGraph, String> {
+    let path = args.positional(0, "input edge-list path")?;
+    let mut loaded = io::load_edge_list(path, args.switch("undirected"))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    let seed: u64 = args.get_parsed("seed", 0u64)?;
+    match args.get("weights").unwrap_or("wc") {
+        "wc" => weights::assign_weighted_cascade(&mut loaded.graph),
+        "lt" => weights::assign_lt_normalized(&mut loaded.graph, seed ^ 0x17),
+        "tri" => weights::assign_trivalency(&mut loaded.graph, seed ^ 0x3),
+        "keep" => {} // probabilities from the file
+        other => {
+            if let Some(p) = other.strip_prefix("const:") {
+                let p: f32 = p
+                    .parse()
+                    .map_err(|_| format!("--weights const: bad probability '{p}'"))?;
+                weights::assign_constant(&mut loaded.graph, p);
+            } else {
+                return Err(format!("unknown --weights '{other}'"));
+            }
+        }
+    }
+    Ok(loaded)
+}
+
+#[allow(clippy::too_many_arguments)] // flat plumbing of CLI flags
+fn run_selection<M: DiffusionModel + Sync + Clone>(
+    algo: &str,
+    model: M,
+    graph: &Graph,
+    k: usize,
+    eps: f64,
+    ell: f64,
+    seed: u64,
+    runs: usize,
+) -> Result<(Vec<NodeId>, String), String> {
+    let seeds = match algo {
+        "tim+" => {
+            TimPlus::new(model)
+                .epsilon(eps)
+                .ell(ell)
+                .seed(seed)
+                .run(graph, k)
+                .seeds
+        }
+        "tim" => {
+            Tim::new(model)
+                .epsilon(eps)
+                .ell(ell)
+                .seed(seed)
+                .run(graph, k)
+                .seeds
+        }
+        "imm" => {
+            Imm::new(model)
+                .epsilon(eps)
+                .ell(ell)
+                .seed(seed)
+                .run(graph, k)
+                .seeds
+        }
+        "ris" => Ris::new(model)
+            .epsilon(eps.max(0.3))
+            .tau_constant(0.1)
+            .seed(seed)
+            .select(graph, k),
+        "celf" => CelfGreedy::new(model)
+            .variant(tim_baselines::celf::CelfVariant::Celf)
+            .runs(runs)
+            .seed(seed)
+            .select(graph, k),
+        "celf++" => CelfGreedy::new(model)
+            .variant(tim_baselines::celf::CelfVariant::CelfPlusPlus)
+            .runs(runs)
+            .seed(seed)
+            .select(graph, k),
+        "greedy" => CelfGreedy::new(model)
+            .variant(tim_baselines::celf::CelfVariant::Plain)
+            .runs(runs)
+            .seed(seed)
+            .select(graph, k),
+        "irie" => Irie::new(model).seed(seed).select(graph, k),
+        other => return Err(format!("unknown --algo '{other}'")),
+    };
+    Ok((seeds, algo.to_string()))
+}
+
+fn select(args: &Args) -> Result<(), String> {
+    let loaded = load(args)?;
+    let g = &loaded.graph;
+    let k: usize = args.get_parsed("k", 0usize)?;
+    if k == 0 {
+        return Err("select: -k <K> is required and must be positive".into());
+    }
+    let algo = args.get("algo").unwrap_or("tim+").to_lowercase();
+    let model_name = args.get("model").unwrap_or("ic").to_lowercase();
+    let eps: f64 = args.get_parsed("eps", 0.1f64)?;
+    let ell: f64 = args.get_parsed("ell", 1.0f64)?;
+    let seed: u64 = args.get_parsed("seed", 0u64)?;
+    let runs: usize = args.get_parsed("runs", 10_000usize)?;
+
+    // Model-independent heuristics first.
+    let seeds = match algo.as_str() {
+        "degree" => HighDegree.select(g, k),
+        "degreediscount" => DegreeDiscount::new().select(g, k),
+        "pagerank" => PageRank::new().select(g, k),
+        "simpath" => SimPath::new().select(g, k),
+        _ => match model_name.as_str() {
+            "ic" => run_selection(&algo, IndependentCascade, g, k, eps, ell, seed, runs)?.0,
+            "lt" => run_selection(&algo, LinearThreshold, g, k, eps, ell, seed, runs)?.0,
+            other => return Err(format!("unknown --model '{other}'")),
+        },
+    };
+
+    let labels: Vec<u64> = seeds.iter().map(|&v| loaded.label_of(v)).collect();
+    if args.switch("quiet") {
+        for l in &labels {
+            println!("{l}");
+        }
+        return Ok(());
+    }
+    println!(
+        "graph: n = {}, m = {} | algo = {algo}, model = {model_name}, k = {k}",
+        g.n(),
+        g.m()
+    );
+    println!("seeds (original labels): {labels:?}");
+    let spread = match model_name.as_str() {
+        "lt" => SpreadEstimator::new(LinearThreshold)
+            .runs(runs)
+            .seed(seed ^ 0xE)
+            .estimate(g, &seeds),
+        _ => SpreadEstimator::new(IndependentCascade)
+            .runs(runs)
+            .seed(seed ^ 0xE)
+            .estimate(g, &seeds),
+    };
+    println!("estimated spread ({runs} MC runs): {spread:.1}");
+    Ok(())
+}
+
+fn evaluate(args: &Args) -> Result<(), String> {
+    let loaded = load(args)?;
+    let g = &loaded.graph;
+    let wanted = parse_id_list(
+        args.get("seeds")
+            .ok_or_else(|| "evaluate: --seeds <id,id,...> is required".to_string())?,
+    )?;
+    if wanted.is_empty() {
+        return Err("evaluate: --seeds list is empty".into());
+    }
+    // Map original labels back to dense ids.
+    let mut seeds = Vec::with_capacity(wanted.len());
+    for label in &wanted {
+        let dense = loaded
+            .labels
+            .iter()
+            .position(|l| l == label)
+            .ok_or_else(|| format!("seed label {label} not present in the graph"))?;
+        seeds.push(dense as NodeId);
+    }
+    let runs: usize = args.get_parsed("runs", 10_000usize)?;
+    let seed: u64 = args.get_parsed("seed", 0u64)?;
+    let (spread, stderr) = match args.get("model").unwrap_or("ic") {
+        "lt" => SpreadEstimator::new(LinearThreshold)
+            .runs(runs)
+            .seed(seed)
+            .estimate_with_stderr(g, &seeds),
+        "ic" => SpreadEstimator::new(IndependentCascade)
+            .runs(runs)
+            .seed(seed)
+            .estimate_with_stderr(g, &seeds),
+        other => return Err(format!("unknown --model '{other}'")),
+    };
+    println!(
+        "E[I(S)] ≈ {spread:.2} ± {:.2} (|S| = {}, {runs} runs)",
+        2.0 * stderr,
+        seeds.len()
+    );
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let loaded = load(args)?;
+    let g = &loaded.graph;
+    let ds = g.degree_stats();
+    println!("nodes:          {}", g.n());
+    println!("arcs:           {}", g.m());
+    println!("avg degree:     {:.2}", ds.avg_degree);
+    println!("max out-degree: {}", ds.max_out_degree);
+    println!("max in-degree:  {}", ds.max_in_degree);
+    println!("largest SCC:    {}", analysis::largest_scc_size(g));
+    let h = analysis::in_degree_histogram(g);
+    for d in [1usize, 10, 100] {
+        if d <= h.max_degree() {
+            println!("P(indeg >= {d}): {:.4}", h.tail_fraction(d));
+        }
+    }
+    Ok(())
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let kind = args.positional(0, "generator kind")?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| "generate: --out <path> is required".to_string())?;
+    let n: usize = args.get_parsed("n", 10_000usize)?;
+    let param: f64 = args.get_parsed("param", 4.0f64)?;
+    let scale: f64 = args.get_parsed("scale", 1.0f64)?;
+    let seed: u64 = args.get_parsed("seed", 0u64)?;
+
+    let dataset = |d: Dataset| d.build(scale, seed);
+    let g = match kind {
+        "ba" => tim_graph::gen::barabasi_albert(n, param.max(1.0) as usize, 0.1, seed),
+        "gnm" => tim_graph::gen::erdos_renyi_gnm(n, (n as f64 * param) as usize, seed),
+        "ws" => tim_graph::gen::watts_strogatz(n, param.max(1.0) as usize, 0.1, seed),
+        "powerlaw" => tim_graph::gen::powerlaw_configuration(n, 2.5, param, n / 4, seed),
+        "nethept" => dataset(Dataset::NetHept),
+        "epinions" => dataset(Dataset::Epinions),
+        "dblp" => dataset(Dataset::Dblp),
+        "livejournal" => dataset(Dataset::LiveJournal),
+        "twitter" => dataset(Dataset::Twitter),
+        other => return Err(format!("unknown generator '{other}'")),
+    };
+    io::save_edge_list(&g, out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} nodes / {} arcs to {out}", g.n(), g.m());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("tim_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_subcommand() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn generate_then_stats_then_select_round_trip() {
+        let dir = tmpdir();
+        let path = dir.join("ba.txt");
+        let path_s = path.to_str().unwrap();
+        dispatch(&argv(&format!(
+            "generate ba --out {path_s} --n 500 --param 3 --seed 1"
+        )))
+        .unwrap();
+        assert!(path.exists());
+        dispatch(&argv(&format!("stats {path_s}"))).unwrap();
+        dispatch(&argv(&format!(
+            "select {path_s} -k 5 --algo tim+ --eps 0.8 --seed 2 --quiet"
+        )))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn select_requires_k() {
+        let dir = tmpdir();
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "0 1\n1 2\n2 0\n").unwrap();
+        let path_s = path.to_str().unwrap();
+        assert!(dispatch(&argv(&format!("select {path_s}"))).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn evaluate_maps_labels_and_reports() {
+        let dir = tmpdir();
+        let path = dir.join("labels.txt");
+        // Labels 100 -> 200 -> 300 with p = 1.
+        std::fs::write(&path, "100 200 1.0\n200 300 1.0\n").unwrap();
+        let path_s = path.to_str().unwrap();
+        dispatch(&argv(&format!(
+            "evaluate {path_s} --seeds 100 --weights keep --runs 100"
+        )))
+        .unwrap();
+        // Unknown label is an error.
+        assert!(dispatch(&argv(&format!(
+            "evaluate {path_s} --seeds 999 --weights keep"
+        )))
+        .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn select_with_each_cheap_algo_works() {
+        let dir = tmpdir();
+        let path = dir.join("algos.txt");
+        std::fs::write(
+            &path,
+            (0..50u32)
+                .map(|i| format!("{} {}\n", i, (i + 1) % 50))
+                .collect::<String>(),
+        )
+        .unwrap();
+        let path_s = path.to_str().unwrap();
+        for algo in ["degree", "degreediscount", "pagerank", "simpath", "imm"] {
+            dispatch(&argv(&format!(
+                "select {path_s} -k 3 --algo {algo} --eps 1.0 --runs 100 --quiet"
+            )))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_kind() {
+        assert!(dispatch(&argv("generate blah --out /tmp/x.txt")).is_err());
+    }
+
+    #[test]
+    fn weights_flag_variants_parse() {
+        let dir = tmpdir();
+        let path = dir.join("w.txt");
+        std::fs::write(&path, "0 1 0.5\n1 2 0.5\n").unwrap();
+        let path_s = path.to_str().unwrap();
+        for w in ["wc", "lt", "keep", "const:0.2", "tri"] {
+            dispatch(&argv(&format!(
+                "select {path_s} -k 1 --weights {w} --eps 1.0 --runs 50 --quiet"
+            )))
+            .unwrap_or_else(|e| panic!("{w}: {e}"));
+        }
+        assert!(dispatch(&argv(&format!("select {path_s} -k 1 --weights bogus"))).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

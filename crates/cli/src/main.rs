@@ -1,0 +1,30 @@
+//! `tim` — command-line influence maximization.
+//!
+//! ```text
+//! tim select   <edges.txt> -k 50 [--algo tim+] [--model ic] [--weights wc]
+//!              [--eps 0.1] [--ell 1.0] [--seed 0] [--undirected]
+//! tim evaluate <edges.txt> --seeds 3,17,42 [--model ic] [--weights wc]
+//!              [--runs 10000] [--seed 0] [--undirected]
+//! tim stats    <edges.txt> [--undirected]
+//! tim generate <ba|gnm|ws|powerlaw|nethept|epinions|dblp|livejournal|twitter>
+//!              --out <path> [--n 10000] [--param 4] [--scale 1.0] [--seed 0]
+//! ```
+//!
+//! Edge lists are SNAP-style text (`src dst [prob]`, `#` comments). Node
+//! labels may be arbitrary integers; seeds are printed in original labels.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

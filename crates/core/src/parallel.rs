@@ -1,0 +1,182 @@
+//! Deterministic (optionally parallel) bulk RR-set generation.
+//!
+//! The paper lists distributing TIM as future work (§8); sampling θ
+//! independent RR sets is embarrassingly parallel, so this module provides
+//! it as an extension. Determinism is preserved by sharding the work into a
+//! fixed number of shards with `jump()`-separated RNG streams: the produced
+//! multiset of RR sets is a pure function of `(seed, θ)` and identical for
+//! every thread count.
+
+use tim_coverage::SetCollection;
+use tim_diffusion::{DiffusionModel, RrSampler, RrStats};
+use tim_graph::Graph;
+use tim_rng::Rng;
+
+/// Fixed shard count, chosen so shards are plentiful enough to balance yet
+/// results never depend on how many threads execute them.
+const SHARDS: u64 = 64;
+
+/// Aggregate statistics of a bulk generation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BulkStats {
+    /// Σ w(R) over all generated sets.
+    pub total_width: u64,
+    /// Σ draws over all generated sets.
+    pub total_draws: u64,
+    /// Σ |R| over all generated sets.
+    pub total_nodes: u64,
+}
+
+impl BulkStats {
+    fn add(&mut self, s: RrStats) {
+        self.total_width += s.width;
+        self.total_draws += s.draws;
+        self.total_nodes += s.nodes;
+    }
+
+    fn merge(&mut self, o: BulkStats) {
+        self.total_width += o.total_width;
+        self.total_draws += o.total_draws;
+        self.total_nodes += o.total_nodes;
+    }
+}
+
+/// Generates `theta` random RR sets into a [`SetCollection`].
+///
+/// `threads = 1` runs inline; larger values use scoped worker threads. The
+/// output is identical for any `threads` value.
+pub fn generate_rr_sets<M: DiffusionModel + Sync>(
+    graph: &Graph,
+    model: &M,
+    theta: u64,
+    seed: u64,
+    threads: usize,
+) -> (SetCollection, BulkStats) {
+    assert!(graph.n() >= 1, "generate_rr_sets: empty graph");
+    let mut base = Rng::seed_from_u64(seed);
+    let shards = SHARDS.min(theta.max(1));
+    let mut shard_rngs: Vec<Rng> = (0..shards).map(|_| base.split_off()).collect();
+    let per = theta / shards;
+    let extra = theta % shards;
+    let shard_counts: Vec<u64> = (0..shards).map(|i| per + u64::from(i < extra)).collect();
+
+    let threads = threads.max(1).min(shards as usize);
+    if threads == 1 {
+        let mut collection =
+            SetCollection::with_capacity(graph.n(), theta as usize, theta as usize * 2);
+        let mut stats = BulkStats::default();
+        let mut sampler = RrSampler::new(model);
+        let mut buf = Vec::new();
+        for (rng, &count) in shard_rngs.iter_mut().zip(&shard_counts) {
+            for _ in 0..count {
+                let (_, s) = sampler.sample_random(graph, rng, &mut buf);
+                stats.add(s);
+                collection.push(&buf);
+            }
+        }
+        return (collection, stats);
+    }
+
+    // Parallel path: each shard produces a local collection; merge in shard
+    // order so the result is thread-count independent.
+    let mut locals: Vec<Option<(SetCollection, BulkStats)>> =
+        (0..shards as usize).map(|_| None).collect();
+    let chunk = (shards as usize).div_ceil(threads);
+    std::thread::scope(|scope| {
+        for ((rng_chunk, count_chunk), out_chunk) in shard_rngs
+            .chunks_mut(chunk)
+            .zip(shard_counts.chunks(chunk))
+            .zip(locals.chunks_mut(chunk))
+        {
+            scope.spawn(move || {
+                let mut sampler = RrSampler::new(model);
+                let mut buf = Vec::new();
+                for ((rng, &count), slot) in rng_chunk
+                    .iter_mut()
+                    .zip(count_chunk)
+                    .zip(out_chunk.iter_mut())
+                {
+                    let mut local =
+                        SetCollection::with_capacity(graph.n(), count as usize, count as usize * 2);
+                    let mut stats = BulkStats::default();
+                    for _ in 0..count {
+                        let (_, s) = sampler.sample_random(graph, rng, &mut buf);
+                        stats.add(s);
+                        local.push(&buf);
+                    }
+                    *slot = Some((local, stats));
+                }
+            });
+        }
+    });
+
+    let mut collection =
+        SetCollection::with_capacity(graph.n(), theta as usize, theta as usize * 2);
+    let mut stats = BulkStats::default();
+    for slot in locals {
+        let (local, s) = slot.expect("all shards must complete");
+        stats.merge(s);
+        for i in 0..local.len() {
+            collection.push(local.set(i));
+        }
+    }
+    (collection, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tim_diffusion::IndependentCascade;
+    use tim_graph::{gen, weights};
+
+    fn graph() -> Graph {
+        let mut g = gen::barabasi_albert(200, 4, 0.0, 1);
+        weights::assign_weighted_cascade(&mut g);
+        g
+    }
+
+    #[test]
+    fn generates_exactly_theta_sets() {
+        let g = graph();
+        let (c, stats) = generate_rr_sets(&g, &IndependentCascade, 500, 2, 1);
+        assert_eq!(c.len(), 500);
+        assert_eq!(stats.total_nodes as usize, c.total_members());
+    }
+
+    #[test]
+    fn parallel_output_is_identical_to_serial() {
+        let g = graph();
+        let (c1, s1) = generate_rr_sets(&g, &IndependentCascade, 300, 3, 1);
+        let (c4, s4) = generate_rr_sets(&g, &IndependentCascade, 300, 3, 4);
+        assert_eq!(c1.len(), c4.len());
+        assert_eq!(s1.total_width, s4.total_width);
+        assert_eq!(s1.total_nodes, s4.total_nodes);
+        for i in 0..c1.len() {
+            assert_eq!(c1.set(i), c4.set(i), "set {i} differs");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_collections() {
+        let g = graph();
+        let (c1, _) = generate_rr_sets(&g, &IndependentCascade, 100, 4, 2);
+        let (c2, _) = generate_rr_sets(&g, &IndependentCascade, 100, 5, 2);
+        let same = (0..100).all(|i| c1.set(i) == c2.set(i));
+        assert!(!same);
+    }
+
+    #[test]
+    fn theta_smaller_than_shards_works() {
+        let g = graph();
+        let (c, _) = generate_rr_sets(&g, &IndependentCascade, 3, 6, 8);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn zero_theta_yields_empty_collection() {
+        let g = graph();
+        let (c, stats) = generate_rr_sets(&g, &IndependentCascade, 0, 7, 2);
+        assert!(c.is_empty());
+        assert_eq!(stats.total_nodes, 0);
+    }
+}

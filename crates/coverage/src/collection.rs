@@ -1,0 +1,264 @@
+//! Flat arena storage for node-set collections (the set `R` of RR sets).
+
+use tim_graph::NodeId;
+
+/// A collection of node sets over the universe `0..n`, stored as one flat
+/// arena plus offsets, with a lazily built inverted index.
+///
+/// Appending a set is O(|set|); `memory_bytes` reports the arena footprint
+/// that dominates TIM's memory profile (Figure 12).
+#[derive(Debug, Clone)]
+pub struct SetCollection {
+    n: usize,
+    /// Concatenated member lists.
+    data: Vec<NodeId>,
+    /// Set `i` occupies `data[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<usize>,
+    /// Inverted index (node → ids of sets containing it), built on demand.
+    inv_data: Vec<u32>,
+    inv_offsets: Vec<usize>,
+    inv_built_for: usize,
+}
+
+impl SetCollection {
+    /// Creates an empty collection over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            data: Vec::new(),
+            offsets: vec![0],
+            inv_data: Vec::new(),
+            inv_offsets: Vec::new(),
+            inv_built_for: usize::MAX,
+        }
+    }
+
+    /// Creates an empty collection with arena capacity for `total` members.
+    pub fn with_capacity(n: usize, sets: usize, total: usize) -> Self {
+        let mut c = Self::new(n);
+        c.data.reserve(total);
+        c.offsets.reserve(sets);
+        c
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Number of sets stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no sets are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of members across all sets (arena length).
+    #[inline]
+    pub fn total_members(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The members of set `i`.
+    #[inline]
+    pub fn set(&self, i: usize) -> &[NodeId] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Appends a set. Members must be in `[0, n)` (checked in debug builds);
+    /// duplicates within one set are the caller's responsibility (RR
+    /// samplers never produce them).
+    pub fn push(&mut self, members: &[NodeId]) {
+        debug_assert!(
+            members.iter().all(|&v| (v as usize) < self.n),
+            "set member out of universe"
+        );
+        self.data.extend_from_slice(members);
+        self.offsets.push(self.data.len());
+        self.inv_built_for = usize::MAX; // invalidate
+    }
+
+    /// Heap bytes held by the arena and index.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.data.capacity() * size_of::<NodeId>()
+            + self.offsets.capacity() * size_of::<usize>()
+            + self.inv_data.capacity() * size_of::<u32>()
+            + self.inv_offsets.capacity() * size_of::<usize>()
+    }
+
+    /// Builds (or rebuilds) the inverted index if stale.
+    pub fn ensure_inverted_index(&mut self) {
+        if self.inv_built_for == self.len() {
+            return;
+        }
+        let mut counts = vec![0usize; self.n + 1];
+        for &v in &self.data {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            counts[i + 1] += counts[i];
+        }
+        self.inv_offsets = counts.clone();
+        self.inv_data = vec![0u32; self.data.len()];
+        let mut cursor = counts;
+        for set_id in 0..self.len() {
+            for idx in self.offsets[set_id]..self.offsets[set_id + 1] {
+                let v = self.data[idx] as usize;
+                self.inv_data[cursor[v]] = set_id as u32;
+                cursor[v] += 1;
+            }
+        }
+        self.inv_built_for = self.len();
+    }
+
+    /// Ids of the sets containing `v`.
+    ///
+    /// # Panics
+    /// Panics if the inverted index has not been built
+    /// ([`ensure_inverted_index`](Self::ensure_inverted_index)).
+    #[inline]
+    pub fn sets_containing(&self, v: NodeId) -> &[u32] {
+        assert!(
+            self.inv_built_for == self.len(),
+            "inverted index is stale; call ensure_inverted_index first"
+        );
+        let v = v as usize;
+        &self.inv_data[self.inv_offsets[v]..self.inv_offsets[v + 1]]
+    }
+
+    /// Number of sets containing `v` (its coverage count / hypergraph
+    /// degree).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.sets_containing(v).len()
+    }
+
+    /// `F_R(S)`: the fraction of stored sets covered by (intersecting) the
+    /// node set `seeds`. Returns 0 when the collection is empty.
+    ///
+    /// By Corollary 1, `n · F_R(S)` is an unbiased estimator of `E[I(S)]`.
+    pub fn coverage_fraction(&self, seeds: &[NodeId]) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.count_covered(seeds) as f64 / self.len() as f64
+    }
+
+    /// Number of stored sets intersecting `seeds`.
+    pub fn count_covered(&self, seeds: &[NodeId]) -> usize {
+        let mut in_seed = vec![false; self.n];
+        for &s in seeds {
+            assert!((s as usize) < self.n, "seed {s} out of universe");
+            in_seed[s as usize] = true;
+        }
+        (0..self.len())
+            .filter(|&i| self.set(i).iter().any(|&v| in_seed[v as usize]))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SetCollection {
+        let mut c = SetCollection::new(5);
+        c.push(&[0, 1]);
+        c.push(&[1, 2]);
+        c.push(&[3]);
+        c.push(&[1, 3, 4]);
+        c
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = sample();
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(c.universe(), 5);
+        assert_eq!(c.total_members(), 8);
+        assert_eq!(c.set(0), &[0, 1]);
+        assert_eq!(c.set(3), &[1, 3, 4]);
+    }
+
+    #[test]
+    fn inverted_index_matches_membership() {
+        let mut c = sample();
+        c.ensure_inverted_index();
+        assert_eq!(c.sets_containing(1), &[0, 1, 3]);
+        assert_eq!(c.sets_containing(3), &[2, 3]);
+        assert_eq!(c.sets_containing(0), &[0]);
+        assert_eq!(c.degree(1), 3);
+        assert_eq!(c.degree(4), 1);
+    }
+
+    #[test]
+    fn index_rebuilds_after_push() {
+        let mut c = sample();
+        c.ensure_inverted_index();
+        c.push(&[0, 4]);
+        c.ensure_inverted_index();
+        assert_eq!(c.sets_containing(0), &[0, 4]);
+        assert_eq!(c.sets_containing(4), &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_index_access_panics() {
+        let mut c = sample();
+        c.ensure_inverted_index();
+        c.push(&[2]);
+        let _ = c.sets_containing(2);
+    }
+
+    #[test]
+    fn coverage_fraction_counts_intersections() {
+        let c = sample();
+        assert_eq!(c.coverage_fraction(&[1]), 0.75);
+        assert_eq!(c.coverage_fraction(&[3]), 0.5);
+        assert_eq!(c.coverage_fraction(&[1, 3]), 1.0);
+        assert_eq!(c.coverage_fraction(&[]), 0.0);
+        assert_eq!(c.count_covered(&[0]), 1);
+    }
+
+    #[test]
+    fn empty_collection_has_zero_coverage() {
+        let c = SetCollection::new(3);
+        assert!(c.is_empty());
+        assert_eq!(c.coverage_fraction(&[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn empty_sets_are_allowed() {
+        let mut c = SetCollection::new(3);
+        c.push(&[]);
+        c.push(&[1]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.set(0), &[] as &[NodeId]);
+        assert_eq!(c.coverage_fraction(&[1]), 0.5);
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_content() {
+        let mut c = SetCollection::new(100);
+        let before = c.memory_bytes();
+        for i in 0..50u32 {
+            c.push(&[i, i + 1, i + 2]);
+        }
+        assert!(c.memory_bytes() > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn coverage_with_bad_seed_panics() {
+        let c = sample();
+        c.coverage_fraction(&[10]);
+    }
+}

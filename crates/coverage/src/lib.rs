@@ -1,0 +1,26 @@
+//! Set storage and greedy maximum coverage.
+//!
+//! Step 2 of RIS/TIM is a **maximum coverage** instance (§2.3): given the
+//! sampled RR sets, pick `k` nodes covering as many sets as possible. The
+//! classic greedy algorithm achieves the `(1 − 1/e)` factor that, combined
+//! with the concentration argument of Lemma 3, yields TIM's
+//! `(1 − 1/e − ε)` guarantee (Theorem 1).
+//!
+//! - [`SetCollection`] — a flat arena of node sets over a universe
+//!   `0..n`, with an inverted index (node → sets containing it). The arena
+//!   layout is what makes TIM's node-selection phase memory-bound rather
+//!   than allocator-bound; its size is exactly what the paper's Figure 12
+//!   measures.
+//! - [`greedy_max_cover`] — lazy-heap greedy (CELF-style; exact for
+//!   submodular coverage).
+//! - [`greedy_max_cover_bucket`] — bucket-queue greedy with the linear-time
+//!   bound of \[3\]'s Step 2.
+//!
+//! Both solvers return identical coverage values (tie-breaking may differ);
+//! the criterion bench `max_cover` compares their constants.
+
+mod collection;
+mod greedy;
+
+pub use collection::SetCollection;
+pub use greedy::{greedy_max_cover, greedy_max_cover_bucket, CoverResult};

@@ -1,0 +1,150 @@
+//! Explicit live-edge graph sampling, for exact duality checks.
+//!
+//! Lemma 2 / Lemma 9 couple forward activation and reverse reachability
+//! *through the same random live-edge graph* `g`: `S` activates `v` in the
+//! propagation process iff `v` is reachable from `S` in `g`, iff the RR set
+//! of `v` in `g` intersects `S`.
+//!
+//! The production code never materialises `g` (it samples triggering sets
+//! lazily), but materialising it makes the coupling testable **exactly**:
+//! sample one `g`, then check both directions with plain BFS. The
+//! integration tests do this over many samples.
+
+use crate::model::DiffusionModel;
+use tim_graph::{Graph, GraphBuilder, NodeId};
+use tim_rng::Rng;
+
+/// Samples a complete live-edge graph: for every node `v`, draws one
+/// triggering set `T(v)` and keeps exactly the edges `u -> v` with
+/// `u ∈ T(v)` (probability 1 on kept edges).
+pub fn sample_live_edge_graph<M: DiffusionModel>(graph: &Graph, model: &M, rng: &mut Rng) -> Graph {
+    let mut b = GraphBuilder::with_edge_capacity(graph.n(), graph.m() / 2);
+    let mut trig = Vec::new();
+    for v in 0..graph.n() as NodeId {
+        trig.clear();
+        model.sample_triggering_set(graph, v, rng, &mut trig);
+        for &u in &trig {
+            b.add_edge_with_probability(u, v, 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Marks all nodes reachable from `seeds` by following out-edges
+/// (probabilities ignored — intended for live-edge graphs).
+pub fn forward_reachable(graph: &Graph, seeds: &[NodeId]) -> Vec<bool> {
+    let mut seen = vec![false; graph.n()];
+    let mut queue: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        assert!((s as usize) < graph.n(), "seed {s} out of range");
+        if !seen[s as usize] {
+            seen[s as usize] = true;
+            queue.push(s);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for &v in graph.out_neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Marks all nodes that can reach `target` by following in-edges
+/// (probabilities ignored) — the deterministic RR set of `target`.
+pub fn reverse_reachable(graph: &Graph, target: NodeId) -> Vec<bool> {
+    assert!((target as usize) < graph.n(), "target out of range");
+    let mut seen = vec![false; graph.n()];
+    let mut queue: Vec<NodeId> = vec![target];
+    seen[target as usize] = true;
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for &u in graph.in_neighbors(v) {
+            if !seen[u as usize] {
+                seen[u as usize] = true;
+                queue.push(u);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{IndependentCascade, LinearThreshold};
+    use tim_graph::weights;
+
+    #[test]
+    fn live_edge_graph_is_subgraph() {
+        let mut g = tim_graph::gen::erdos_renyi_gnm(60, 300, 1);
+        weights::assign_constant(&mut g, 0.4);
+        let mut rng = Rng::seed_from_u64(2);
+        let live = sample_live_edge_graph(&g, &IndependentCascade, &mut rng);
+        assert_eq!(live.n(), g.n());
+        for (u, v, _) in live.edges() {
+            assert!(
+                g.out_neighbors(u).contains(&v),
+                "live edge {u}->{v} not in original graph"
+            );
+        }
+    }
+
+    #[test]
+    fn ic_keeps_edges_at_rate_p() {
+        let mut g = tim_graph::gen::erdos_renyi_gnm(100, 2000, 3);
+        weights::assign_constant(&mut g, 0.3);
+        let mut rng = Rng::seed_from_u64(4);
+        let mut kept = 0usize;
+        let rounds = 50;
+        for _ in 0..rounds {
+            kept += sample_live_edge_graph(&g, &IndependentCascade, &mut rng).m();
+        }
+        let rate = kept as f64 / (rounds * g.m()) as f64;
+        assert!((rate - 0.3).abs() < 0.01, "keep rate {rate}");
+    }
+
+    #[test]
+    fn lt_live_edge_graph_has_in_degree_at_most_one() {
+        let mut g = tim_graph::gen::erdos_renyi_gnm(80, 600, 5);
+        weights::assign_lt_normalized(&mut g, 6);
+        let mut rng = Rng::seed_from_u64(7);
+        let live = sample_live_edge_graph(&g, &LinearThreshold, &mut rng);
+        for v in 0..live.n() as NodeId {
+            assert!(live.in_degree(v) <= 1, "LT node {v} kept multiple in-edges");
+        }
+    }
+
+    #[test]
+    fn forward_and_reverse_reachability_agree() {
+        // In any fixed graph: v reachable from {s}  <=>  s in RR(v).
+        let g = tim_graph::gen::erdos_renyi_gnm(40, 120, 8);
+        let fwd = forward_reachable(&g, &[0]);
+        for v in 0..g.n() as NodeId {
+            let rev = reverse_reachable(&g, v);
+            assert_eq!(fwd[v as usize], rev[0], "duality violated at node {v}");
+        }
+    }
+
+    #[test]
+    fn forward_reachable_from_nothing_is_empty() {
+        let g = tim_graph::gen::erdos_renyi_gnm(10, 30, 9);
+        assert!(forward_reachable(&g, &[]).iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn reverse_reachable_includes_target() {
+        let g = tim_graph::gen::erdos_renyi_gnm(10, 30, 10);
+        for v in 0..10u32 {
+            assert!(reverse_reachable(&g, v)[v as usize]);
+        }
+    }
+}

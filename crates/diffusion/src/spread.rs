@@ -1,0 +1,260 @@
+//! Monte Carlo estimation of expected spread `E[I(S)]`.
+//!
+//! The paper estimates ground-truth spreads by averaging 10⁵ forward
+//! simulations (§7.2). [`SpreadEstimator`] does the same, sharding runs
+//! across threads with independent `jump()`-separated RNG streams so the
+//! result is **deterministic given the seed** regardless of thread count.
+
+use crate::forward::SimWorkspace;
+use crate::model::DiffusionModel;
+use tim_graph::{Graph, NodeId};
+use tim_rng::Rng;
+
+/// Number of independent RNG shards; fixed so results do not depend on the
+/// machine's thread count.
+const SHARDS: usize = 64;
+
+/// A configurable Monte Carlo spread estimator.
+///
+/// ```
+/// # use tim_diffusion::{SpreadEstimator, IndependentCascade};
+/// # use tim_graph::{GraphBuilder, weights};
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge_with_probability(0, 1, 1.0);
+/// b.add_edge_with_probability(1, 2, 1.0);
+/// let g = b.build();
+/// let est = SpreadEstimator::new(IndependentCascade).runs(100).seed(7);
+/// assert_eq!(est.estimate(&g, &[0]), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpreadEstimator<M> {
+    model: M,
+    runs: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl<M: DiffusionModel + Sync> SpreadEstimator<M> {
+    /// Creates an estimator with the paper's default of 10 000 runs,
+    /// seed 0, and one thread per available core.
+    pub fn new(model: M) -> Self {
+        Self {
+            model,
+            runs: 10_000,
+            seed: 0,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        }
+    }
+
+    /// Sets the number of Monte Carlo runs.
+    #[must_use]
+    pub fn runs(mut self, runs: usize) -> Self {
+        assert!(runs > 0, "SpreadEstimator: runs must be positive");
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the RNG seed. Estimates are deterministic given the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the worker-thread count (1 forces single-threaded execution).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "SpreadEstimator: threads must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Estimates `E[I(S)]` for the seed set `seeds`.
+    pub fn estimate(&self, graph: &Graph, seeds: &[NodeId]) -> f64 {
+        self.estimate_with_stderr(graph, seeds).0
+    }
+
+    /// Estimates `E[I(S)]` and the standard error of the estimate.
+    pub fn estimate_with_stderr(&self, graph: &Graph, seeds: &[NodeId]) -> (f64, f64) {
+        for &s in seeds {
+            assert!((s as usize) < graph.n(), "seed {s} out of range");
+        }
+        if seeds.is_empty() || graph.n() == 0 {
+            return (0.0, 0.0);
+        }
+
+        // Pre-split per-shard RNG streams from the base seed.
+        let mut base = Rng::seed_from_u64(self.seed);
+        let shards = SHARDS.min(self.runs);
+        let mut shard_rngs: Vec<Rng> = (0..shards).map(|_| base.split_off()).collect();
+        // Distribute runs over shards as evenly as possible.
+        let per = self.runs / shards;
+        let extra = self.runs % shards;
+        let shard_runs: Vec<usize> = (0..shards).map(|i| per + usize::from(i < extra)).collect();
+
+        let mut sums = vec![(0.0f64, 0.0f64); shards];
+        let threads = self.threads.min(shards).max(1);
+        if threads == 1 {
+            let mut ws = SimWorkspace::new();
+            for (i, rng) in shard_rngs.iter_mut().enumerate() {
+                sums[i] = run_shard(&self.model, graph, seeds, shard_runs[i], rng, &mut ws);
+            }
+        } else {
+            let chunk = shards.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let model = &self.model;
+                for ((rng_chunk, runs_chunk), sum_chunk) in shard_rngs
+                    .chunks_mut(chunk)
+                    .zip(shard_runs.chunks(chunk))
+                    .zip(sums.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        let mut ws = SimWorkspace::new();
+                        for ((rng, &n_runs), slot) in rng_chunk
+                            .iter_mut()
+                            .zip(runs_chunk)
+                            .zip(sum_chunk.iter_mut())
+                        {
+                            *slot = run_shard(model, graph, seeds, n_runs, rng, &mut ws);
+                        }
+                    });
+                }
+            });
+        }
+
+        let total: f64 = sums.iter().map(|s| s.0).sum();
+        let total_sq: f64 = sums.iter().map(|s| s.1).sum();
+        let n = self.runs as f64;
+        let mean = total / n;
+        let var = (total_sq / n - mean * mean).max(0.0);
+        (mean, (var / n).sqrt())
+    }
+}
+
+fn run_shard<M: DiffusionModel>(
+    model: &M,
+    graph: &Graph,
+    seeds: &[NodeId],
+    runs: usize,
+    rng: &mut Rng,
+    ws: &mut SimWorkspace,
+) -> (f64, f64) {
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for _ in 0..runs {
+        let x = model.simulate(ws, graph, seeds, rng) as f64;
+        sum += x;
+        sum_sq += x * x;
+    }
+    (sum, sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{IndependentCascade, LinearThreshold};
+    use tim_graph::{weights, GraphBuilder};
+
+    #[test]
+    fn empty_seeds_give_zero() {
+        let g = tim_graph::gen::erdos_renyi_gnm(10, 20, 1);
+        let est = SpreadEstimator::new(IndependentCascade).runs(10);
+        assert_eq!(est.estimate(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn deterministic_graph_gives_exact_spread() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge_with_probability(0, 1, 1.0);
+        b.add_edge_with_probability(1, 2, 1.0);
+        b.add_edge_with_probability(2, 3, 1.0);
+        let g = b.build();
+        let est = SpreadEstimator::new(IndependentCascade).runs(50).seed(2);
+        assert_eq!(est.estimate(&g, &[0]), 4.0);
+        assert_eq!(est.estimate(&g, &[3]), 1.0);
+    }
+
+    #[test]
+    fn matches_closed_form_on_fork() {
+        // 0 -> 1 (p=0.5), 0 -> 2 (p=0.5): E[I({0})] = 1 + 0.5 + 0.5 = 2.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_with_probability(0, 1, 0.5);
+        b.add_edge_with_probability(0, 2, 0.5);
+        let g = b.build();
+        let est = SpreadEstimator::new(IndependentCascade)
+            .runs(100_000)
+            .seed(3);
+        let (mean, se) = est.estimate_with_stderr(&g, &[0]);
+        assert!(
+            (mean - 2.0).abs() < 5.0 * se.max(0.005),
+            "mean {mean}, se {se}"
+        );
+    }
+
+    #[test]
+    fn result_is_independent_of_thread_count() {
+        let mut g = tim_graph::gen::erdos_renyi_gnm(200, 1000, 4);
+        weights::assign_weighted_cascade(&mut g);
+        let base = SpreadEstimator::new(IndependentCascade).runs(2000).seed(5);
+        let single = base.clone().threads(1).estimate(&g, &[0, 1, 2]);
+        let multi = base.clone().threads(8).estimate(&g, &[0, 1, 2]);
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn result_is_seed_deterministic() {
+        let mut g = tim_graph::gen::erdos_renyi_gnm(100, 500, 6);
+        weights::assign_weighted_cascade(&mut g);
+        let a = SpreadEstimator::new(LinearThreshold)
+            .runs(500)
+            .seed(7)
+            .estimate(&g, &[3]);
+        let b = SpreadEstimator::new(LinearThreshold)
+            .runs(500)
+            .seed(7)
+            .estimate(&g, &[3]);
+        let c = SpreadEstimator::new(LinearThreshold)
+            .runs(500)
+            .seed(8)
+            .estimate(&g, &[3]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spread_is_at_least_seed_count_and_at_most_n() {
+        let mut g = tim_graph::gen::barabasi_albert(300, 3, 0.0, 8);
+        weights::assign_weighted_cascade(&mut g);
+        let est = SpreadEstimator::new(IndependentCascade).runs(300).seed(9);
+        let spread = est.estimate(&g, &[0, 5, 10]);
+        assert!(spread >= 3.0);
+        assert!(spread <= 300.0);
+    }
+
+    #[test]
+    fn stderr_shrinks_with_more_runs() {
+        let mut g = tim_graph::gen::erdos_renyi_gnm(200, 1200, 10);
+        weights::assign_constant(&mut g, 0.15);
+        let (_, se_small) = SpreadEstimator::new(IndependentCascade)
+            .runs(200)
+            .seed(11)
+            .estimate_with_stderr(&g, &[0]);
+        let (_, se_big) = SpreadEstimator::new(IndependentCascade)
+            .runs(20_000)
+            .seed(11)
+            .estimate_with_stderr(&g, &[0]);
+        assert!(
+            se_big < se_small,
+            "stderr should shrink: {se_small} -> {se_big}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_seed_panics() {
+        let g = tim_graph::gen::erdos_renyi_gnm(10, 20, 12);
+        SpreadEstimator::new(IndependentCascade)
+            .runs(10)
+            .estimate(&g, &[99]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for triggering-set sampling and simulation engines.
+
+use proptest::prelude::*;
+use tim_diffusion::{DiffusionModel, IndependentCascade, LinearThreshold, SimWorkspace};
+use tim_graph::{gen, weights, Graph, NodeId};
+use tim_rng::Xoshiro256pp as Rng;
+
+fn arb_weighted_graph() -> impl Strategy<Value = Graph> {
+    (2usize..50, 1usize..4, 0u64..300, prop::bool::ANY).prop_map(
+        |(n, density, seed, lt_weights)| {
+            let m = (n * density).min(n * (n - 1));
+            let mut g = gen::erdos_renyi_gnm(n, m, seed);
+            if lt_weights {
+                weights::assign_lt_normalized(&mut g, seed);
+            } else {
+                weights::assign_weighted_cascade(&mut g);
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn triggering_sets_are_subsets_of_in_neighbors(
+        g in arb_weighted_graph(),
+        node_pick in 0u32..50,
+        seed in 0u64..1000,
+    ) {
+        let v = node_pick % g.n() as u32;
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut buf: Vec<NodeId> = Vec::new();
+        for _ in 0..20 {
+            buf.clear();
+            IndependentCascade.sample_triggering_set(&g, v, &mut rng, &mut buf);
+            for &u in &buf {
+                prop_assert!(g.in_neighbors(v).contains(&u));
+            }
+            // No duplicates.
+            let mut s = buf.clone();
+            s.sort_unstable();
+            s.dedup();
+            prop_assert_eq!(s.len(), buf.len());
+
+            buf.clear();
+            LinearThreshold.sample_triggering_set(&g, v, &mut rng, &mut buf);
+            prop_assert!(buf.len() <= 1, "LT triggering set must be 0/1-sized");
+            for &u in &buf {
+                prop_assert!(g.in_neighbors(v).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn activated_list_matches_simulation_count(
+        g in arb_weighted_graph(),
+        seed in 0u64..1000,
+    ) {
+        let seeds: Vec<NodeId> = vec![0];
+        let mut ws = SimWorkspace::new();
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let c_ic = ws.simulate_ic(&g, &seeds, &mut rng);
+            prop_assert_eq!(c_ic as usize, ws.activated().len());
+            let c_lt = ws.simulate_lt(&g, &seeds, &mut rng);
+            prop_assert_eq!(c_lt as usize, ws.activated().len());
+            let c_tr = ws.simulate_triggering(&IndependentCascade, &g, &seeds, &mut rng);
+            prop_assert_eq!(c_tr as usize, ws.activated().len());
+        }
+    }
+
+    #[test]
+    fn activated_nodes_are_unique_and_include_seeds(
+        g in arb_weighted_graph(),
+        seed in 0u64..1000,
+    ) {
+        let seeds: Vec<NodeId> = vec![0, (g.n() as u32 - 1).min(4)];
+        let mut ws = SimWorkspace::new();
+        let mut rng = Rng::seed_from_u64(seed);
+        ws.simulate_ic(&g, &seeds, &mut rng);
+        let act: Vec<NodeId> = ws.activated().to_vec();
+        let mut sorted = act.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), act.len(), "duplicate activations");
+        for &s in &seeds {
+            prop_assert!(act.contains(&s));
+        }
+    }
+
+    #[test]
+    fn simulation_never_exceeds_graph_size(
+        g in arb_weighted_graph(),
+        seed in 0u64..1000,
+    ) {
+        let seeds: Vec<NodeId> = (0..g.n().min(3) as u32).collect();
+        let mut ws = SimWorkspace::new();
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let c = LinearThreshold.simulate(&mut ws, &g, &seeds, &mut rng);
+            prop_assert!(c as usize <= g.n());
+            prop_assert!(c as usize >= seeds.len());
+        }
+    }
+}

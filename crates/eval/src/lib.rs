@@ -1,0 +1,18 @@
+//! Experiment support for reproducing the paper's evaluation (§7).
+//!
+//! - [`datasets`] — synthetic stand-ins for the paper's five datasets
+//!   (Table 2), with per-dataset default scales sized for a laptop;
+//! - [`memory`] — a counting global allocator for the Figure 12 memory
+//!   measurements;
+//! - [`table`] — fixed-width ASCII / CSV table emission for experiment
+//!   output;
+//! - [`timing`] — tiny stopwatch helpers.
+
+pub mod datasets;
+pub mod memory;
+pub mod table;
+pub mod timing;
+
+pub use datasets::Dataset;
+pub use table::Table;
+pub use timing::time;

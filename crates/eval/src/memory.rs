@@ -1,0 +1,200 @@
+//! A counting global allocator for memory experiments (Figure 12).
+//!
+//! The paper reports TIM+'s memory consumption, dominated by the RR-set
+//! arena. [`TrackingAllocator`] wraps the system allocator with atomic
+//! live/peak counters; a binary opts in with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: tim_eval::memory::TrackingAllocator =
+//!     tim_eval::memory::TrackingAllocator::new();
+//! ```
+//!
+//! and then brackets each measured region with [`reset_peak`] /
+//! [`peak_bytes`]. When the allocator is not installed the counters simply
+//! stay at zero, so library code can call the accessors unconditionally.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// System-allocator wrapper that tracks live and peak heap bytes.
+pub struct TrackingAllocator;
+
+impl TrackingAllocator {
+    /// Creates the allocator (const, for `#[global_allocator]` statics).
+    pub const fn new() -> Self {
+        TrackingAllocator
+    }
+}
+
+impl Default for TrackingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    // Lock-free peak update.
+    let mut peak = PEAK.load(Ordering::Relaxed);
+    while live > peak {
+        match PEAK.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+#[inline]
+fn on_dealloc(size: usize) {
+    LIVE.fetch_sub(size, Ordering::Relaxed);
+}
+
+// SAFETY: defers to the system allocator for every operation; the counters
+// are side effects only.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Currently live heap bytes (0 unless the allocator is installed).
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Peak heap bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live size, starting a new measurement
+/// region.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Formats a byte count with binary units, e.g. `1.50 GiB`.
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global allocator cannot be swapped inside a test binary, so the
+    // GlobalAlloc impl is exercised by direct (unsafe) calls. The counters
+    // are process-global, so tests touching them serialise on this lock.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn alloc_dealloc_adjusts_counters() {
+        let _guard = LOCK.lock().unwrap();
+        let a = TrackingAllocator::new();
+        let before_live = live_bytes();
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert!(live_bytes() >= before_live + 4096);
+            assert!(peak_bytes() >= before_live + 4096);
+            a.dealloc(p, layout);
+        }
+        assert_eq!(live_bytes(), before_live);
+    }
+
+    #[test]
+    fn realloc_tracks_size_change() {
+        let _guard = LOCK.lock().unwrap();
+        let a = TrackingAllocator::new();
+        let before = live_bytes();
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            let q = a.realloc(p, layout, 8192);
+            assert!(!q.is_null());
+            assert_eq!(live_bytes(), before + 8192);
+            a.dealloc(q, Layout::from_size_align(8192, 8).unwrap());
+        }
+        assert_eq!(live_bytes(), before);
+    }
+
+    #[test]
+    fn reset_peak_rebases_to_live() {
+        let _guard = LOCK.lock().unwrap();
+        let a = TrackingAllocator::new();
+        let layout = Layout::from_size_align(64 * 1024, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            a.dealloc(p, layout);
+        }
+        assert!(peak_bytes() >= 64 * 1024);
+        reset_peak();
+        assert_eq!(peak_bytes(), live_bytes());
+    }
+
+    #[test]
+    fn format_bytes_uses_binary_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024 * 1024), "5.00 GiB");
+    }
+
+    #[test]
+    fn alloc_zeroed_counts_too() {
+        let _guard = LOCK.lock().unwrap();
+        let a = TrackingAllocator::new();
+        let before = live_bytes();
+        let layout = Layout::from_size_align(2048, 8).unwrap();
+        unsafe {
+            let p = a.alloc_zeroed(layout);
+            assert!(!p.is_null());
+            assert_eq!(*p, 0);
+            assert!(live_bytes() >= before + 2048);
+            a.dealloc(p, layout);
+        }
+    }
+}

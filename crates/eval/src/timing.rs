@@ -1,0 +1,40 @@
+//! Wall-clock helpers for experiment timing.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` and returns its result with the elapsed wall-clock time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration as seconds with millisecond precision (the unit used
+/// throughout the paper's figures).
+pub fn format_secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_value_and_positive_duration() {
+        let (v, d) = time(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(v > 0);
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn format_secs_has_millisecond_precision() {
+        assert_eq!(format_secs(Duration::from_millis(1500)), "1.500");
+        assert_eq!(format_secs(Duration::from_micros(1)), "0.000");
+    }
+}

@@ -1,0 +1,323 @@
+//! Structural graph analysis: components, distances, degree distribution.
+//!
+//! These utilities support dataset characterisation (Table-2-style
+//! reporting), sanity checks on generated stand-ins (a social network
+//! should have a giant SCC and a heavy-tailed degree histogram), and the
+//! examples.
+
+use crate::{Graph, NodeId};
+
+/// Degree histogram: `histogram[d]` = number of nodes with the given
+/// degree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    /// Counts indexed by degree (length = max degree + 1).
+    pub counts: Vec<usize>,
+}
+
+impl DegreeHistogram {
+    /// Number of nodes with degree exactly `d`.
+    pub fn count(&self, d: usize) -> usize {
+        self.counts.get(d).copied().unwrap_or(0)
+    }
+
+    /// Largest degree present.
+    pub fn max_degree(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Fraction of nodes with degree ≥ `d`; the tail function whose
+    /// log-log slope identifies a power law.
+    pub fn tail_fraction(&self, d: usize) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let tail: usize = self.counts.iter().skip(d).sum();
+        tail as f64 / total as f64
+    }
+}
+
+/// Out-degree histogram of `g`.
+pub fn out_degree_histogram(g: &Graph) -> DegreeHistogram {
+    let mut counts = Vec::new();
+    for v in 0..g.n() as NodeId {
+        let d = g.out_degree(v);
+        if d >= counts.len() {
+            counts.resize(d + 1, 0);
+        }
+        counts[d] += 1;
+    }
+    if counts.is_empty() {
+        counts.push(0);
+    }
+    DegreeHistogram { counts }
+}
+
+/// In-degree histogram of `g`.
+pub fn in_degree_histogram(g: &Graph) -> DegreeHistogram {
+    let mut counts = Vec::new();
+    for v in 0..g.n() as NodeId {
+        let d = g.in_degree(v);
+        if d >= counts.len() {
+            counts.resize(d + 1, 0);
+        }
+        counts[d] += 1;
+    }
+    if counts.is_empty() {
+        counts.push(0);
+    }
+    DegreeHistogram { counts }
+}
+
+/// BFS hop distances from `source` following out-edges; unreachable nodes
+/// get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    assert!((source as usize) < g.n(), "source out of range");
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue: Vec<NodeId> = vec![source];
+    dist[source as usize] = 0;
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let du = dist[u as usize];
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Strongly connected components via Tarjan's algorithm (iterative, safe
+/// for million-node graphs). Returns `(component_id_per_node,
+/// component_count)`; ids are in reverse topological order of the
+/// condensation.
+pub fn strongly_connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.n();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n]; // discovery order
+    let mut low = vec![0u32; n];
+    let mut comp = vec![UNSET; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comp_count = 0usize;
+
+    // Explicit DFS frames: (node, next out-edge offset).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+    for start in 0..n as NodeId {
+        if index[start as usize] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&(v, edge)) = frames.last() {
+            let nbrs = g.out_neighbors(v);
+            if edge < nbrs.len() {
+                frames.last_mut().expect("frame exists").1 += 1;
+                let w = nbrs[edge];
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    // v is an SCC root; pop its component.
+                    loop {
+                        let w = stack.pop().expect("stack invariant");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = comp_count as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+/// Size of the largest strongly connected component.
+pub fn largest_scc_size(g: &Graph) -> usize {
+    let (comp, count) = strongly_connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, GraphBuilder};
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(i as NodeId, ((i + 1) % n) as NodeId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let h = out_degree_histogram(&g);
+        assert_eq!(h.count(0), 2); // nodes 2 and 3
+        assert_eq!(h.count(1), 1); // node 1
+        assert_eq!(h.count(2), 1); // node 0
+        assert_eq!(h.max_degree(), 2);
+        let hi = in_degree_histogram(&g);
+        assert_eq!(hi.count(2), 1); // node 2
+    }
+
+    #[test]
+    fn tail_fraction_is_monotone() {
+        let g = gen::barabasi_albert(500, 3, 0.0, 1);
+        let h = in_degree_histogram(&g);
+        assert_eq!(h.tail_fraction(0), 1.0);
+        let mut prev = 1.0;
+        for d in 1..h.max_degree() {
+            let t = h.tail_fraction(d);
+            assert!(t <= prev + 1e-12);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        let from_end = bfs_distances(&g, 3);
+        assert_eq!(from_end[3], 0);
+        assert_eq!(from_end[0], u32::MAX);
+    }
+
+    #[test]
+    fn scc_of_a_cycle_is_one_component() {
+        let g = cycle(7);
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 1);
+        assert!(comp.iter().all(|&c| c == comp[0]));
+        assert_eq!(largest_scc_size(&g), 7);
+    }
+
+    #[test]
+    fn scc_of_a_dag_is_singletons() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 3);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 5);
+        assert_eq!(largest_scc_size(&g), 1);
+    }
+
+    #[test]
+    fn scc_mixed_structure() {
+        // Cycle {0,1,2} feeding a chain 3 -> 4.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(2, 3);
+        b.add_edge(3, 4);
+        let g = b.build();
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[3], comp[0]);
+        assert_ne!(comp[4], comp[3]);
+        assert_eq!(largest_scc_size(&g), 3);
+    }
+
+    #[test]
+    fn scc_ids_are_reverse_topological() {
+        // Tarjan emits sink components first: comp id of a successor SCC is
+        // smaller than its predecessor's.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 1); // {1,2} cycle
+        b.add_edge(2, 3);
+        let g = b.build();
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert!(comp[3] < comp[1]);
+        assert!(comp[1] < comp[0]);
+    }
+
+    #[test]
+    fn symmetrized_ba_graph_has_giant_component() {
+        let g = gen::symmetrize(&gen::barabasi_albert(400, 3, 0.0, 2));
+        let giant = largest_scc_size(&g);
+        assert!(
+            giant > 350,
+            "symmetric BA graph should be mostly one SCC, got {giant}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = GraphBuilder::new(0).build();
+        let (comp, count) = strongly_connected_components(&g);
+        assert!(comp.is_empty());
+        assert_eq!(count, 0);
+        assert_eq!(largest_scc_size(&g), 0);
+        assert_eq!(out_degree_histogram(&g).count(0), 0);
+    }
+
+    #[test]
+    fn scc_matches_bruteforce_reachability_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = gen::erdos_renyi_gnm(25, 60, seed);
+            let (comp, _) = strongly_connected_components(&g);
+            // u, v in the same SCC iff mutually reachable.
+            let reach: Vec<Vec<bool>> = (0..g.n() as NodeId)
+                .map(|v| {
+                    let d = bfs_distances(&g, v);
+                    d.into_iter().map(|x| x != u32::MAX).collect()
+                })
+                .collect();
+            for u in 0..g.n() {
+                for v in 0..g.n() {
+                    let mutual = reach[u][v] && reach[v][u];
+                    assert_eq!(comp[u] == comp[v], mutual, "seed {seed}: nodes {u},{v}");
+                }
+            }
+        }
+    }
+}

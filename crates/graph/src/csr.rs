@@ -1,0 +1,352 @@
+//! The CSR graph and its accessors.
+
+use crate::NodeId;
+
+/// A directed graph with per-edge propagation probabilities, stored as a
+/// pair of CSR adjacency structures (forward and reverse).
+///
+/// Immutable after construction except for probability reassignment via
+/// [`Graph::assign_probabilities`], which keeps both directions consistent.
+///
+/// Construct with [`GraphBuilder`](crate::GraphBuilder), the generators in
+/// [`gen`](crate::gen), or the loaders in [`io`](crate::io).
+///
+/// ```
+/// use tim_graph::{GraphBuilder, weights};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 2);
+/// b.add_edge(1, 2);
+/// let mut g = b.build();
+/// weights::assign_weighted_cascade(&mut g); // p(e) = 1/indeg(target)
+///
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.in_neighbors(2), &[0, 1]);
+/// assert_eq!(g.in_probabilities(2), &[0.5, 0.5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    pub(crate) n: usize,
+    // Forward direction: out-edges of each node.
+    pub(crate) out_offsets: Vec<usize>,
+    pub(crate) out_targets: Vec<NodeId>,
+    pub(crate) out_probs: Vec<f32>,
+    // Reverse direction: in-edges of each node (the transpose G^T).
+    pub(crate) in_offsets: Vec<usize>,
+    pub(crate) in_sources: Vec<NodeId>,
+    pub(crate) in_probs: Vec<f32>,
+}
+
+/// Summary degree statistics, as reported in the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Mean out-degree (equals mean in-degree): m / n.
+    pub avg_degree: f64,
+    /// Maximum out-degree over all nodes.
+    pub max_out_degree: usize,
+    /// Maximum in-degree over all nodes.
+    pub max_in_degree: usize,
+}
+
+impl Graph {
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// In-degree of `v` — the quantity that defines RR-set width `w(R)`
+    /// (Equation 1) and the `V*` distribution (Lemma 4).
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Targets of `v`'s out-edges.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.out_targets[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Probabilities aligned with [`out_neighbors`](Self::out_neighbors).
+    #[inline]
+    pub fn out_probabilities(&self, v: NodeId) -> &[f32] {
+        let v = v as usize;
+        &self.out_probs[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Sources of `v`'s in-edges.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Probabilities aligned with [`in_neighbors`](Self::in_neighbors).
+    #[inline]
+    pub fn in_probabilities(&self, v: NodeId) -> &[f32] {
+        let v = v as usize;
+        &self.in_probs[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Iterates over all edges as `(src, dst, p)`, grouped by source.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
+        (0..self.n as NodeId).flat_map(move |u| {
+            self.out_neighbors(u)
+                .iter()
+                .zip(self.out_probabilities(u))
+                .map(move |(&v, &p)| (u, v, p))
+        })
+    }
+
+    /// Returns the transpose graph `G^T` (all edges reversed). O(1): the two
+    /// CSR halves swap roles, probabilities travel with their edges.
+    pub fn transpose(&self) -> Graph {
+        Graph {
+            n: self.n,
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            out_probs: self.in_probs.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+            in_probs: self.out_probs.clone(),
+        }
+    }
+
+    /// Degree statistics for dataset reporting (Table 2).
+    pub fn degree_stats(&self) -> DegreeStats {
+        let mut max_out = 0;
+        let mut max_in = 0;
+        for v in 0..self.n as NodeId {
+            max_out = max_out.max(self.out_degree(v));
+            max_in = max_in.max(self.in_degree(v));
+        }
+        DegreeStats {
+            avg_degree: if self.n == 0 {
+                0.0
+            } else {
+                self.m() as f64 / self.n as f64
+            },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+        }
+    }
+
+    /// Reassigns every edge probability as `f(src, dst)`, updating both the
+    /// forward and reverse CSR consistently.
+    ///
+    /// `f` must be a pure function of the edge endpoints: it is invoked once
+    /// per edge per direction, and the two invocations must agree. The
+    /// weight models in [`weights`](crate::weights) are built this way
+    /// (pseudo-random models hash the endpoints instead of drawing from a
+    /// stream).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `f` returns a value outside `[0, 1]`.
+    pub fn assign_probabilities(&mut self, mut f: impl FnMut(NodeId, NodeId) -> f32) {
+        for u in 0..self.n {
+            let (start, end) = (self.out_offsets[u], self.out_offsets[u + 1]);
+            for idx in start..end {
+                let p = f(u as NodeId, self.out_targets[idx]);
+                debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+                self.out_probs[idx] = p;
+            }
+        }
+        for v in 0..self.n {
+            let (start, end) = (self.in_offsets[v], self.in_offsets[v + 1]);
+            for idx in start..end {
+                let p = f(self.in_sources[idx], v as NodeId);
+                debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+                self.in_probs[idx] = p;
+            }
+        }
+    }
+
+    /// Total heap bytes held by the adjacency arrays (used by the memory
+    /// experiment, Figure 12, to report graph-vs-RR-set footprints).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.out_offsets.capacity() * size_of::<usize>()
+            + self.in_offsets.capacity() * size_of::<usize>()
+            + self.out_targets.capacity() * size_of::<NodeId>()
+            + self.in_sources.capacity() * size_of::<NodeId>()
+            + self.out_probs.capacity() * size_of::<f32>()
+            + self.in_probs.capacity() * size_of::<f32>()
+    }
+
+    /// Checks internal CSR invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.out_offsets.len() != self.n + 1 || self.in_offsets.len() != self.n + 1 {
+            return Err("offset arrays must have n+1 entries".into());
+        }
+        if self.out_offsets[0] != 0 || self.in_offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        if !self.out_offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("out offsets must be non-decreasing".into());
+        }
+        if !self.in_offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("in offsets must be non-decreasing".into());
+        }
+        if *self.out_offsets.last().unwrap() != self.out_targets.len() {
+            return Err("out offsets must end at edge count".into());
+        }
+        if *self.in_offsets.last().unwrap() != self.in_sources.len() {
+            return Err("in offsets must end at edge count".into());
+        }
+        if self.out_targets.len() != self.in_sources.len() {
+            return Err("forward and reverse edge counts differ".into());
+        }
+        if self.out_probs.len() != self.out_targets.len()
+            || self.in_probs.len() != self.in_sources.len()
+        {
+            return Err("probability arrays must align with edge arrays".into());
+        }
+        for &t in &self.out_targets {
+            if t as usize >= self.n {
+                return Err(format!("out target {t} out of range"));
+            }
+        }
+        for &s in &self.in_sources {
+            if s as usize >= self.n {
+                return Err(format!("in source {s} out of range"));
+            }
+        }
+        for &p in self.out_probs.iter().chain(self.in_probs.iter()) {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("probability {p} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn diamond() -> crate::Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge_with_probability(0, 1, 0.5);
+        b.add_edge_with_probability(0, 2, 0.25);
+        b.add_edge_with_probability(1, 3, 1.0);
+        b.add_edge_with_probability(2, 3, 0.75);
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degrees_match_structure() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn neighbors_and_probabilities_align() {
+        let g = diamond();
+        let nbrs = g.out_neighbors(0);
+        let probs = g.out_probabilities(0);
+        assert_eq!(nbrs, &[1, 2]);
+        assert_eq!(probs, &[0.5, 0.25]);
+
+        let in_nbrs = g.in_neighbors(3);
+        let in_probs = g.in_probabilities(3);
+        assert_eq!(in_nbrs, &[1, 2]);
+        assert_eq!(in_probs, &[1.0, 0.75]);
+    }
+
+    #[test]
+    fn edges_iterator_covers_all_edges() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&(0, 1, 0.5)));
+        assert!(edges.contains(&(2, 3, 0.75)));
+    }
+
+    #[test]
+    fn transpose_swaps_directions() {
+        let g = diamond();
+        let t = g.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.out_degree(3), 2);
+        assert_eq!(t.in_degree(3), 0);
+        assert_eq!(t.out_neighbors(3), g.in_neighbors(3));
+        assert_eq!(t.out_probabilities(3), g.in_probabilities(3));
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let g = diamond();
+        let tt = g.transpose().transpose();
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = tt.edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degree_stats_reports_table2_quantities() {
+        let g = diamond();
+        let s = g.degree_stats();
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+    }
+
+    #[test]
+    fn assign_probabilities_updates_both_directions() {
+        let mut g = diamond();
+        g.assign_probabilities(|u, v| 1.0 / (u + v + 1) as f32);
+        for (u, v, p) in g.edges() {
+            assert_eq!(p, 1.0 / (u + v + 1) as f32);
+        }
+        // Reverse side must agree.
+        for v in 0..4u32 {
+            for (&u, &p) in g.in_neighbors(v).iter().zip(g.in_probabilities(v)) {
+                assert_eq!(p, 1.0 / (u + v + 1) as f32);
+            }
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        g.validate().unwrap();
+        assert_eq!(g.degree_stats().avg_degree, 0.0);
+    }
+
+    #[test]
+    fn memory_bytes_is_positive_for_nonempty() {
+        let g = diamond();
+        assert!(g.memory_bytes() > 0);
+    }
+}

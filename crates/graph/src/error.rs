@@ -1,0 +1,97 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+
+/// Errors raised while building or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id >= the declared node count.
+    NodeOutOfRange {
+        /// Offending node id.
+        node: u64,
+        /// Declared node count.
+        n: usize,
+    },
+    /// An edge probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Source node of the edge.
+        src: u32,
+        /// Target node of the edge.
+        dst: u32,
+        /// The rejected value.
+        p: f32,
+    },
+    /// A text line could not be parsed as an edge.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what failed.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::InvalidProbability { src, dst, p } => {
+                write!(f, "edge {src}->{dst} has invalid probability {p}")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 10, n: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+
+        let e = GraphError::InvalidProbability {
+            src: 1,
+            dst: 2,
+            p: 1.5,
+        };
+        assert!(e.to_string().contains("1->2"));
+
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e: GraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

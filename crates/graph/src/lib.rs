@@ -1,0 +1,36 @@
+//! Directed social-network graphs for influence maximization.
+//!
+//! The influence-maximization algorithms in this workspace traverse a graph
+//! in two directions: forward Monte Carlo simulation walks *out*-edges,
+//! while reverse-reachable (RR) set sampling walks *in*-edges of the
+//! transpose graph `G^T` (Definition 1 of the paper). [`Graph`] therefore
+//! stores both adjacency directions as CSR (compressed sparse row) arrays
+//! with edge probabilities kept CSR-aligned, so both traversals are cache
+//! friendly and allocation free.
+//!
+//! The crate also provides:
+//!
+//! - [`GraphBuilder`] — incremental edge-list construction with dedup and
+//!   self-loop removal;
+//! - [`weights`] — the edge-probability models used in the paper's §7.1
+//!   (weighted-cascade `1/indeg`, constant, trivalency, normalised LT
+//!   weights);
+//! - [`gen`] — deterministic synthetic generators (Erdős–Rényi G(n,m),
+//!   directed Barabási–Albert, Watts–Strogatz, power-law configuration
+//!   model) used as stand-ins for the paper's datasets;
+//! - [`io`] — a SNAP-style whitespace edge-list reader/writer.
+
+pub mod analysis;
+mod builder;
+mod csr;
+mod error;
+pub mod gen;
+pub mod io;
+pub mod weights;
+
+pub use builder::GraphBuilder;
+pub use csr::{DegreeStats, Graph};
+pub use error::GraphError;
+
+/// A node identifier. Dense in `[0, n)`.
+pub type NodeId = u32;

@@ -1,0 +1,264 @@
+//! Edge-probability (weight) models from the influence-maximization
+//! literature.
+//!
+//! The paper's experimental settings (§7.1):
+//!
+//! - **IC / weighted cascade (WC):** `p(e) = 1 / indeg(v)` where `v` is the
+//!   node the edge points to — [`assign_weighted_cascade`].
+//! - **LT:** each in-neighbour of `v` gets a random weight in `[0, 1]`,
+//!   normalised so `v`'s in-weights sum to 1 — [`assign_lt_normalized`].
+//!
+//! Additional models common in the literature (constant-`p`, trivalency) are
+//! provided for the examples and extra experiments.
+//!
+//! Pseudo-random models derive every edge's value from a *hash of the edge
+//! endpoints and a seed* rather than from a sequential RNG stream. This
+//! makes the assignment a pure function of `(u, v)`, which is what
+//! [`Graph::assign_probabilities`] needs to keep the forward and reverse
+//! CSR halves consistent, and makes weights independent of edge iteration
+//! order.
+
+use crate::{Graph, NodeId};
+use tim_rng::{RandomSource, SplitMix64};
+
+/// A selectable weight model, for experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightModel {
+    /// `p(e) = 1 / indeg(target)` — the paper's IC setting.
+    WeightedCascade,
+    /// Every edge gets the same probability.
+    Constant(f32),
+    /// Each edge draws from `{0.1, 0.01, 0.001}` (Chen et al.'s trivalency).
+    Trivalency {
+        /// Seed for the per-edge hash.
+        seed: u64,
+    },
+    /// Random in-weights normalised per node — the paper's LT setting.
+    LtNormalized {
+        /// Seed for the per-edge hash.
+        seed: u64,
+    },
+    /// Uniform random probability in `[lo, hi]` per edge.
+    UniformRandom {
+        /// Seed for the per-edge hash.
+        seed: u64,
+        /// Inclusive lower bound.
+        lo: f32,
+        /// Inclusive upper bound.
+        hi: f32,
+    },
+}
+
+impl WeightModel {
+    /// Applies the model to `g`, overwriting all edge probabilities.
+    pub fn apply(&self, g: &mut Graph) {
+        match *self {
+            WeightModel::WeightedCascade => assign_weighted_cascade(g),
+            WeightModel::Constant(p) => assign_constant(g, p),
+            WeightModel::Trivalency { seed } => assign_trivalency(g, seed),
+            WeightModel::LtNormalized { seed } => assign_lt_normalized(g, seed),
+            WeightModel::UniformRandom { seed, lo, hi } => assign_uniform_random(g, seed, lo, hi),
+        }
+    }
+}
+
+/// Hashes an edge and a seed into a uniform `f64` in `[0, 1)`.
+#[inline]
+fn edge_hash_unit(u: NodeId, v: NodeId, seed: u64) -> f64 {
+    let key = ((u as u64) << 32) | v as u64;
+    let mut h = SplitMix64::new(key ^ seed.rotate_left(17));
+    h.next_f64()
+}
+
+/// Weighted-cascade IC weights: `p(u, v) = 1 / indeg(v)`.
+///
+/// This is the standard setting of Chen et al. and the paper's §7.1. Note
+/// the per-node in-weights then sum to exactly 1, so the same assignment is
+/// also a valid LT weight vector (`assign_lt_uniform` is an alias).
+pub fn assign_weighted_cascade(g: &mut Graph) {
+    let indeg: Vec<u32> = (0..g.n() as NodeId)
+        .map(|v| g.in_degree(v) as u32)
+        .collect();
+    g.assign_probabilities(|_, v| 1.0 / indeg[v as usize].max(1) as f32);
+}
+
+/// Uniform LT weights `1/indeg(v)`; identical to the weighted cascade.
+pub fn assign_lt_uniform(g: &mut Graph) {
+    assign_weighted_cascade(g);
+}
+
+/// Constant probability on every edge.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]`.
+pub fn assign_constant(g: &mut Graph, p: f32) {
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "constant probability {p} must be in [0, 1]"
+    );
+    g.assign_probabilities(|_, _| p);
+}
+
+/// Trivalency weights: each edge independently draws from
+/// `{0.1, 0.01, 0.001}` with equal probability (hash-seeded).
+pub fn assign_trivalency(g: &mut Graph, seed: u64) {
+    const LEVELS: [f32; 3] = [0.1, 0.01, 0.001];
+    g.assign_probabilities(|u, v| {
+        let x = edge_hash_unit(u, v, seed);
+        LEVELS[(x * 3.0) as usize % 3]
+    });
+}
+
+/// Uniform random probability in `[lo, hi]` per edge (hash-seeded).
+///
+/// # Panics
+/// Panics unless `0 <= lo <= hi <= 1`.
+pub fn assign_uniform_random(g: &mut Graph, seed: u64, lo: f32, hi: f32) {
+    assert!(
+        lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi && hi <= 1.0,
+        "uniform range [{lo}, {hi}] must satisfy 0 <= lo <= hi <= 1"
+    );
+    g.assign_probabilities(|u, v| lo + (hi - lo) * edge_hash_unit(u, v, seed) as f32);
+}
+
+/// The paper's LT setting: assign each in-edge of `v` a random weight in
+/// `[0, 1]`, then normalise so `v`'s in-weights sum to 1 (§7.1, following
+/// Chen et al. \[7\]).
+///
+/// Nodes with no in-edges are unaffected. Weights are hash-seeded so the
+/// assignment is a pure function of the edge.
+pub fn assign_lt_normalized(g: &mut Graph, seed: u64) {
+    // Precompute each node's in-weight normaliser.
+    let mut denom = vec![0.0f64; g.n()];
+    for v in 0..g.n() as NodeId {
+        let mut sum = 0.0f64;
+        for &u in g.in_neighbors(v) {
+            // Raw weights are shifted off zero so every edge keeps positive
+            // mass and the normaliser never vanishes.
+            sum += 0.05 + 0.95 * edge_hash_unit(u, v, seed);
+        }
+        denom[v as usize] = sum;
+    }
+    g.assign_probabilities(|u, v| {
+        let raw = 0.05 + 0.95 * edge_hash_unit(u, v, seed);
+        (raw / denom[v as usize]) as f32
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn star_in(center: NodeId, leaves: u32) -> Graph {
+        // leaves -> center
+        let mut b = GraphBuilder::new(leaves as usize + 1);
+        for u in 0..leaves {
+            let u = if u >= center { u + 1 } else { u };
+            b.add_edge(u, center);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn weighted_cascade_is_one_over_indegree() {
+        let mut g = star_in(0, 4);
+        assign_weighted_cascade(&mut g);
+        for &p in g.in_probabilities(0) {
+            assert_eq!(p, 0.25);
+        }
+    }
+
+    #[test]
+    fn weighted_cascade_in_weights_sum_to_one() {
+        let mut g = crate::gen::erdos_renyi_gnm(200, 1500, 1);
+        assign_weighted_cascade(&mut g);
+        for v in 0..g.n() as NodeId {
+            if g.in_degree(v) > 0 {
+                let sum: f64 = g.in_probabilities(v).iter().map(|&p| p as f64).sum();
+                assert!((sum - 1.0).abs() < 1e-4, "node {v}: in-weights sum {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn lt_normalized_in_weights_sum_to_one() {
+        let mut g = crate::gen::erdos_renyi_gnm(200, 1500, 2);
+        assign_lt_normalized(&mut g, 7);
+        for v in 0..g.n() as NodeId {
+            if g.in_degree(v) > 0 {
+                let sum: f64 = g.in_probabilities(v).iter().map(|&p| p as f64).sum();
+                assert!((sum - 1.0).abs() < 1e-4, "node {v}: in-weights sum {sum}");
+            }
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn lt_normalized_weights_are_not_all_equal() {
+        let mut g = star_in(0, 8);
+        assign_lt_normalized(&mut g, 3);
+        let probs = g.in_probabilities(0);
+        assert!(probs.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn trivalency_only_uses_three_levels() {
+        let mut g = crate::gen::erdos_renyi_gnm(100, 600, 3);
+        assign_trivalency(&mut g, 11);
+        for (_, _, p) in g.edges() {
+            assert!(
+                [0.1f32, 0.01, 0.001].contains(&p),
+                "unexpected trivalency value {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivalency_is_seed_deterministic() {
+        let make = |seed| {
+            let mut g = crate::gen::erdos_renyi_gnm(50, 200, 4);
+            assign_trivalency(&mut g, seed);
+            g.edges().collect::<Vec<_>>()
+        };
+        assert_eq!(make(5), make(5));
+        assert_ne!(make(5), make(6));
+    }
+
+    #[test]
+    fn constant_sets_every_edge() {
+        let mut g = star_in(0, 3);
+        assign_constant(&mut g, 0.42);
+        for (_, _, p) in g.edges() {
+            assert_eq!(p, 0.42);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn constant_rejects_out_of_range() {
+        let mut g = star_in(0, 3);
+        assign_constant(&mut g, 2.0);
+    }
+
+    #[test]
+    fn uniform_random_stays_in_range() {
+        let mut g = crate::gen::erdos_renyi_gnm(100, 500, 5);
+        assign_uniform_random(&mut g, 9, 0.2, 0.6);
+        for (_, _, p) in g.edges() {
+            assert!((0.2..=0.6).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn weight_model_enum_dispatches() {
+        let mut g = star_in(0, 4);
+        WeightModel::Constant(0.3).apply(&mut g);
+        assert!(g.edges().all(|(_, _, p)| p == 0.3));
+        WeightModel::WeightedCascade.apply(&mut g);
+        assert!(g.in_probabilities(0).iter().all(|&p| p == 0.25));
+        WeightModel::LtNormalized { seed: 1 }.apply(&mut g);
+        let sum: f64 = g.in_probabilities(0).iter().map(|&p| p as f64).sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the synthetic generators and weight models.
+
+use proptest::prelude::*;
+use tim_graph::{gen, weights, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gnm_always_valid_and_exact(
+        n in 2usize..60,
+        density in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let m = (n * density).min(n * (n - 1));
+        let g = gen::erdos_renyi_gnm(n, m, seed);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.n(), n);
+        prop_assert_eq!(g.m(), m);
+        // No self loops.
+        for (u, v, _) in g.edges() {
+            prop_assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn ba_always_valid_no_self_loops(
+        n in 2usize..80,
+        m_per in 1usize..5,
+        back in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let g = gen::barabasi_albert(n, m_per, back, seed);
+        prop_assert!(g.validate().is_ok());
+        for (u, v, _) in g.edges() {
+            prop_assert_ne!(u, v);
+        }
+        // Every non-initial node has at least one out-edge.
+        for v in 1..n as NodeId {
+            prop_assert!(g.out_degree(v) >= 1, "node {} isolated", v);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_always_valid_and_symmetric(
+        k in 1usize..4,
+        extra in 0usize..30,
+        beta in 0.0f64..1.0,
+        seed in 0u64..500,
+    ) {
+        let n = 2 * k + 1 + extra;
+        let g = gen::watts_strogatz(n, k, beta, seed);
+        prop_assert!(g.validate().is_ok());
+        for (u, v, _) in g.edges() {
+            prop_assert!(
+                g.out_neighbors(v).contains(&u),
+                "edge {}->{} not symmetric", u, v
+            );
+        }
+    }
+
+    #[test]
+    fn powerlaw_always_valid(
+        n in 10usize..200,
+        exponent in 1.5f64..3.5,
+        avg in 1.0f64..6.0,
+        seed in 0u64..500,
+    ) {
+        let g = gen::powerlaw_configuration(n, exponent, avg, n / 2, seed);
+        prop_assert!(g.validate().is_ok());
+        for (u, v, _) in g.edges() {
+            prop_assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn weight_models_keep_probabilities_in_range(
+        n in 5usize..60,
+        density in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let m = (n * density).min(n * (n - 1));
+        let mut g = gen::erdos_renyi_gnm(n, m, seed);
+        for model in [
+            weights::WeightModel::WeightedCascade,
+            weights::WeightModel::Constant(0.37),
+            weights::WeightModel::Trivalency { seed },
+            weights::WeightModel::LtNormalized { seed },
+            weights::WeightModel::UniformRandom { seed, lo: 0.1, hi: 0.9 },
+        ] {
+            model.apply(&mut g);
+            prop_assert!(g.validate().is_ok(), "{:?}", model);
+            for (_, _, p) in g.edges() {
+                prop_assert!((0.0..=1.0).contains(&p), "{:?}: p = {}", model, p);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_is_idempotent(
+        n in 2usize..40,
+        density in 1usize..3,
+        seed in 0u64..500,
+    ) {
+        let m = (n * density).min(n * (n - 1));
+        let g = gen::erdos_renyi_gnm(n, m, seed);
+        let s1 = gen::symmetrize(&g);
+        let s2 = gen::symmetrize(&s1);
+        prop_assert_eq!(s1.m(), s2.m());
+        let e1: Vec<_> = s1.edges().map(|(u, v, _)| (u, v)).collect();
+        let e2: Vec<_> = s2.edges().map(|(u, v, _)| (u, v)).collect();
+        prop_assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Vose's alias method: O(1) sampling from a fixed discrete distribution.
+//!
+//! TIM samples RR-set roots uniformly, but two substrates need weighted
+//! node sampling:
+//!
+//! - the distribution `V*` of Lemma 4, where a node's mass is proportional
+//!   to its in-degree;
+//! - LT-model triggering-set sampling, where each visited node picks one
+//!   in-neighbour with probability proportional to the edge weight.
+//!
+//! Construction is O(n); each sample costs one `u64` of randomness plus one
+//! comparison and at most two table reads.
+
+use crate::RandomSource;
+
+/// A pre-built alias table over indices `0..len`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of the "home" index of each bucket.
+    prob: Vec<f64>,
+    /// Fallback index taken when the acceptance test fails.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights.
+    ///
+    /// Weights need not be normalised. Zero weights are allowed (such
+    /// indices are never sampled as long as some weight is positive).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable: weights must be non-empty");
+        let n = weights.len();
+        assert!(n <= u32::MAX as usize, "AliasTable: too many weights");
+        let mut total = 0.0f64;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "AliasTable: weight {i} is {w}, must be finite and >= 0"
+            );
+            total += w;
+        }
+        assert!(total > 0.0, "AliasTable: weights must not all be zero");
+
+        // Scale so that the average bucket holds probability exactly 1.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+
+        // Partition indices into under-full (< 1) and over-full (>= 1).
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(s), Some(&l)) = (small.pop(), large.last()) {
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            // The donor gives away (1 - scaled[s]) of its mass.
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining buckets are full up to floating-point error.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        Self { prob, alias }
+    }
+
+    /// Number of indices in the distribution.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table covers no indices (never constructible; kept for
+    /// API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index according to the weight distribution.
+    #[inline]
+    pub fn sample<R: RandomSource>(&self, rng: &mut R) -> usize {
+        let i = rng.next_index(self.prob.len());
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn empirical(weights: &[f64], trials: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..trials {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / trials as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freqs = empirical(&[1.0; 8], 160_000, 1);
+        for f in freqs {
+            assert!((f - 0.125).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_expectation() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let freqs = empirical(&w, 200_000, 2);
+        for (i, f) in freqs.iter().enumerate() {
+            let expect = w[i] / 10.0;
+            assert!((f - expect).abs() < 0.01, "idx {i}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_never_sampled() {
+        let w = [0.0, 5.0, 0.0, 5.0];
+        let freqs = empirical(&w, 50_000, 3);
+        assert_eq!(freqs[0], 0.0);
+        assert_eq!(freqs[2], 0.0);
+        assert!((freqs[1] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn singleton_always_sampled() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_distribution_is_stable() {
+        // One huge weight next to tiny ones exercises the donor loop.
+        let mut w = vec![1e-6; 99];
+        w.push(1e6);
+        let freqs = empirical(&w, 100_000, 5);
+        assert!(freqs[99] > 0.999, "dominant weight freq {}", freqs[99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn len_reports_size() {
+        let table = AliasTable::new(&[1.0, 1.0, 1.0]);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+    }
+}

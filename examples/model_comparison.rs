@@ -1,0 +1,101 @@
+//! Comparing diffusion models: IC vs LT vs a custom triggering model.
+//!
+//! The triggering model (paper §4.2) is the general abstraction: a node's
+//! randomness is a sampled subset of its in-neighbours. This example runs
+//! TIM+ under three models on the same network — including a custom
+//! "limited attention" model expressible only in triggering form — and
+//! compares the seed sets and their cross-model spreads.
+//!
+//! ```text
+//! cargo run --release --example model_comparison
+//! ```
+
+use tim_influence::eval::Table;
+use tim_influence::prelude::*;
+use tim_rng::RandomSource;
+
+fn main() {
+    let mut graph = gen::barabasi_albert(3_000, 5, 0.2, 21);
+    weights::assign_weighted_cascade(&mut graph);
+    // LT weights: same 1/indeg assignment is already normalised per node.
+    println!("network: n = {}, m = {}\n", graph.n(), graph.m());
+    let k = 8;
+
+    // Custom model: "limited attention" — each node samples its triggering
+    // set like IC, but pays attention to at most its first 3 activations.
+    let limited_attention = CustomTriggering::new(
+        "IC-attention3",
+        |g: &Graph, v, rng: &mut Rng, out: &mut Vec<NodeId>| {
+            let nbrs = g.in_neighbors(v);
+            let probs = g.in_probabilities(v);
+            for (&u, &p) in nbrs.iter().zip(probs) {
+                if out.len() >= 3 {
+                    break;
+                }
+                if rng.bernoulli_f32(p) {
+                    out.push(u);
+                }
+            }
+        },
+    );
+
+    let ic_seeds = TimPlus::new(IndependentCascade)
+        .epsilon(0.3)
+        .seed(1)
+        .run(&graph, k)
+        .seeds;
+    let lt_seeds = TimPlus::new(LinearThreshold)
+        .epsilon(0.3)
+        .seed(1)
+        .run(&graph, k)
+        .seeds;
+    let la_seeds = TimPlus::new(&limited_attention)
+        .epsilon(0.3)
+        .seed(1)
+        .run(&graph, k)
+        .seeds;
+
+    println!("IC seeds:          {ic_seeds:?}");
+    println!("LT seeds:          {lt_seeds:?}");
+    println!("attention-3 seeds: {la_seeds:?}\n");
+
+    let overlap = |a: &[NodeId], b: &[NodeId]| a.iter().filter(|x| b.contains(x)).count();
+    println!(
+        "seed overlap: IC∩LT = {}/{k}, IC∩attn = {}/{k}, LT∩attn = {}/{k}\n",
+        overlap(&ic_seeds, &lt_seeds),
+        overlap(&ic_seeds, &la_seeds),
+        overlap(&lt_seeds, &la_seeds),
+    );
+
+    // Cross-evaluate each seed set under each model.
+    let mut table = Table::new(["seed set \\ eval model", "IC", "LT", "attention-3"]);
+    for (name, seeds) in [
+        ("IC-optimized", &ic_seeds),
+        ("LT-optimized", &lt_seeds),
+        ("attn-optimized", &la_seeds),
+    ] {
+        let ic = SpreadEstimator::new(IndependentCascade)
+            .runs(5_000)
+            .seed(2)
+            .estimate(&graph, seeds);
+        let lt = SpreadEstimator::new(LinearThreshold)
+            .runs(5_000)
+            .seed(2)
+            .estimate(&graph, seeds);
+        let la = SpreadEstimator::new(&limited_attention)
+            .runs(2_000)
+            .seed(2)
+            .estimate(&graph, seeds);
+        table.push_row([
+            name.to_string(),
+            format!("{ic:.0}"),
+            format!("{lt:.0}"),
+            format!("{la:.0}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "each row's seed set should be (near-)best in its own column — the\n\
+         diagonal dominance confirms TIM+ optimises the model it is given."
+    );
+}

@@ -1,0 +1,87 @@
+//! Outbreak detection: where to place k monitors to catch cascades early.
+//!
+//! Leskovec et al.'s classic setting (the paper's reference \[21\], where
+//! CELF was introduced): epidemics/rumours start anywhere and we must pick
+//! k sensor nodes maximising the probability of detection.
+//!
+//! Detection duality: a monitor at node v catches a cascade from source s
+//! iff s's cascade reaches v — i.e. iff v is "influenced" by s. Placing
+//! monitors to catch uniformly-seeded cascades is therefore influence
+//! maximization on the **transpose** graph, so TIM+ solves it with
+//! guarantees.
+//!
+//! ```text
+//! cargo run --release --example outbreak_detection
+//! ```
+
+use tim_influence::prelude::*;
+use tim_rng::RandomSource;
+
+fn main() {
+    // A contact network with super-spreaders: heavy-tailed degrees, as in
+    // real proximity networks (a few hubs touch many people).
+    let mut contact = gen::symmetrize(&gen::powerlaw_configuration(4_000, 2.3, 3.0, 400, 13));
+    weights::assign_constant(&mut contact, 0.08);
+    println!(
+        "contact network: n = {}, m = {}, power-law contact degrees\n",
+        contact.n(),
+        contact.m()
+    );
+
+    // Monitors listen along reversed edges: run TIM+ on the transpose.
+    let reversed = contact.transpose();
+    let k = 15;
+    let result = TimPlus::new(IndependentCascade)
+        .epsilon(0.3)
+        .seed(5)
+        .run(&reversed, k);
+    println!("placed {k} monitors: {:?}", result.seeds);
+
+    // Evaluate: simulate outbreaks from random sources on the ORIGINAL
+    // graph and measure how often any monitor is activated (detection
+    // rate), versus random or degree-based placement.
+    let evaluate = |monitors: &[NodeId], tag: &str| {
+        let mut rng = Rng::seed_from_u64(99);
+        let mut ws = tim_influence::diffusion::SimWorkspace::new();
+        let mut is_monitor = vec![false; contact.n()];
+        for &m in monitors {
+            is_monitor[m as usize] = true;
+        }
+        // Detection only matters for outbreaks with real impact: condition
+        // on cascades that infect at least 20 people (tiny flare-ups burn
+        // out on their own).
+        let mut detected = 0usize;
+        let mut outbreaks = 0usize;
+        let mut attempts = 0usize;
+        while outbreaks < 2_000 && attempts < 400_000 {
+            attempts += 1;
+            let source = rng.next_index(contact.n()) as NodeId;
+            let size = IndependentCascade.simulate(&mut ws, &contact, &[source], &mut rng);
+            if size < 20 {
+                continue;
+            }
+            outbreaks += 1;
+            if ws.activated().iter().any(|&v| is_monitor[v as usize]) {
+                detected += 1;
+            }
+        }
+        let rate = 100.0 * detected as f64 / outbreaks.max(1) as f64;
+        println!("{tag:<22} detection rate: {rate:.1}% (over {outbreaks} major outbreaks)");
+        rate
+    };
+
+    let tim_rate = evaluate(&result.seeds, "TIM+ placement");
+    let hd = HighDegree.select(&reversed, k);
+    evaluate(&hd, "HighDegree placement");
+    let random: Vec<NodeId> = (0..k as u32).map(|i| i * 97 % contact.n() as u32).collect();
+    let rand_rate = evaluate(&random, "random placement");
+
+    let missed = |rate: f64| 100.0 - rate;
+    println!(
+        "\nTIM+ placement misses {:.1}% of major outbreaks vs {:.1}% for random \
+         placement\n({:.1}x fewer undetected epidemics).",
+        missed(tim_rate),
+        missed(rand_rate),
+        missed(rand_rate) / missed(tim_rate).max(1e-9)
+    );
+}

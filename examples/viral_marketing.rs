@@ -1,0 +1,65 @@
+//! Viral marketing: how many free samples should the campaign hand out?
+//!
+//! The paper's motivating application (§1): a company gives k individuals
+//! free products hoping recommendations cascade. This example sweeps the
+//! budget k on an Epinions-like trust network, showing (i) diminishing
+//! returns — the submodularity that makes greedy near-optimal — and
+//! (ii) how much better principled seed selection is than just paying the
+//! most-followed accounts.
+//!
+//! ```text
+//! cargo run --release --example viral_marketing
+//! ```
+
+use tim_influence::eval::{Dataset, Table};
+use tim_influence::prelude::*;
+
+fn main() {
+    // Epinions-shaped trust network at 1/10 scale (7.6k users).
+    let mut graph = Dataset::Epinions.build(0.1, 11);
+    weights::assign_weighted_cascade(&mut graph);
+    println!(
+        "trust network: n = {}, m = {} (Epinions stand-in, scale 0.1)\n",
+        graph.n(),
+        graph.m()
+    );
+
+    let estimator = SpreadEstimator::new(IndependentCascade)
+        .runs(10_000)
+        .seed(3);
+    let mut table = Table::new([
+        "budget k",
+        "TIM+ adopters",
+        "marginal/seed",
+        "HighDegree adopters",
+        "TIM+ advantage",
+    ]);
+
+    let mut prev_spread = 0.0;
+    let mut prev_k = 0usize;
+    for k in [1usize, 5, 10, 20, 40] {
+        let result = TimPlus::new(IndependentCascade)
+            .epsilon(0.3)
+            .seed(100 + k as u64)
+            .run(&graph, k);
+        let spread = estimator.estimate(&graph, &result.seeds);
+        let hd = HighDegree.select(&graph, k);
+        let hd_spread = estimator.estimate(&graph, &hd);
+        let marginal = (spread - prev_spread) / (k - prev_k) as f64;
+        table.push_row([
+            k.to_string(),
+            format!("{spread:.0}"),
+            format!("{marginal:.1}"),
+            format!("{hd_spread:.0}"),
+            format!("{:+.0}", spread - hd_spread),
+        ]);
+        prev_spread = spread;
+        prev_k = k;
+    }
+    println!("{table}");
+    println!(
+        "note the shrinking marginal adopters per extra seed: expected spread \
+         is submodular,\nwhich is exactly why greedy selection carries a \
+         (1 - 1/e - eps) guarantee."
+    );
+}

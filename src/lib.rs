@@ -1,0 +1,64 @@
+//! # tim-influence
+//!
+//! A production-quality Rust implementation of **TIM / TIM+** — *"Influence
+//! Maximization: Near-Optimal Time Complexity Meets Practical Efficiency"*
+//! (Tang, Xiao, Shi; SIGMOD 2014) — together with every substrate the paper
+//! depends on: diffusion models (IC, LT, general triggering),
+//! reverse-reachable-set sampling, max-coverage solvers, the baselines the
+//! paper compares against (RIS, Greedy/CELF/CELF++, IRIE, SimPath), synthetic
+//! dataset generators, and a full experiment harness.
+//!
+//! This crate is an umbrella that re-exports the workspace's public API.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tim_influence::prelude::*;
+//!
+//! // A scale-free network with weighted-cascade probabilities.
+//! let mut graph = gen::barabasi_albert(1_000, 4, 0.1, 7);
+//! weights::assign_weighted_cascade(&mut graph);
+//!
+//! // Pick 10 seeds with TIM+ under the IC model.
+//! let result = TimPlus::new(IndependentCascade)
+//!     .epsilon(0.2)
+//!     .seed(42)
+//!     .run(&graph, 10);
+//! assert_eq!(result.seeds.len(), 10);
+//!
+//! // Estimate their expected spread with forward Monte Carlo.
+//! let spread = SpreadEstimator::new(IndependentCascade)
+//!     .runs(1_000)
+//!     .seed(1)
+//!     .estimate(&graph, &result.seeds);
+//! assert!(spread >= 10.0);
+//! ```
+
+pub use tim_baselines as baselines;
+pub use tim_core as core;
+pub use tim_coverage as coverage;
+pub use tim_diffusion as diffusion;
+pub use tim_eval as eval;
+pub use tim_graph as graph;
+pub use tim_rng as rng;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use tim_baselines::{
+        celf::{CelfGreedy, CelfVariant},
+        degree_discount::DegreeDiscount,
+        high_degree::HighDegree,
+        irie::Irie,
+        pagerank::PageRank,
+        ris::Ris,
+        simpath::SimPath,
+        SeedSelector,
+    };
+    pub use tim_core::{Imm, ImmResult, Tim, TimPlus, TimResult};
+    pub use tim_diffusion::{
+        CustomTriggering, DiffusionModel, IndependentCascade, LinearThreshold, RrSampler,
+        SimWorkspace, SpreadEstimator,
+    };
+    pub use tim_graph::{gen, io, weights, Graph, GraphBuilder, NodeId};
+    pub use tim_rng::{RandomSource, Rng};
+}

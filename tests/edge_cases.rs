@@ -1,0 +1,151 @@
+//! Edge-case hardening: degenerate graphs and pathological parameters that
+//! a library user will eventually feed in.
+
+use tim_influence::prelude::*;
+
+#[test]
+fn tim_on_disconnected_graph_spans_components() {
+    // Two disjoint stars with p = 1; k = 2 must pick both hubs.
+    let mut b = GraphBuilder::new(20);
+    for v in 1..10u32 {
+        b.add_edge_with_probability(0, v, 1.0);
+    }
+    for v in 11..20u32 {
+        b.add_edge_with_probability(10, v, 1.0);
+    }
+    let g = b.build();
+    let r = TimPlus::new(IndependentCascade)
+        .epsilon(0.3)
+        .seed(1)
+        .run(&g, 2);
+    let mut seeds = r.seeds.clone();
+    seeds.sort_unstable();
+    assert_eq!(seeds, vec![0, 10]);
+}
+
+#[test]
+fn tim_on_dead_graph_still_returns_k_seeds() {
+    // All probabilities zero: every RR set is a singleton, KPT* bottoms out
+    // at 1, and selection degenerates to near-uniform counting — but the
+    // contract (k distinct seeds) must hold.
+    let mut g = gen::erdos_renyi_gnm(16, 60, 2);
+    weights::assign_constant(&mut g, 0.0);
+    let r = Tim::new(IndependentCascade).epsilon(1.0).seed(3).run(&g, 4);
+    assert_eq!(r.seeds.len(), 4);
+    let mut s = r.seeds.clone();
+    s.sort_unstable();
+    s.dedup();
+    assert_eq!(s.len(), 4);
+    assert!(r.kpt_star >= 1.0);
+    // Spread of k zero-probability seeds is exactly k.
+    let spread = SpreadEstimator::new(IndependentCascade)
+        .runs(200)
+        .seed(4)
+        .estimate(&g, &r.seeds);
+    assert_eq!(spread, 4.0);
+}
+
+#[test]
+fn tim_on_fully_deterministic_cycle() {
+    // A p = 1 cycle: every node reaches everyone; any single seed is
+    // optimal with spread n.
+    let n = 12;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge_with_probability(i as NodeId, ((i + 1) % n) as NodeId, 1.0);
+    }
+    let g = b.build();
+    let r = TimPlus::new(IndependentCascade)
+        .epsilon(0.5)
+        .seed(5)
+        .run(&g, 1);
+    let spread = SpreadEstimator::new(IndependentCascade)
+        .runs(100)
+        .seed(6)
+        .estimate(&g, &r.seeds);
+    assert_eq!(spread, n as f64);
+}
+
+#[test]
+fn selectors_tolerate_k_equal_to_n() {
+    let mut g = gen::erdos_renyi_gnm(10, 40, 7);
+    weights::assign_weighted_cascade(&mut g);
+    let n = g.n();
+    assert_eq!(
+        TimPlus::new(IndependentCascade)
+            .epsilon(1.0)
+            .seed(8)
+            .run(&g, n)
+            .seeds
+            .len(),
+        n
+    );
+    assert_eq!(HighDegree.select(&g, n).len(), n);
+    assert_eq!(DegreeDiscount::new().select(&g, n).len(), n);
+    assert_eq!(PageRank::new().select(&g, n).len(), n);
+    assert_eq!(SimPath::new().select(&g, n).len(), n);
+    assert_eq!(Irie::new(IndependentCascade).seed(9).select(&g, n).len(), n);
+}
+
+#[test]
+fn single_edge_graph_works_end_to_end() {
+    let mut b = GraphBuilder::new(2);
+    b.add_edge_with_probability(0, 1, 0.5);
+    let g = b.build();
+    let r = Tim::new(IndependentCascade)
+        .epsilon(1.0)
+        .seed(10)
+        .run(&g, 1);
+    assert_eq!(r.seeds, vec![0], "the only influencer must be chosen");
+}
+
+#[test]
+fn imm_handles_degenerate_graphs_too() {
+    use tim_influence::core::Imm;
+    let mut b = GraphBuilder::new(2);
+    b.add_edge_with_probability(0, 1, 1.0);
+    let g = b.build();
+    let r = Imm::new(IndependentCascade)
+        .epsilon(1.0)
+        .seed(11)
+        .run(&g, 1);
+    assert_eq!(r.seeds, vec![0]);
+
+    let mut dead = gen::erdos_renyi_gnm(12, 30, 12);
+    weights::assign_constant(&mut dead, 0.0);
+    let r = Imm::new(IndependentCascade)
+        .epsilon(1.0)
+        .seed(13)
+        .run(&dead, 3);
+    assert_eq!(r.seeds.len(), 3);
+}
+
+#[test]
+fn spread_estimator_handles_self_influencing_structures() {
+    // Mutual edges with p = 1: seeding either node activates both.
+    let mut b = GraphBuilder::new(2);
+    b.add_edge_with_probability(0, 1, 1.0);
+    b.add_edge_with_probability(1, 0, 1.0);
+    let g = b.build();
+    let est = SpreadEstimator::new(IndependentCascade).runs(50).seed(14);
+    assert_eq!(est.estimate(&g, &[0]), 2.0);
+    assert_eq!(est.estimate(&g, &[0, 1]), 2.0);
+}
+
+#[test]
+fn huge_k_relative_to_edges_pads_gracefully() {
+    // 5 nodes, 1 edge, k = 5: coverage saturates after one pick.
+    let mut b = GraphBuilder::new(5);
+    b.add_edge_with_probability(0, 1, 1.0);
+    let g = b.build();
+    let r = TimPlus::new(IndependentCascade)
+        .epsilon(1.0)
+        .seed(15)
+        .run(&g, 5);
+    assert_eq!(r.seeds.len(), 5);
+    let spread = SpreadEstimator::new(IndependentCascade)
+        .runs(50)
+        .seed(16)
+        .estimate(&g, &r.seeds);
+    assert_eq!(spread, 5.0);
+}

@@ -1,0 +1,115 @@
+//! End-to-end quality checks for the IMM extension: same contract as
+//! TIM/TIM+ (Theorem-1-style guarantee), far fewer samples.
+
+use tim_influence::core::Imm;
+use tim_influence::prelude::*;
+
+/// Exact spread on a deterministic (p ∈ {0, 1}) graph.
+fn exact_spread(g: &Graph, seeds: &[NodeId]) -> f64 {
+    let mut b = GraphBuilder::new(g.n());
+    for (u, v, p) in g.edges() {
+        if p >= 1.0 {
+            b.add_edge_with_probability(u, v, 1.0);
+        }
+    }
+    let live = b.build();
+    tim_influence::diffusion::live_edge::forward_reachable(&live, seeds)
+        .iter()
+        .filter(|&&x| x)
+        .count() as f64
+}
+
+fn brute_force_opt(g: &Graph, k: usize) -> f64 {
+    let nodes: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    let mut best = 0.0f64;
+    let mut cur: Vec<NodeId> = Vec::new();
+    fn rec(
+        nodes: &[NodeId],
+        g: &Graph,
+        k: usize,
+        start: usize,
+        cur: &mut Vec<NodeId>,
+        best: &mut f64,
+    ) {
+        if cur.len() == k {
+            *best = (*best).max(exact_spread(g, cur));
+            return;
+        }
+        for i in start..nodes.len() {
+            cur.push(nodes[i]);
+            rec(nodes, g, k, i + 1, cur, best);
+            cur.pop();
+        }
+    }
+    rec(&nodes, g, k, 0, &mut cur, &mut best);
+    best
+}
+
+#[test]
+fn imm_meets_guarantee_on_deterministic_graphs() {
+    for seed in 0..4u64 {
+        let mut g = gen::erdos_renyi_gnm(14, 30, seed);
+        weights::assign_constant(&mut g, 1.0);
+        for k in [1usize, 2, 3] {
+            let eps = 0.3;
+            let opt = brute_force_opt(&g, k);
+            let r = Imm::new(IndependentCascade)
+                .epsilon(eps)
+                .seed(seed * 7 + k as u64)
+                .run(&g, k);
+            let achieved = exact_spread(&g, &r.seeds);
+            let bound = (1.0 - 1.0 / std::f64::consts::E - eps) * opt;
+            assert!(
+                achieved >= bound - 1e-9,
+                "seed {seed}, k={k}: achieved {achieved} < bound {bound} (opt {opt})"
+            );
+        }
+    }
+}
+
+#[test]
+fn imm_samples_less_than_tim_plus_at_tight_epsilon() {
+    // The headline economy of the martingale approach, visible already at
+    // moderate scale.
+    let mut g = gen::barabasi_albert(600, 4, 0.0, 1);
+    weights::assign_weighted_cascade(&mut g);
+    let k = 20;
+    let imm = Imm::new(IndependentCascade).epsilon(0.2).seed(2).run(&g, k);
+    let timp = TimPlus::new(IndependentCascade)
+        .epsilon(0.2)
+        .seed(2)
+        .run(&g, k);
+    assert!(
+        imm.theta < timp.total_rr_sets,
+        "IMM sets {} should undercut TIM+ total {}",
+        imm.theta,
+        timp.total_rr_sets
+    );
+    // ... at matching quality.
+    let est = SpreadEstimator::new(IndependentCascade)
+        .runs(10_000)
+        .seed(3);
+    let s_imm = est.estimate(&g, &imm.seeds);
+    let s_timp = est.estimate(&g, &timp.seeds);
+    assert!(
+        (s_imm - s_timp).abs() / s_timp < 0.05,
+        "IMM {s_imm} vs TIM+ {s_timp}"
+    );
+}
+
+#[test]
+fn imm_coverage_estimate_tracks_monte_carlo() {
+    let mut g = gen::barabasi_albert(300, 4, 0.0, 4);
+    weights::assign_weighted_cascade(&mut g);
+    let r = Imm::new(IndependentCascade).epsilon(0.3).seed(5).run(&g, 8);
+    let mc = SpreadEstimator::new(IndependentCascade)
+        .runs(10_000)
+        .seed(6)
+        .estimate(&g, &r.seeds);
+    let rel = (r.estimated_spread - mc).abs() / mc;
+    assert!(
+        rel < 0.1,
+        "coverage estimate {} vs MC {mc}",
+        r.estimated_spread
+    );
+}

@@ -1,0 +1,123 @@
+//! Lemma 2 / Lemma 9 duality: RR-set membership probabilities equal
+//! forward activation probabilities — the identity the whole RIS/TIM
+//! family rests on.
+
+use tim_influence::diffusion::live_edge::{
+    forward_reachable, reverse_reachable, sample_live_edge_graph,
+};
+use tim_influence::prelude::*;
+
+/// On each *fixed* sampled live-edge graph the coupling is exact:
+/// `v reachable from S`  ⇔  `RR(v) ∩ S ≠ ∅`.
+#[test]
+fn duality_is_exact_per_live_edge_sample_ic() {
+    let mut g = gen::erdos_renyi_gnm(60, 240, 1);
+    weights::assign_constant(&mut g, 0.3);
+    let mut rng = Rng::seed_from_u64(2);
+    let seeds = [0u32, 7, 13];
+    for _ in 0..40 {
+        let live = sample_live_edge_graph(&g, &IndependentCascade, &mut rng);
+        let fwd = forward_reachable(&live, &seeds);
+        for v in 0..g.n() as NodeId {
+            let rr = reverse_reachable(&live, v);
+            let rr_hits = seeds.iter().any(|&s| rr[s as usize]);
+            assert_eq!(fwd[v as usize], rr_hits, "coupling violated at node {v}");
+        }
+    }
+}
+
+#[test]
+fn duality_is_exact_per_live_edge_sample_lt() {
+    let mut g = gen::erdos_renyi_gnm(50, 200, 3);
+    weights::assign_lt_normalized(&mut g, 4);
+    let mut rng = Rng::seed_from_u64(5);
+    let seeds = [1u32, 2];
+    for _ in 0..40 {
+        let live = sample_live_edge_graph(&g, &LinearThreshold, &mut rng);
+        let fwd = forward_reachable(&live, &seeds);
+        for v in 0..g.n() as NodeId {
+            let rr = reverse_reachable(&live, v);
+            assert_eq!(fwd[v as usize], seeds.iter().any(|&s| rr[s as usize]));
+        }
+    }
+}
+
+/// Corollary 1: `n · E[F_R(S)] = E[I(S)]`. Checked statistically by
+/// comparing the RR-coverage estimator against forward Monte Carlo.
+#[test]
+fn corollary1_coverage_estimates_spread_ic() {
+    let mut g = gen::barabasi_albert(300, 4, 0.0, 6);
+    weights::assign_weighted_cascade(&mut g);
+    let seeds = [0u32, 5, 9];
+
+    let (collection, _) =
+        tim_influence::core::parallel::generate_rr_sets(&g, &IndependentCascade, 30_000, 7, 1);
+    let coverage_estimate = collection.coverage_fraction(&seeds) * g.n() as f64;
+
+    let (mc, se) = SpreadEstimator::new(IndependentCascade)
+        .runs(30_000)
+        .seed(8)
+        .estimate_with_stderr(&g, &seeds);
+    let diff = (coverage_estimate - mc).abs();
+    assert!(
+        diff < 6.0 * se.max(0.05) + 0.05 * mc,
+        "coverage {coverage_estimate} vs MC {mc} (se {se})"
+    );
+}
+
+#[test]
+fn corollary1_coverage_estimates_spread_lt() {
+    let mut g = gen::barabasi_albert(300, 4, 0.0, 9);
+    weights::assign_lt_normalized(&mut g, 10);
+    let seeds = [2u32, 11];
+
+    let (collection, _) =
+        tim_influence::core::parallel::generate_rr_sets(&g, &LinearThreshold, 30_000, 11, 1);
+    let coverage_estimate = collection.coverage_fraction(&seeds) * g.n() as f64;
+
+    let (mc, se) = SpreadEstimator::new(LinearThreshold)
+        .runs(30_000)
+        .seed(12)
+        .estimate_with_stderr(&g, &seeds);
+    let diff = (coverage_estimate - mc).abs();
+    assert!(
+        diff < 6.0 * se.max(0.05) + 0.05 * mc,
+        "coverage {coverage_estimate} vs MC {mc} (se {se})"
+    );
+}
+
+/// Lemma 4: `(n/m)·EPT = E[I({v*})]` where `v*` is drawn with probability
+/// proportional to in-degree.
+#[test]
+fn lemma4_ept_relation_holds() {
+    let mut g = gen::barabasi_albert(200, 4, 0.0, 13);
+    weights::assign_weighted_cascade(&mut g);
+    let n = g.n() as f64;
+    let m = g.m() as f64;
+
+    // Left side: (n/m) * average RR-set width.
+    let mut sampler = RrSampler::new(IndependentCascade);
+    let mut rng = Rng::seed_from_u64(14);
+    let mut buf = Vec::new();
+    let rounds = 40_000;
+    let mut total_width = 0u64;
+    for _ in 0..rounds {
+        let (_, st) = sampler.sample_random(&g, &mut rng, &mut buf);
+        total_width += st.width;
+    }
+    let lhs = n / m * (total_width as f64 / rounds as f64);
+
+    // Right side: E[I({v*})] with v* ~ in-degree distribution.
+    let weights_v: Vec<f64> = (0..g.n() as u32).map(|v| g.in_degree(v) as f64).collect();
+    let table = tim_influence::rng::AliasTable::new(&weights_v);
+    let mut ws = SimWorkspace::new();
+    let mut total_spread = 0u64;
+    for _ in 0..rounds {
+        let v = table.sample(&mut rng) as NodeId;
+        total_spread += IndependentCascade.simulate(&mut ws, &g, &[v], &mut rng) as u64;
+    }
+    let rhs = total_spread as f64 / rounds as f64;
+
+    let rel = (lhs - rhs).abs() / rhs;
+    assert!(rel < 0.05, "(n/m)EPT = {lhs} vs E[I(v*)] = {rhs}");
+}

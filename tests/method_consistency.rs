@@ -1,0 +1,157 @@
+//! Cross-method consistency: every selector produces valid seed sets, and
+//! the guaranteed methods (TIM, TIM+, RIS, CELF) agree on quality within
+//! Monte Carlo tolerance, as the paper's Figure 5 reports.
+
+use tim_influence::prelude::*;
+
+fn test_graph() -> Graph {
+    let mut g = gen::barabasi_albert(250, 4, 0.0, 100);
+    weights::assign_weighted_cascade(&mut g);
+    g
+}
+
+fn assert_valid_seed_set(seeds: &[NodeId], k: usize, n: usize, tag: &str) {
+    assert_eq!(seeds.len(), k, "{tag}: wrong seed count");
+    let mut s = seeds.to_vec();
+    s.sort_unstable();
+    s.dedup();
+    assert_eq!(s.len(), k, "{tag}: duplicate seeds");
+    assert!(
+        seeds.iter().all(|&v| (v as usize) < n),
+        "{tag}: seed out of range"
+    );
+}
+
+#[test]
+fn every_selector_returns_valid_seed_sets() {
+    let g = test_graph();
+    let k = 8;
+    let selectors: Vec<(String, Vec<NodeId>)> = vec![
+        (
+            "TIM".into(),
+            Tim::new(IndependentCascade)
+                .epsilon(0.5)
+                .seed(1)
+                .run(&g, k)
+                .seeds,
+        ),
+        (
+            "TIM+".into(),
+            TimPlus::new(IndependentCascade)
+                .epsilon(0.5)
+                .seed(1)
+                .run(&g, k)
+                .seeds,
+        ),
+        (
+            Ris::new(IndependentCascade)
+                .tau_constant(0.05)
+                .epsilon(1.0)
+                .name(),
+            Ris::new(IndependentCascade)
+                .tau_constant(0.05)
+                .epsilon(1.0)
+                .seed(2)
+                .select(&g, k),
+        ),
+        (
+            CelfGreedy::new(IndependentCascade).runs(100).name(),
+            CelfGreedy::new(IndependentCascade)
+                .runs(100)
+                .seed(3)
+                .select(&g, k),
+        ),
+        (
+            "IRIE".into(),
+            Irie::new(IndependentCascade).seed(4).select(&g, k),
+        ),
+        ("SimPath".into(), SimPath::new().select(&g, k)),
+        ("HighDegree".into(), HighDegree.select(&g, k)),
+        ("DegreeDiscount".into(), DegreeDiscount::new().select(&g, k)),
+        ("PageRank".into(), PageRank::new().select(&g, k)),
+    ];
+    for (name, seeds) in selectors {
+        assert_valid_seed_set(&seeds, k, g.n(), &name);
+    }
+}
+
+#[test]
+fn guaranteed_methods_have_comparable_spread() {
+    // Figure 5's message: no significant spread difference among the
+    // approximation-guaranteed methods.
+    let g = test_graph();
+    let k = 8;
+    let est = SpreadEstimator::new(IndependentCascade)
+        .runs(10_000)
+        .seed(5);
+
+    let tim = Tim::new(IndependentCascade)
+        .epsilon(0.5)
+        .seed(6)
+        .run(&g, k)
+        .seeds;
+    let timp = TimPlus::new(IndependentCascade)
+        .epsilon(0.5)
+        .seed(6)
+        .run(&g, k)
+        .seeds;
+    let celf = CelfGreedy::new(IndependentCascade)
+        .variant(CelfVariant::Celf)
+        .runs(200)
+        .seed(7)
+        .select(&g, k);
+
+    let s_tim = est.estimate(&g, &tim);
+    let s_timp = est.estimate(&g, &timp);
+    let s_celf = est.estimate(&g, &celf);
+    for (name, s) in [("TIM", s_tim), ("TIM+", s_timp), ("CELF", s_celf)] {
+        let rel = (s - s_tim).abs() / s_tim;
+        assert!(
+            rel < 0.1,
+            "{name} spread {s} deviates from TIM {s_tim} by {rel:.2}"
+        );
+    }
+}
+
+#[test]
+fn guaranteed_methods_beat_cheap_heuristics_or_tie() {
+    let g = test_graph();
+    let k = 8;
+    let est = SpreadEstimator::new(IndependentCascade)
+        .runs(10_000)
+        .seed(8);
+    let timp = TimPlus::new(IndependentCascade)
+        .epsilon(0.5)
+        .seed(9)
+        .run(&g, k)
+        .seeds;
+    let hd = HighDegree.select(&g, k);
+    let s_timp = est.estimate(&g, &timp);
+    let s_hd = est.estimate(&g, &hd);
+    assert!(
+        s_timp >= 0.95 * s_hd,
+        "TIM+ {s_timp} should not lose to HighDegree {s_hd}"
+    );
+}
+
+#[test]
+fn tim_prefix_spreads_are_monotone_in_k() {
+    let g = test_graph();
+    let est = SpreadEstimator::new(IndependentCascade)
+        .runs(5_000)
+        .seed(10);
+    let mut prev = 0.0;
+    for k in [1usize, 4, 8, 16] {
+        let seeds = TimPlus::new(IndependentCascade)
+            .epsilon(0.5)
+            .seed(11)
+            .run(&g, k)
+            .seeds;
+        let s = est.estimate(&g, &seeds);
+        assert!(
+            s >= prev * 0.98,
+            "spread must grow with k: k={k} gives {s}, previous {prev}"
+        );
+        prev = s;
+    }
+}
