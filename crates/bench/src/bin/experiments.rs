@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation (§7).
 //!
 //! ```text
-//! cargo run --release -p tim-bench --bin experiments -- <experiment> [flags]
+//! cargo run --release -p tim_bench --bin experiments -- <experiment> [flags]
 //!
 //! experiments: table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 all
 //! flags:

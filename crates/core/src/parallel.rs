@@ -60,7 +60,13 @@ pub fn generate_rr_sets<M: DiffusionModel + Sync>(
     let extra = theta % shards;
     let shard_counts: Vec<u64> = (0..shards).map(|i| per + u64::from(i < extra)).collect();
 
-    let threads = threads.max(1).min(shards as usize);
+    // Without the `parallel` feature every request runs the inline path;
+    // output is identical either way, only wall-clock differs.
+    let threads = if cfg!(feature = "parallel") {
+        threads.max(1).min(shards as usize)
+    } else {
+        1
+    };
     if threads == 1 {
         let mut collection =
             SetCollection::with_capacity(graph.n(), theta as usize, theta as usize * 2);

@@ -135,6 +135,8 @@ mod tests {
         let a = TrackingAllocator::new();
         let before_live = live_bytes();
         let layout = Layout::from_size_align(4096, 8).unwrap();
+        // SAFETY: layout is valid (non-zero, power-of-two align) and the
+        // pointer is freed with the same layout before the block ends.
         unsafe {
             let p = a.alloc(layout);
             assert!(!p.is_null());
@@ -151,6 +153,8 @@ mod tests {
         let a = TrackingAllocator::new();
         let before = live_bytes();
         let layout = Layout::from_size_align(1024, 8).unwrap();
+        // SAFETY: valid layout; p was allocated with `layout`, q is freed
+        // with the layout matching its reallocated size.
         unsafe {
             let p = a.alloc(layout);
             let q = a.realloc(p, layout, 8192);
@@ -166,6 +170,8 @@ mod tests {
         let _guard = LOCK.lock().unwrap();
         let a = TrackingAllocator::new();
         let layout = Layout::from_size_align(64 * 1024, 8).unwrap();
+        // SAFETY: valid layout; the pointer is freed immediately with the
+        // same layout.
         unsafe {
             let p = a.alloc(layout);
             a.dealloc(p, layout);
@@ -189,6 +195,8 @@ mod tests {
         let a = TrackingAllocator::new();
         let before = live_bytes();
         let layout = Layout::from_size_align(2048, 8).unwrap();
+        // SAFETY: valid layout; alloc_zeroed guarantees the byte read is
+        // initialised to zero, and the pointer is freed with the same layout.
         unsafe {
             let p = a.alloc_zeroed(layout);
             assert!(!p.is_null());

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full experiment run: regenerates every table/figure of the paper's §7
+# evaluation on the synthetic stand-in datasets, then compile-checks and
+# runs the criterion benches. Expect tens of minutes on a laptop.
+#
+#   ./scripts/full.sh            # everything
+#   ./scripts/full.sh table2     # a single experiment (any harness arg)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "Starting Full (All)"
+
+rm -rf out/full
+mkdir -p out/full
+
+cargo build --release --workspace
+
+EXPERIMENT="${1:-all}"
+echo "== experiments: $EXPERIMENT =="
+cargo run --release -p tim_bench --bin experiments -- "$EXPERIMENT" \
+    | tee "out/full/experiments_${EXPERIMENT}.txt"
+
+echo "== criterion benches =="
+cargo bench -p tim_bench | tee out/full/benches.txt
+
+echo
+echo "Full run complete; artifacts in out/full/"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Fast smoke run (< ~2 minutes on a laptop): proves the workspace builds
+# and that TIM+ works end-to-end on small inputs, following the
+# kick-tires/full split of the ruler artifact scripts.
+#
+#   ./scripts/kick-tires.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "Starting Kick Tires"
+
+rm -rf out/kick-tires
+mkdir -p out/kick-tires
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== smoke test: Tim + TimPlus end-to-end =="
+cargo test -q --release --test smoke
+
+echo "== quickstart example (TIM+ on a 5k-node BA graph) =="
+cargo run --release --example quickstart | tee out/kick-tires/quickstart.txt
+
+echo "== CLI round trip: generate -> stats -> select -> evaluate =="
+TIM=target/release/tim
+GRAPH=out/kick-tires/ba_small.txt
+"$TIM" generate ba --out "$GRAPH" --n 2000 --param 4 --seed 1
+"$TIM" stats "$GRAPH" | tee out/kick-tires/stats.txt
+# --quiet prints exactly one seed label per line.
+"$TIM" select "$GRAPH" -k 10 --algo tim+ --model ic --weights wc --eps 0.3 --seed 7 --quiet \
+    | tee out/kick-tires/select.txt
+SEEDS=$(paste -sd, out/kick-tires/select.txt)
+echo "selected seeds: $SEEDS"
+"$TIM" evaluate "$GRAPH" --seeds "$SEEDS" --model ic --weights wc --runs 2000 --seed 7 \
+    | tee out/kick-tires/evaluate.txt
+
+echo "== experiment driver (quick): Figure 4 phase breakdown =="
+cargo run --release -p tim_bench --bin experiments -- fig4 --quick --scale 0.2 \
+    | tee out/kick-tires/fig4_quick.txt
+
+echo
+echo "Kick Tires passed; artifacts in out/kick-tires/"

@@ -1,0 +1,118 @@
+//! End-to-end smoke test: TIM and TIM+ on a tiny generated graph.
+//!
+//! This is the fastest whole-pipeline check in the suite (and the one
+//! `scripts/kick-tires.sh` leans on): both drivers must produce a seed set
+//! of the requested size, be bit-for-bit deterministic for a fixed seed of
+//! the workspace `RandomSource` implementation, and report non-zero phase
+//! timings and RR-set accounting.
+
+use tim_influence::prelude::*;
+
+fn tiny_graph() -> Graph {
+    let mut g = gen::barabasi_albert(300, 3, 0.1, 11);
+    weights::assign_weighted_cascade(&mut g);
+    g
+}
+
+#[test]
+fn tim_end_to_end_on_tiny_graph() {
+    let g = tiny_graph();
+    let k = 5;
+    let result = Tim::new(IndependentCascade)
+        .epsilon(0.5)
+        .seed(42)
+        .threads(1)
+        .run(&g, k);
+
+    assert_eq!(result.seeds.len(), k, "TIM must return exactly k seeds");
+    let mut unique = result.seeds.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), k, "seeds must be distinct");
+    assert!(result.seeds.iter().all(|&v| (v as usize) < g.n()));
+
+    assert!(result.theta > 0, "node selection must sample RR sets");
+    assert!(result.total_rr_sets >= result.theta);
+    assert!(result.kpt_star >= 1.0, "KPT* is bounded below by 1");
+    assert!(result.kpt_plus.is_none(), "plain TIM skips refinement");
+    assert!(result.estimated_spread >= k as f64);
+    assert!(result.rr_memory_bytes > 0);
+}
+
+#[test]
+fn tim_plus_end_to_end_on_tiny_graph() {
+    let g = tiny_graph();
+    let k = 5;
+    let result = TimPlus::new(IndependentCascade)
+        .epsilon(0.5)
+        .seed(42)
+        .threads(1)
+        .run(&g, k);
+
+    assert_eq!(result.seeds.len(), k);
+    let kpt_plus = result.kpt_plus.expect("TIM+ must refine KPT");
+    assert!(
+        kpt_plus >= result.kpt_star,
+        "Algorithm 3 never lowers the bound: {kpt_plus} < {}",
+        result.kpt_star
+    );
+    assert!(result.epsilon_prime.is_some());
+    assert!((0.0..=1.0).contains(&result.coverage_fraction));
+}
+
+#[test]
+fn runs_are_deterministic_under_a_fixed_random_source() {
+    let g = tiny_graph();
+    for plus in [false, true] {
+        let run = |seed: u64| {
+            if plus {
+                TimPlus::new(IndependentCascade)
+                    .epsilon(0.5)
+                    .seed(seed)
+                    .threads(1)
+                    .run(&g, 4)
+            } else {
+                Tim::new(IndependentCascade)
+                    .epsilon(0.5)
+                    .seed(seed)
+                    .threads(1)
+                    .run(&g, 4)
+            }
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.seeds, b.seeds, "same seed must give same seed set");
+        assert_eq!(a.theta, b.theta);
+        assert_eq!(a.kpt_star.to_bits(), b.kpt_star.to_bits());
+        assert_eq!(a.estimated_spread.to_bits(), b.estimated_spread.to_bits());
+
+        // And the underlying RandomSource stream itself is reproducible.
+        let mut r1 = Rng::seed_from_u64(7);
+        let mut r2 = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}
+
+#[test]
+fn phase_timings_are_nonzero() {
+    let g = tiny_graph();
+    let result = TimPlus::new(IndependentCascade)
+        .epsilon(0.5)
+        .seed(3)
+        .threads(1)
+        .run(&g, 5);
+
+    let p = &result.phases;
+    assert!(
+        !p.parameter_estimation.is_zero(),
+        "KPT estimation did no measurable work"
+    );
+    assert!(!p.refinement.is_zero(), "TIM+ refinement must be timed");
+    assert!(!p.node_selection.is_zero(), "node selection must be timed");
+    assert_eq!(
+        p.total(),
+        p.parameter_estimation + p.refinement + p.node_selection
+    );
+}
