@@ -1,27 +1,40 @@
-//! The four subcommands: select, evaluate, stats, generate.
+//! The six subcommands: select, evaluate, stats, generate, snapshot,
+//! query.
 
 use crate::args::{parse_id_list, Args};
+use std::io::{BufRead, Write};
 use tim_baselines::{
     celf::CelfGreedy, degree_discount::DegreeDiscount, high_degree::HighDegree, irie::Irie,
     pagerank::PageRank, ris::Ris, simpath::SimPath, SeedSelector,
 };
 use tim_core::{Imm, Tim, TimPlus};
 use tim_diffusion::{DiffusionModel, IndependentCascade, LinearThreshold, SpreadEstimator};
+use tim_engine::{QueryEngine, RrPool};
 use tim_eval::Dataset;
 use tim_graph::io::LoadedGraph;
-use tim_graph::{analysis, io, weights, Graph, NodeId};
+use tim_graph::{analysis, io, snapshot, weights, Graph, NodeId};
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
 usage:
-  tim select   <edges.txt> -k <K> [--algo tim+|tim|imm|ris|celf|celf++|greedy|irie|simpath|degree|degreediscount|pagerank]
+  tim select   <graph> -k <K> [--algo tim+|tim|imm|ris|celf|celf++|greedy|irie|simpath|degree|degreediscount|pagerank]
                [--model ic|lt] [--weights wc|lt|keep|const:<p>|tri] [--eps 0.1] [--ell 1.0]
                [--seed 0] [--runs 10000] [--undirected] [--quiet]
-  tim evaluate <edges.txt> --seeds <id,id,...> [--model ic|lt] [--weights wc|lt|keep|const:<p>|tri]
+  tim evaluate <graph> --seeds <id,id,...> [--model ic|lt] [--weights wc|lt|keep|const:<p>|tri]
                [--runs 10000] [--seed 0] [--undirected]
-  tim stats    <edges.txt> [--undirected]
+  tim stats    <graph> [--undirected]
   tim generate <ba|gnm|ws|powerlaw|nethept|epinions|dblp|livejournal|twitter>
-               --out <path> [--n 10000] [--param 4] [--scale 1.0] [--seed 0]";
+               --out <path> [--n 10000] [--param 4] [--scale 1.0] [--seed 0]
+  tim snapshot <graph> --out <path.timg> [--weights keep|wc|lt|const:<p>|tri] [--seed 0] [--undirected]
+  tim query    <graph> [--pool <path.timp>] [-k <K=50>] [--model ic|lt] [--weights wc|...]
+               [--eps 0.1] [--ell 1.0] [--seed 0] [--undirected] [--quiet]
+               (reads line-delimited queries from stdin:
+                  select <k> [fast] [eps=<v>] [ell=<v>]
+                  eval <id,id,...>
+                  marginal <id,id,...> <cand-id>)
+
+  <graph> is a SNAP-style text edge list or a binary .timg snapshot
+  (auto-detected by content, not extension).";
 
 /// Entry point: dispatches on the subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -34,32 +47,42 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "evaluate" => evaluate(&args),
         "stats" => stats(&args),
         "generate" => generate(&args),
+        "snapshot" => snapshot_cmd(&args),
+        "query" => query(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
 
-/// Loads the input graph and applies the requested weight model.
-fn load(args: &Args) -> Result<LoadedGraph, String> {
-    let path = args.positional(0, "input edge-list path")?;
-    let mut loaded = io::load_edge_list(path, args.switch("undirected"))
-        .map_err(|e| format!("loading {path}: {e}"))?;
-    let seed: u64 = args.get_parsed("seed", 0u64)?;
-    match args.get("weights").unwrap_or("wc") {
-        "wc" => weights::assign_weighted_cascade(&mut loaded.graph),
-        "lt" => weights::assign_lt_normalized(&mut loaded.graph, seed ^ 0x17),
-        "tri" => weights::assign_trivalency(&mut loaded.graph, seed ^ 0x3),
+/// Applies a `--weights` spec to a graph. `seed` perturbs the seeded
+/// models (lt/tri) exactly as `select`/`evaluate` always have.
+fn apply_weights(graph: &mut Graph, spec: &str, seed: u64) -> Result<(), String> {
+    match spec {
+        "wc" => weights::assign_weighted_cascade(graph),
+        "lt" => weights::assign_lt_normalized(graph, seed ^ 0x17),
+        "tri" => weights::assign_trivalency(graph, seed ^ 0x3),
         "keep" => {} // probabilities from the file
         other => {
             if let Some(p) = other.strip_prefix("const:") {
                 let p: f32 = p
                     .parse()
                     .map_err(|_| format!("--weights const: bad probability '{p}'"))?;
-                weights::assign_constant(&mut loaded.graph, p);
+                weights::assign_constant(graph, p);
             } else {
                 return Err(format!("unknown --weights '{other}'"));
             }
         }
     }
+    Ok(())
+}
+
+/// Loads the input graph (text or `.timg`, sniffed by content) and applies
+/// the requested weight model.
+fn load(args: &Args) -> Result<LoadedGraph, String> {
+    let path = args.positional(0, "input graph path")?;
+    let mut loaded = io::load_graph(path, args.switch("undirected"))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    let seed: u64 = args.get_parsed("seed", 0u64)?;
+    apply_weights(&mut loaded.graph, args.get("weights").unwrap_or("wc"), seed)?;
     Ok(loaded)
 }
 
@@ -267,6 +290,276 @@ fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn snapshot_cmd(args: &Args) -> Result<(), String> {
+    let path = args.positional(0, "input graph path")?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| "snapshot: --out <path.timg> is required".to_string())?;
+    let seed: u64 = args.get_parsed("seed", 0u64)?;
+
+    let t0 = std::time::Instant::now();
+    let mut loaded = io::load_graph(path, args.switch("undirected"))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    let parse_time = t0.elapsed();
+    // Default "keep": snapshots preserve the source probabilities so that
+    // `select --weights wc` behaves identically on text and snapshot
+    // input. Pass --weights explicitly to bake a model in (then query
+    // with --weights keep).
+    apply_weights(
+        &mut loaded.graph,
+        args.get("weights").unwrap_or("keep"),
+        seed,
+    )?;
+
+    snapshot::save_snapshot(&loaded.graph, &loaded.labels, out)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+
+    // Reload to verify the round trip and measure the binary path.
+    let t1 = std::time::Instant::now();
+    let reloaded = snapshot::load_snapshot(out).map_err(|e| format!("verifying {out}: {e}"))?;
+    let load_time = t1.elapsed();
+    if snapshot::graph_checksum(&reloaded.graph) != snapshot::graph_checksum(&loaded.graph)
+        || reloaded.labels != loaded.labels
+    {
+        return Err(format!("round-trip verification failed for {out}"));
+    }
+
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out}: {} nodes / {} arcs ({bytes} bytes)",
+        reloaded.graph.n(),
+        reloaded.graph.m()
+    );
+    let ratio = parse_time.as_secs_f64() / load_time.as_secs_f64().max(1e-9);
+    println!("source load: {parse_time:.2?}; snapshot load: {load_time:.2?} ({ratio:.1}x)");
+    Ok(())
+}
+
+/// Checks that an explicitly passed flag agrees with the value a loaded
+/// pool was built with (pools pin their configuration; silently ignoring
+/// a contradicting flag would be worse than an error).
+fn check_pool_flag<T: PartialEq + std::fmt::Display>(
+    flag: &str,
+    given: Option<T>,
+    pool_value: T,
+) -> Result<(), String> {
+    match given {
+        Some(v) if v != pool_value => Err(format!(
+            "--{flag} {v} contradicts the pool (built with {flag} = {pool_value}); \
+             drop the flag or delete the pool file to rebuild"
+        )),
+        _ => Ok(()),
+    }
+}
+
+fn query(args: &Args) -> Result<(), String> {
+    let loaded = load(args)?;
+    match args.get("model").unwrap_or("ic").to_lowercase().as_str() {
+        "ic" => query_with(IndependentCascade, "ic", loaded, args),
+        "lt" => query_with(LinearThreshold, "lt", loaded, args),
+        other => Err(format!("unknown --model '{other}'")),
+    }
+}
+
+fn query_with<M: DiffusionModel + Sync + Clone>(
+    model: M,
+    model_name: &str,
+    loaded: LoadedGraph,
+    args: &Args,
+) -> Result<(), String> {
+    let k_max: usize = args.get_parsed("k", 50usize)?;
+    let eps: f64 = args.get_parsed("eps", 0.1f64)?;
+    let ell: f64 = args.get_parsed("ell", 1.0f64)?;
+    let seed: u64 = args.get_parsed("seed", 0u64)?;
+    let quiet = args.switch("quiet");
+    let pool_path = args.get("pool");
+    let LoadedGraph { graph, labels } = loaded;
+
+    let mut engine = match pool_path {
+        Some(p) if std::path::Path::new(p).exists() => {
+            let pool = RrPool::load(p).map_err(|e| format!("loading pool {p}: {e}"))?;
+            check_pool_flag("eps", args.get("eps").map(|_| eps), pool.meta.epsilon)?;
+            check_pool_flag("ell", args.get("ell").map(|_| ell), pool.meta.ell)?;
+            check_pool_flag("seed", args.get("seed").map(|_| seed), pool.meta.seed)?;
+            check_pool_flag("k", args.get("k").map(|_| k_max), pool.meta.k_max as usize)?;
+            let engine = QueryEngine::from_pool(graph, model, model_name, pool)
+                .map_err(|e| format!("attaching pool {p}: {e} (delete the file to rebuild)"))?;
+            if !quiet {
+                eprintln!(
+                    "loaded pool {p}: theta = {}, warmed for k <= {}",
+                    engine.pool_theta(),
+                    engine.warmed_k()
+                );
+            }
+            engine
+        }
+        _ => {
+            let mut engine = QueryEngine::new(graph, model, model_name)
+                .epsilon(eps)
+                .ell(ell)
+                .seed(seed)
+                .k_max(k_max);
+            let t0 = std::time::Instant::now();
+            engine.warm();
+            if !quiet {
+                eprintln!(
+                    "warmed pool: theta = {} in {:.2?} (k <= {k_max}, eps = {eps}, ell = {ell})",
+                    engine.pool_theta(),
+                    t0.elapsed()
+                );
+            }
+            if let Some(p) = pool_path {
+                engine
+                    .to_pool()
+                    .save(p)
+                    .map_err(|e| format!("saving pool {p}: {e}"))?;
+                if !quiet {
+                    eprintln!("saved pool to {p}");
+                }
+            }
+            engine
+        }
+    };
+
+    let theta_before = engine.pool_theta();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    query_session(&mut engine, &labels, stdin.lock(), &mut stdout, quiet)?;
+
+    // Persist growth so the next process benefits from it.
+    if let Some(p) = pool_path {
+        if engine.pool_theta() != theta_before {
+            engine
+                .to_pool()
+                .save(p)
+                .map_err(|e| format!("re-saving pool {p}: {e}"))?;
+            if !quiet {
+                eprintln!("pool grew to theta = {}; re-saved {p}", engine.pool_theta());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the line-delimited query protocol: one answer line on `out` per
+/// input line. Malformed queries produce an `error: …` line and the
+/// session continues — batch workloads should not die on one bad line.
+fn query_session<M: DiffusionModel + Sync + Clone>(
+    engine: &mut QueryEngine<M>,
+    labels: &[u64],
+    input: impl BufRead,
+    out: &mut impl Write,
+    quiet: bool,
+) -> Result<(), String> {
+    let to_dense: std::collections::HashMap<u64, NodeId> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i as NodeId))
+        .collect();
+    let dense_seeds = |spec: &str| -> Result<Vec<NodeId>, String> {
+        parse_id_list(spec)?
+            .into_iter()
+            .map(|l| {
+                to_dense
+                    .get(&l)
+                    .copied()
+                    .ok_or_else(|| format!("label {l} not present in the graph"))
+            })
+            .collect()
+    };
+
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("reading queries: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let answer = match tokens.next() {
+            Some("select") => (|| -> Result<String, String> {
+                let k: usize = tokens
+                    .next()
+                    .ok_or("select: missing k")?
+                    .parse()
+                    .map_err(|_| "select: bad k".to_string())?;
+                if k == 0 {
+                    return Err("select: k must be positive".into());
+                }
+                let mut fast = false;
+                let (mut eps, mut ell) = (None, None);
+                for t in tokens.by_ref() {
+                    if t == "fast" {
+                        fast = true;
+                    } else if let Some(v) = t.strip_prefix("eps=") {
+                        eps = Some(v.parse().map_err(|_| format!("select: bad eps '{v}'"))?);
+                    } else if let Some(v) = t.strip_prefix("ell=") {
+                        ell = Some(v.parse().map_err(|_| format!("select: bad ell '{v}'"))?);
+                    } else {
+                        return Err(format!("select: unknown option '{t}'"));
+                    }
+                }
+                let outcome = if fast {
+                    if eps.is_some() || ell.is_some() {
+                        return Err("select: fast mode uses the pool's eps/ell".into());
+                    }
+                    engine.select_fast(k)
+                } else {
+                    engine.select_with(k, eps, ell)
+                };
+                if !quiet {
+                    eprintln!(
+                        "select k={k}: theta = {}{}",
+                        outcome.theta_used,
+                        if outcome.resampled {
+                            " (resampled)"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                let label_list: Vec<String> = outcome
+                    .seeds
+                    .iter()
+                    .map(|&v| labels[v as usize].to_string())
+                    .collect();
+                Ok(format!("seeds: {}", label_list.join(" ")))
+            })(),
+            Some("eval") => (|| -> Result<String, String> {
+                let spec = tokens.next().ok_or("eval: missing seed list")?;
+                if tokens.next().is_some() {
+                    return Err("eval: trailing tokens".into());
+                }
+                let seeds = dense_seeds(spec)?;
+                if seeds.is_empty() {
+                    return Err("eval: empty seed list".into());
+                }
+                Ok(format!("spread: {:.2}", engine.spread(&seeds)))
+            })(),
+            Some("marginal") => (|| -> Result<String, String> {
+                let base_spec = tokens.next().ok_or("marginal: missing base seed list")?;
+                let cand_spec = tokens.next().ok_or("marginal: missing candidate id")?;
+                if tokens.next().is_some() {
+                    return Err("marginal: trailing tokens".into());
+                }
+                let base = dense_seeds(base_spec)?;
+                let cand = dense_seeds(cand_spec)?;
+                match cand.as_slice() {
+                    &[c] => Ok(format!("marginal: {:.2}", engine.marginal_gain(&base, c))),
+                    _ => Err("marginal: candidate must be a single id".into()),
+                }
+            })(),
+            Some(other) => Err(format!("unknown query '{other}'")),
+            None => continue,
+        };
+        let line_out = match answer {
+            Ok(a) => a,
+            Err(e) => format!("error: {e}"),
+        };
+        writeln!(out, "{line_out}").map_err(|e| format!("writing answer: {e}"))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +651,142 @@ mod tests {
     #[test]
     fn generate_rejects_unknown_kind() {
         assert!(dispatch(&argv("generate blah --out /tmp/x.txt")).is_err());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_select_output() {
+        let dir = tmpdir();
+        let text = dir.join("snap_src.txt");
+        let timg = dir.join("snap_src.timg");
+        // Sparse labels exercise the label map through the snapshot.
+        std::fs::write(
+            &text,
+            (0..60u32)
+                .map(|i| format!("{} {}\n", i * 10 + 5, ((i + 1) % 60) * 10 + 5))
+                .collect::<String>(),
+        )
+        .unwrap();
+        let (text_s, timg_s) = (text.to_str().unwrap(), timg.to_str().unwrap());
+        dispatch(&argv(&format!("snapshot {text_s} --out {timg_s}"))).unwrap();
+        // `select` on the snapshot goes through the same pipeline (weights
+        // re-applied over preserved probabilities) => identical seeds.
+        let run = |path: &str| {
+            let loaded = io::load_graph(path, false).unwrap();
+            let mut g = loaded.graph;
+            weights::assign_weighted_cascade(&mut g);
+            let r = TimPlus::new(IndependentCascade)
+                .epsilon(1.0)
+                .seed(3)
+                .run(&g, 4);
+            r.seeds
+                .iter()
+                .map(|&v| loaded.labels[v as usize])
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(run(text_s), run(timg_s));
+        // stats and select accept the snapshot transparently.
+        dispatch(&argv(&format!("stats {timg_s}"))).unwrap();
+        dispatch(&argv(&format!(
+            "select {timg_s} -k 2 --eps 1.0 --seed 1 --quiet"
+        )))
+        .unwrap();
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&timg).ok();
+    }
+
+    #[test]
+    fn snapshot_requires_out_flag() {
+        let dir = tmpdir();
+        let path = dir.join("no_out.txt");
+        std::fs::write(&path, "0 1\n").unwrap();
+        assert!(dispatch(&argv(&format!("snapshot {}", path.display()))).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_session_answers_match_fresh_select() {
+        // Sparse labels so the label round trip is exercised.
+        let n = 120u64;
+        let edges: String = (0..n)
+            .flat_map(|i| {
+                [
+                    format!("{} {}\n", i * 7, ((i + 1) % n) * 7),
+                    format!("{} {}\n", i * 7, ((i + 5) % n) * 7),
+                ]
+            })
+            .collect();
+        let loaded = io::read_edge_list(edges.as_bytes(), false).unwrap();
+        let mut g = loaded.graph;
+        weights::assign_weighted_cascade(&mut g);
+
+        let fresh = TimPlus::new(IndependentCascade)
+            .epsilon(0.9)
+            .seed(11)
+            .run(&g, 5);
+        let want: Vec<String> = fresh
+            .seeds
+            .iter()
+            .map(|&v| loaded.labels[v as usize].to_string())
+            .collect();
+
+        let mut engine = QueryEngine::new(g, IndependentCascade, "ic")
+            .epsilon(0.9)
+            .seed(11)
+            .k_max(8);
+        engine.warm();
+        let input = format!(
+            "# comment\n\nselect 5\nselect 3 fast\neval {}\nmarginal {} {}\nbogus\nselect 0\n",
+            want.join(","),
+            want[0],
+            want[1]
+        );
+        let mut out = Vec::new();
+        query_session(
+            &mut engine,
+            &loaded.labels,
+            input.as_bytes(),
+            &mut out,
+            true,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0], format!("seeds: {}", want.join(" ")));
+        assert!(lines[1].starts_with("seeds: "));
+        assert_eq!(lines[1].split_whitespace().count(), 4); // "seeds:" + 3
+        assert!(lines[2].starts_with("spread: "));
+        assert!(lines[3].starts_with("marginal: "));
+        assert!(lines[4].starts_with("error: unknown query"));
+        assert!(lines[5].starts_with("error: select"));
+    }
+
+    #[test]
+    fn query_session_reports_unknown_labels() {
+        let loaded = io::read_edge_list("0 1\n1 2\n2 0\n".as_bytes(), false).unwrap();
+        let mut g = loaded.graph;
+        weights::assign_constant(&mut g, 0.5);
+        let mut engine = QueryEngine::new(g, IndependentCascade, "ic")
+            .epsilon(1.0)
+            .k_max(2);
+        engine.warm();
+        let mut out = Vec::new();
+        query_session(
+            &mut engine,
+            &loaded.labels,
+            "eval 999\n".as_bytes(),
+            &mut out,
+            true,
+        )
+        .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("label 999"));
+    }
+
+    #[test]
+    fn pool_flag_contradiction_is_caught() {
+        assert!(check_pool_flag("eps", Some(0.2), 0.1).is_err());
+        assert!(check_pool_flag("eps", Some(0.1), 0.1).is_ok());
+        assert!(check_pool_flag::<f64>("eps", None, 0.1).is_ok());
     }
 
     #[test]

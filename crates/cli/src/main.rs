@@ -1,17 +1,27 @@
 //! `tim` — command-line influence maximization.
 //!
 //! ```text
-//! tim select   <edges.txt> -k 50 [--algo tim+] [--model ic] [--weights wc]
+//! tim select   <graph> -k 50 [--algo tim+] [--model ic] [--weights wc]
 //!              [--eps 0.1] [--ell 1.0] [--seed 0] [--undirected]
-//! tim evaluate <edges.txt> --seeds 3,17,42 [--model ic] [--weights wc]
+//! tim evaluate <graph> --seeds 3,17,42 [--model ic] [--weights wc]
 //!              [--runs 10000] [--seed 0] [--undirected]
-//! tim stats    <edges.txt> [--undirected]
+//! tim stats    <graph> [--undirected]
 //! tim generate <ba|gnm|ws|powerlaw|nethept|epinions|dblp|livejournal|twitter>
 //!              --out <path> [--n 10000] [--param 4] [--scale 1.0] [--seed 0]
+//! tim snapshot <graph> --out <path.timg> [--weights keep] [--undirected]
+//! tim query    <graph> [--pool <path.timp>] [-k 50] [--model ic]
+//!              [--eps 0.1] [--ell 1.0] [--seed 0] [--quiet]
 //! ```
 //!
-//! Edge lists are SNAP-style text (`src dst [prob]`, `#` comments). Node
-//! labels may be arbitrary integers; seeds are printed in original labels.
+//! `<graph>` is either SNAP-style text (`src dst [prob]`, `#` comments) or
+//! a binary `.timg` snapshot (`tim snapshot`), auto-detected by content.
+//! Node labels may be arbitrary integers; seeds are printed in original
+//! labels.
+//!
+//! `tim query` keeps an RR-set pool warm (optionally persisted as a
+//! `.timp` file) and answers line-delimited `select` / `eval` /
+//! `marginal` queries from stdin — `select` answers are byte-identical to
+//! a fresh `tim select --algo tim+` at the same `(seed, eps, ell, k)`.
 
 mod args;
 mod commands;

@@ -40,4 +40,6 @@ pub mod select;
 pub mod tim;
 
 pub use imm::{Imm, ImmResult};
-pub use tim::{GreedyImpl, PhaseTimings, Tim, TimPlus, TimResult};
+pub use tim::{
+    select_stream_seed, GreedyImpl, PhaseTimings, SamplingPlan, Tim, TimPlus, TimResult,
+};

@@ -14,7 +14,29 @@ use tim_rng::Rng;
 
 /// Fixed shard count, chosen so shards are plentiful enough to balance yet
 /// results never depend on how many threads execute them.
-const SHARDS: u64 = 64;
+pub const SHARDS: u64 = 64;
+
+/// Per-shard set counts for a `theta`-set generation run: shard `i`
+/// produces `shard_layout(theta)[i]` sets, and the output collection is
+/// the shard-order concatenation.
+///
+/// Two properties make pools **prefix-composable**, which `tim_engine`
+/// exploits to serve smaller-θ queries from a larger persisted pool
+/// without resampling:
+///
+/// 1. shard `i`'s RNG stream depends only on `(seed, i)`, never on θ, so
+///    shard `i`'s `j`-th set is the same in every run that reaches it;
+/// 2. `shard_layout(θ)[i]` is non-decreasing in θ (growing θ by one adds
+///    exactly one set to one shard).
+///
+/// Hence the collection for any `θ' ≤ θ` is recovered exactly by taking
+/// the first `shard_layout(θ')[i]` sets of each shard of the θ-run.
+pub fn shard_layout(theta: u64) -> Vec<u64> {
+    let shards = SHARDS.min(theta.max(1));
+    let per = theta / shards;
+    let extra = theta % shards;
+    (0..shards).map(|i| per + u64::from(i < extra)).collect()
+}
 
 /// Aggregate statistics of a bulk generation run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -54,11 +76,9 @@ pub fn generate_rr_sets<M: DiffusionModel + Sync>(
 ) -> (SetCollection, BulkStats) {
     assert!(graph.n() >= 1, "generate_rr_sets: empty graph");
     let mut base = Rng::seed_from_u64(seed);
-    let shards = SHARDS.min(theta.max(1));
+    let shard_counts = shard_layout(theta);
+    let shards = shard_counts.len() as u64;
     let mut shard_rngs: Vec<Rng> = (0..shards).map(|_| base.split_off()).collect();
-    let per = theta / shards;
-    let extra = theta % shards;
-    let shard_counts: Vec<u64> = (0..shards).map(|i| per + u64::from(i < extra)).collect();
 
     // Without the `parallel` feature every request runs the inline path;
     // output is identical either way, only wall-clock differs.
@@ -176,6 +196,51 @@ mod tests {
         let g = graph();
         let (c, _) = generate_rr_sets(&g, &IndependentCascade, 3, 6, 8);
         assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn pools_are_prefix_composable() {
+        // The property tim_engine's warm-pool replay rests on: a θ'-run is
+        // recovered exactly from a θ-run (θ' <= θ) by taking the first
+        // shard_layout(θ')[i] sets of each shard.
+        let g = graph();
+        let (big, _) = generate_rr_sets(&g, &IndependentCascade, 500, 9, 2);
+        let big_counts = shard_layout(500);
+        for theta in [1u64, 3, 63, 64, 65, 200, 499, 500] {
+            let (small, _) = generate_rr_sets(&g, &IndependentCascade, theta, 9, 1);
+            let want = shard_layout(theta);
+            let mut idx = 0usize;
+            let mut start = 0usize;
+            for (i, &pool_count) in big_counts.iter().enumerate() {
+                let take = want.get(i).copied().unwrap_or(0) as usize;
+                for j in 0..take {
+                    assert_eq!(
+                        small.set(idx),
+                        big.set(start + j),
+                        "theta={theta} shard={i} set={j}"
+                    );
+                    idx += 1;
+                }
+                start += pool_count as usize;
+            }
+            assert_eq!(idx, small.len());
+        }
+    }
+
+    #[test]
+    fn shard_layout_sums_to_theta_and_is_monotone() {
+        let mut prev = shard_layout(0);
+        assert_eq!(prev.iter().sum::<u64>(), 0);
+        for theta in 1..300u64 {
+            let counts = shard_layout(theta);
+            assert_eq!(counts.iter().sum::<u64>(), theta);
+            assert!(counts.len() as u64 <= SHARDS);
+            for (i, &c) in counts.iter().enumerate() {
+                let p = prev.get(i).copied().unwrap_or(0);
+                assert!(c >= p, "theta={theta} shard={i}: {c} < {p}");
+            }
+            prev = counts;
+        }
     }
 
     #[test]

@@ -141,6 +141,54 @@ macro_rules! builder_methods {
     };
 }
 
+/// Everything the estimation phases determine *before* node selection:
+/// the sample size θ, the RNG seed of the selection sampling stream, and
+/// the KPT bounds that produced them.
+///
+/// A plan is a pure function of `(graph, model, ε, ℓ, seed, k)` — two
+/// equal plans followed by [`node_selection`] with the same greedy variant
+/// produce byte-identical seed sets. `tim_engine` relies on this to answer
+/// queries from a persisted RR-set pool without re-running selection
+/// sampling: it re-derives the plan (cheap) and replays only the greedy
+/// step over the pool prefix that a fresh run would have sampled.
+#[derive(Debug, Clone)]
+pub struct SamplingPlan {
+    /// Requested seed-set size, clamped to `n`.
+    pub k: usize,
+    /// θ: RR sets the node-selection phase must sample (Equation 5 with
+    /// the KPT⁺ or KPT* bound).
+    pub theta: u64,
+    /// Seed of the node-selection sampling stream (pure function of the
+    /// run seed; see [`select_stream_seed`]).
+    pub select_seed: u64,
+    /// KPT* from Algorithm 2.
+    pub kpt_star: f64,
+    /// KPT⁺ from Algorithm 3 (TIM+ plans only).
+    pub kpt_plus: Option<f64>,
+    /// ε′ used by Algorithm 3 (TIM+ plans only).
+    pub epsilon_prime: Option<f64>,
+    /// The §3.3/§4.1 union-bound-adjusted ℓ actually used.
+    pub ell_eff: f64,
+    /// RR sets consumed by the estimation phases themselves.
+    pub estimation_rr_sets: u64,
+    /// Wall-clock spent planning (`node_selection` component is zero).
+    pub phases: PhaseTimings,
+}
+
+/// The seed of the node-selection sampling stream derived from a run seed.
+///
+/// [`Tim`]/[`TimPlus`] split their RNG into three streams (KPT estimation,
+/// refinement, node selection); this exposes the third so that external
+/// pool management (`tim_engine`) can label persisted RR-set pools with
+/// the exact stream they were drawn from. Pure function of `seed`,
+/// independent of `k`, ε, and ℓ.
+pub fn select_stream_seed(seed: u64) -> u64 {
+    let mut base = Rng::seed_from_u64(seed);
+    let _kpt_rng = base.split_off();
+    let _refine_rng = base.split_off();
+    base.next_u64()
+}
+
 /// The TIM algorithm (§3.3): parameter estimation + node selection.
 #[derive(Debug, Clone)]
 pub struct Tim<M> {
@@ -160,7 +208,28 @@ impl<M: DiffusionModel + Sync> Tim<M> {
 
     builder_methods!();
 
+    /// Runs the parameter-estimation phase only, returning the θ and
+    /// selection-stream seed a full [`run`](Self::run) would use.
+    pub fn plan(&self, graph: &Graph, k: usize) -> SamplingPlan {
+        plan_impl(&self.model, &self.cfg, graph, k, false)
+    }
+
     /// Selects `k` seeds on `graph`.
+    ///
+    /// ```
+    /// use tim_core::Tim;
+    /// use tim_diffusion::IndependentCascade;
+    /// use tim_graph::{gen, weights};
+    ///
+    /// let mut g = gen::barabasi_albert(300, 4, 0.1, 1);
+    /// weights::assign_weighted_cascade(&mut g);
+    /// let result = Tim::new(IndependentCascade)
+    ///     .epsilon(0.8)
+    ///     .seed(42)
+    ///     .run(&g, 3);
+    /// assert_eq!(result.seeds.len(), 3);
+    /// assert!(result.theta >= 1);
+    /// ```
     ///
     /// # Panics
     /// Panics if the graph has fewer than 2 nodes or no edges, or `k == 0`.
@@ -195,6 +264,12 @@ impl<M: DiffusionModel + Sync> TimPlus<M> {
         self
     }
 
+    /// Runs the estimation and refinement phases only, returning the θ and
+    /// selection-stream seed a full [`run`](Self::run) would use.
+    pub fn plan(&self, graph: &Graph, k: usize) -> SamplingPlan {
+        plan_impl(&self.model, &self.cfg, graph, k, true)
+    }
+
     /// Selects `k` seeds on `graph`.
     ///
     /// # Panics
@@ -204,13 +279,13 @@ impl<M: DiffusionModel + Sync> TimPlus<M> {
     }
 }
 
-fn run_impl<M: DiffusionModel + Sync>(
+fn plan_impl<M: DiffusionModel + Sync>(
     model: &M,
     cfg: &Config,
     graph: &Graph,
     k: usize,
     refine: bool,
-) -> TimResult {
+) -> SamplingPlan {
     assert!(k >= 1, "k must be at least 1");
     assert!(graph.n() >= 2, "graph must have at least 2 nodes");
     assert!(graph.m() >= 1, "graph must have at least 1 edge");
@@ -233,7 +308,7 @@ fn run_impl<M: DiffusionModel + Sync>(
     let kpt = estimate_kpt(graph, model, k as u64, ell_eff, &mut kpt_rng);
     phases.parameter_estimation = t0.elapsed();
     let kpt_star = kpt.kpt_star;
-    let mut total_rr_sets = kpt.total_rr_sets;
+    let mut estimation_rr_sets = kpt.total_rr_sets;
 
     // Intermediate step: Algorithm 3 (TIM+ only).
     let (bound, kpt_plus, eps_prime) = if refine {
@@ -251,7 +326,7 @@ fn run_impl<M: DiffusionModel + Sync>(
             cfg.greedy,
         );
         phases.refinement = t1.elapsed();
-        total_rr_sets += refined.theta_prime;
+        estimation_rr_sets += refined.theta_prime;
         (
             refined.kpt_plus,
             Some(refined.kpt_plus),
@@ -261,23 +336,55 @@ fn run_impl<M: DiffusionModel + Sync>(
         (kpt_star, None, None)
     };
 
-    // Phase 2: Algorithm 1 with θ = λ / bound.
+    // θ = λ / bound (Equation 5).
     let lam = lambda(n, k as u64, cfg.epsilon, ell_eff);
     let theta = (lam / bound).ceil().max(1.0) as u64;
-    let t2 = Instant::now();
-    let sel = node_selection(graph, model, k, theta, select_seed, cfg.threads, cfg.greedy);
-    phases.node_selection = t2.elapsed();
-    total_rr_sets += theta;
 
-    TimResult {
-        seeds: sel.seeds,
+    SamplingPlan {
+        k,
         theta,
+        select_seed,
         kpt_star,
         kpt_plus,
         epsilon_prime: eps_prime,
+        ell_eff,
+        estimation_rr_sets,
+        phases,
+    }
+}
+
+fn run_impl<M: DiffusionModel + Sync>(
+    model: &M,
+    cfg: &Config,
+    graph: &Graph,
+    k: usize,
+    refine: bool,
+) -> TimResult {
+    let plan = plan_impl(model, cfg, graph, k, refine);
+    let mut phases = plan.phases;
+
+    // Phase 2: Algorithm 1 with the planned θ.
+    let t2 = Instant::now();
+    let sel = node_selection(
+        graph,
+        model,
+        plan.k,
+        plan.theta,
+        plan.select_seed,
+        cfg.threads,
+        cfg.greedy,
+    );
+    phases.node_selection = t2.elapsed();
+
+    TimResult {
+        seeds: sel.seeds,
+        theta: plan.theta,
+        kpt_star: plan.kpt_star,
+        kpt_plus: plan.kpt_plus,
+        epsilon_prime: plan.epsilon_prime,
         estimated_spread: sel.estimated_spread,
         coverage_fraction: sel.coverage_fraction,
-        total_rr_sets,
+        total_rr_sets: plan.estimation_rr_sets + plan.theta,
         rr_memory_bytes: sel.rr_memory_bytes,
         phases,
     }
@@ -470,6 +577,34 @@ mod tests {
             .greedy(GreedyImpl::BucketQueue)
             .run(&g, 5);
         assert_eq!(r.seeds.len(), 5);
+    }
+
+    #[test]
+    fn plan_matches_run() {
+        let g = wc_graph(250, 26);
+        let runner = TimPlus::new(IndependentCascade).epsilon(0.7).seed(27);
+        let plan = runner.plan(&g, 6);
+        let result = runner.run(&g, 6);
+        assert_eq!(plan.theta, result.theta);
+        assert_eq!(plan.kpt_star, result.kpt_star);
+        assert_eq!(plan.kpt_plus, result.kpt_plus);
+        assert_eq!(plan.estimation_rr_sets + plan.theta, result.total_rr_sets);
+        assert_eq!(plan.select_seed, select_stream_seed(27));
+    }
+
+    #[test]
+    fn select_stream_seed_is_k_and_epsilon_independent() {
+        let g = wc_graph(200, 28);
+        let a = TimPlus::new(IndependentCascade)
+            .epsilon(0.5)
+            .seed(29)
+            .plan(&g, 3);
+        let b = TimPlus::new(IndependentCascade)
+            .epsilon(0.9)
+            .seed(29)
+            .plan(&g, 12);
+        assert_eq!(a.select_seed, b.select_seed);
+        assert_eq!(a.select_seed, select_stream_seed(29));
     }
 
     #[test]

@@ -71,6 +71,54 @@ impl SetCollection {
         &self.data[self.offsets[i]..self.offsets[i + 1]]
     }
 
+    /// The flat member arena: all sets concatenated back to back. Together
+    /// with [`raw_offsets`](Self::raw_offsets) this is the full persistent
+    /// state of the collection (the inverted index is derived data), which
+    /// is what `tim_engine` serializes into `.timp` pool files.
+    #[inline]
+    pub fn raw_data(&self) -> &[NodeId] {
+        &self.data
+    }
+
+    /// Set boundaries into [`raw_data`](Self::raw_data): set `i` occupies
+    /// `raw_data()[raw_offsets()[i]..raw_offsets()[i + 1]]`. Always has
+    /// `len() + 1` entries starting at 0.
+    #[inline]
+    pub fn raw_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Rebuilds a collection from the arena layout exposed by
+    /// [`raw_data`](Self::raw_data) / [`raw_offsets`](Self::raw_offsets),
+    /// validating every structural invariant (used by pool deserialization
+    /// on untrusted bytes).
+    pub fn from_raw_parts(
+        n: usize,
+        data: Vec<NodeId>,
+        offsets: Vec<usize>,
+    ) -> Result<Self, String> {
+        if offsets.first() != Some(&0) {
+            return Err("offsets must start at 0".into());
+        }
+        if offsets.last() != Some(&data.len()) {
+            return Err("offsets must end at the arena length".into());
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("offsets must be non-decreasing".into());
+        }
+        if let Some(&v) = data.iter().find(|&&v| v as usize >= n) {
+            return Err(format!("member {v} out of universe 0..{n}"));
+        }
+        Ok(Self {
+            n,
+            data,
+            offsets,
+            inv_data: Vec::new(),
+            inv_offsets: Vec::new(),
+            inv_built_for: usize::MAX,
+        })
+    }
+
     /// Appends a set. Members must be in `[0, n)` (checked in debug builds);
     /// duplicates within one set are the caller's responsibility (RR
     /// samplers never produce them).
@@ -253,6 +301,30 @@ mod tests {
             c.push(&[i, i + 1, i + 2]);
         }
         assert!(c.memory_bytes() > before);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let c = sample();
+        let rebuilt = SetCollection::from_raw_parts(
+            c.universe(),
+            c.raw_data().to_vec(),
+            c.raw_offsets().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.len(), c.len());
+        for i in 0..c.len() {
+            assert_eq!(rebuilt.set(i), c.set(i));
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_malformed_layouts() {
+        assert!(SetCollection::from_raw_parts(5, vec![0, 1], vec![1, 2]).is_err());
+        assert!(SetCollection::from_raw_parts(5, vec![0, 1], vec![0, 1]).is_err());
+        assert!(SetCollection::from_raw_parts(5, vec![0, 1], vec![0, 2, 1]).is_err());
+        assert!(SetCollection::from_raw_parts(2, vec![0, 9], vec![0, 2]).is_err());
+        assert!(SetCollection::from_raw_parts(5, vec![0, 1], vec![0, 1, 2]).is_ok());
     }
 
     #[test]

@@ -1,0 +1,612 @@
+//! The warm-pool query engine.
+
+use crate::error::EngineError;
+use crate::pool::{PoolMeta, RrPool};
+use std::collections::BTreeMap;
+use tim_core::parallel::{generate_rr_sets, shard_layout};
+use tim_core::{select_stream_seed, SamplingPlan, TimPlus};
+use tim_coverage::{greedy_max_cover, CoverResult, SetCollection};
+use tim_diffusion::DiffusionModel;
+use tim_graph::snapshot::graph_checksum;
+use tim_graph::{Graph, NodeId};
+
+/// Result of one `select` query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The selected seed set (dense ids), in greedy order.
+    pub seeds: Vec<NodeId>,
+    /// θ the answer was computed over — exactly what a fresh
+    /// [`TimPlus::run`] at the same `(seed, ε, ℓ, k)` would sample.
+    pub theta_used: u64,
+    /// Current pool size (≥ `theta_used`).
+    pub pool_theta: u64,
+    /// True when this query forced the pool to grow (cold pool, larger
+    /// `k`, or a tighter ε/ℓ demanded more sets).
+    pub resampled: bool,
+    /// `n · F_R(S)`: coverage-based unbiased estimate of the seeds'
+    /// expected spread, over the `theta_used` sets.
+    pub estimated_spread: f64,
+}
+
+/// Cached single greedy run used by [`QueryEngine::select_fast`].
+#[derive(Debug)]
+struct FastCover {
+    pool_theta: u64,
+    cover: CoverResult,
+}
+
+/// An influence-query engine that amortizes RR-set sampling across
+/// queries.
+///
+/// TIM+ splits into an expensive sampling phase and a cheap greedy phase;
+/// a `QueryEngine` keeps the sampled pool resident (and optionally
+/// persisted via [`RrPool`]) so that repeated queries pay only for greedy
+/// max-coverage. Two answering modes:
+///
+/// - [`select`](Self::select) — **exact replay**: re-derives the
+///   [`SamplingPlan`] for the queried `k`, carves the exact θ-prefix a
+///   fresh run would have sampled out of the pool (see
+///   [`shard_layout`]'s prefix-composability), and returns seed sets
+///   **byte-identical** to [`TimPlus::run`] at the same
+///   `(seed, ε, ℓ, k)`. The pool grows (resamples) only when ε/ℓ/k
+///   demand a larger θ than it holds.
+/// - [`select_fast`](Self::select_fast) — **prefix answering**: one
+///   greedy run over the whole pool at its full θ, answering any `k` as
+///   the `k`-prefix of that run (greedy's prefix property). Uses *more*
+///   sets than required — θ ≥ λ/OPT still holds, so the
+///   `(1 − 1/e − ε)` guarantee is preserved — at near-zero marginal
+///   cost per query.
+///
+/// Spread and marginal-gain queries are answered against the full pool.
+///
+/// ```
+/// use tim_diffusion::IndependentCascade;
+/// use tim_engine::QueryEngine;
+/// use tim_graph::{gen, weights};
+///
+/// let mut g = gen::barabasi_albert(300, 4, 0.1, 1);
+/// weights::assign_weighted_cascade(&mut g);
+/// let mut engine = QueryEngine::new(g, IndependentCascade, "ic")
+///     .epsilon(0.8)
+///     .seed(7)
+///     .k_max(10);
+/// engine.warm();
+///
+/// let five = engine.select(5);
+/// assert_eq!(five.seeds.len(), 5);
+/// assert!(!five.resampled); // served from the warm pool
+/// let gain = engine.marginal_gain(&five.seeds, 99);
+/// assert!(gain >= 0.0);
+/// ```
+#[derive(Debug)]
+pub struct QueryEngine<M> {
+    graph: Graph,
+    model: M,
+    model_name: String,
+    epsilon: f64,
+    ell: f64,
+    seed: u64,
+    threads: usize,
+    k_max: usize,
+    graph_checksum: u64,
+    select_seed: u64,
+    pool: SetCollection,
+    pool_theta: u64,
+    /// Plan cache keyed by `(k, ε bits, ℓ bits)`.
+    plans: BTreeMap<(usize, u64, u64), SamplingPlan>,
+    fast: Option<FastCover>,
+}
+
+impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
+    /// Creates a cold engine (no sets sampled yet) for `graph` under
+    /// `model`, with the paper's defaults (ε = 0.1, ℓ = 1, seed 0,
+    /// `k_max` 50). `model_name` is the provenance tag persisted with
+    /// pools (`"ic"` / `"lt"`).
+    ///
+    /// # Panics
+    /// Panics if the graph has fewer than 2 nodes or no edges.
+    pub fn new(graph: Graph, model: M, model_name: impl Into<String>) -> Self {
+        assert!(graph.n() >= 2, "engine needs at least 2 nodes");
+        assert!(graph.m() >= 1, "engine needs at least 1 edge");
+        let n = graph.n();
+        let checksum = graph_checksum(&graph);
+        QueryEngine {
+            graph,
+            model,
+            model_name: model_name.into(),
+            epsilon: 0.1,
+            ell: 1.0,
+            seed: 0,
+            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            k_max: 50,
+            graph_checksum: checksum,
+            select_seed: select_stream_seed(0),
+            pool: SetCollection::new(n),
+            pool_theta: 0,
+            plans: BTreeMap::new(),
+            fast: None,
+        }
+    }
+
+    /// Sets the approximation slack ε (default 0.1).
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the failure exponent ℓ (default 1).
+    #[must_use]
+    pub fn ell(mut self, ell: f64) -> Self {
+        assert!(ell > 0.0, "ell must be positive");
+        self.ell = ell;
+        self
+    }
+
+    /// Sets the run seed all queries replicate (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.select_seed = select_stream_seed(seed);
+        self
+    }
+
+    /// Caps worker threads for resampling (default: all cores). Thread
+    /// count never changes results.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "threads must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the seed-set size the pool is warmed for (default 50).
+    /// Queries beyond it still work — they grow the pool on demand.
+    #[must_use]
+    pub fn k_max(mut self, k_max: usize) -> Self {
+        assert!(k_max >= 1, "k_max must be at least 1");
+        self.k_max = k_max;
+        self
+    }
+
+    /// Attaches a persisted pool to a graph, validating the full
+    /// provenance chain (graph checksum, model tag, universe size, seed
+    /// consistency). The engine adopts the pool's `(ε, ℓ, seed, k_max)`.
+    pub fn from_pool(
+        graph: Graph,
+        model: M,
+        model_name: impl Into<String>,
+        pool: RrPool,
+    ) -> Result<Self, EngineError> {
+        let model_name = model_name.into();
+        let meta = &pool.meta;
+        let checksum = graph_checksum(&graph);
+        if meta.graph_checksum != checksum {
+            return Err(EngineError::Mismatch(format!(
+                "pool was sampled on graph {:#018x}, this graph is {checksum:#018x} \
+                 (different edges, probabilities, or weight model)",
+                meta.graph_checksum
+            )));
+        }
+        if meta.model != model_name {
+            return Err(EngineError::Mismatch(format!(
+                "pool was sampled under model '{}', engine uses '{model_name}'",
+                meta.model
+            )));
+        }
+        if pool.sets.universe() != graph.n() {
+            return Err(EngineError::Mismatch(format!(
+                "pool universe {} != graph node count {}",
+                pool.sets.universe(),
+                graph.n()
+            )));
+        }
+        if meta.select_seed != select_stream_seed(meta.seed) {
+            return Err(EngineError::Mismatch(
+                "pool's select seed is not derived from its run seed".into(),
+            ));
+        }
+        // f64::from_bits accepts anything, so a structurally valid pool can
+        // still carry unusable parameters; reject them here rather than
+        // panicking in the builder asserts below.
+        if meta.epsilon <= 0.0 || !meta.epsilon.is_finite() {
+            return Err(EngineError::Format(format!(
+                "pool epsilon {} is not a positive finite number",
+                meta.epsilon
+            )));
+        }
+        if meta.ell <= 0.0 || !meta.ell.is_finite() {
+            return Err(EngineError::Format(format!(
+                "pool ell {} is not a positive finite number",
+                meta.ell
+            )));
+        }
+        let mut engine = QueryEngine::new(graph, model, model_name)
+            .epsilon(meta.epsilon)
+            .ell(meta.ell)
+            .seed(meta.seed)
+            .k_max(meta.k_max.max(1) as usize);
+        engine.pool_theta = meta.theta;
+        engine.pool = pool.sets;
+        Ok(engine)
+    }
+
+    /// Snapshots the current pool (with provenance) for persistence.
+    pub fn to_pool(&self) -> RrPool {
+        RrPool {
+            meta: PoolMeta {
+                graph_checksum: self.graph_checksum,
+                model: self.model_name.clone(),
+                epsilon: self.epsilon,
+                ell: self.ell,
+                seed: self.seed,
+                k_max: self.k_max as u32,
+                theta: self.pool_theta,
+                select_seed: self.select_seed,
+            },
+            sets: self.pool.clone(),
+        }
+    }
+
+    /// The graph queries run against.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current pool size θ (0 when cold).
+    pub fn pool_theta(&self) -> u64 {
+        self.pool_theta
+    }
+
+    /// The `k` the pool is warmed for.
+    pub fn warmed_k(&self) -> usize {
+        self.k_max
+    }
+
+    /// Content checksum of the attached graph.
+    pub fn graph_checksum(&self) -> u64 {
+        self.graph_checksum
+    }
+
+    /// Warms the pool so that **every** `k ≤ k_max` is answerable without
+    /// resampling, and returns the resulting pool θ.
+    ///
+    /// θ(k) = λ(k)/KPT⁺(k) is *not* monotone in `k`: λ grows with `k`,
+    /// but so does the KPT⁺ bound, and for small `k` the bound is small
+    /// enough that θ(1) routinely exceeds θ(k_max). Warming therefore
+    /// provisions `max(θ(1), θ(k_max), ⌈λ(k_max)/KPT⁺(1)⌉)`; the last
+    /// term upper-bounds θ(k) for every `k ≤ k_max` whose KPT⁺ estimate
+    /// is at least KPT⁺(1) (KPT is monotone in `k`, so estimates only
+    /// fall below that on sampling noise).
+    pub fn warm(&mut self) -> u64 {
+        let plan_one = self.plan_for(1, self.epsilon, self.ell);
+        let plan_top = self.plan_for(self.k_max, self.epsilon, self.ell);
+        let bound_one = plan_one.kpt_plus.unwrap_or(plan_one.kpt_star);
+        let lam_top = tim_core::math::lambda(
+            self.graph.n() as u64,
+            plan_top.k as u64,
+            self.epsilon,
+            plan_top.ell_eff,
+        );
+        let theta_bound = (lam_top / bound_one).ceil().max(1.0) as u64;
+        self.ensure_theta(plan_one.theta.max(plan_top.theta).max(theta_bound));
+        self.pool_theta
+    }
+
+    /// Computes (and caches) the sampling plan for `k` under `(eps, ell)`.
+    fn plan_for(&mut self, k: usize, eps: f64, ell: f64) -> SamplingPlan {
+        let key = (k, eps.to_bits(), ell.to_bits());
+        if let Some(plan) = self.plans.get(&key) {
+            return plan.clone();
+        }
+        let plan = TimPlus::new(self.model.clone())
+            .epsilon(eps)
+            .ell(ell)
+            .seed(self.seed)
+            .threads(self.threads)
+            .plan(&self.graph, k);
+        self.plans.insert(key, plan.clone());
+        plan
+    }
+
+    /// Grows the pool to at least `theta` sets; returns true if it
+    /// resampled.
+    fn ensure_theta(&mut self, theta: u64) -> bool {
+        if theta <= self.pool_theta {
+            return false;
+        }
+        // Regenerate from the fixed selection stream: deterministic, and
+        // the old pool is a shard-aligned prefix of the new one.
+        let (pool, _) = generate_rr_sets(
+            &self.graph,
+            &self.model,
+            theta,
+            self.select_seed,
+            self.threads,
+        );
+        self.pool = pool;
+        self.pool_theta = theta;
+        self.fast = None;
+        true
+    }
+
+    /// Extracts the sub-collection a fresh `theta`-set run would have
+    /// produced (see [`shard_layout`] for why this is exact).
+    fn subset(&self, theta: u64) -> SetCollection {
+        debug_assert!(theta <= self.pool_theta);
+        let pool_counts = shard_layout(self.pool_theta);
+        let want = shard_layout(theta);
+        let mut sub =
+            SetCollection::with_capacity(self.pool.universe(), theta as usize, theta as usize * 2);
+        let mut start = 0usize;
+        for (i, &pool_count) in pool_counts.iter().enumerate() {
+            let take = want.get(i).copied().unwrap_or(0) as usize;
+            for j in 0..take {
+                sub.push(self.pool.set(start + j));
+            }
+            start += pool_count as usize;
+        }
+        sub
+    }
+
+    /// Answers a `k`-seed selection **byte-identically** to
+    /// [`TimPlus::run`] at the engine's `(seed, ε, ℓ)`: the estimation
+    /// phases are replayed (cheap), and the selection sample is carved
+    /// from the pool instead of regenerated (the expensive part).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn select(&mut self, k: usize) -> QueryOutcome {
+        self.select_with(k, None, None)
+    }
+
+    /// [`select`](Self::select) with per-query ε/ℓ overrides. A tighter
+    /// ε or ℓ than the pool was built for may demand a larger θ, which
+    /// triggers a resample (reported in
+    /// [`QueryOutcome::resampled`]).
+    pub fn select_with(&mut self, k: usize, eps: Option<f64>, ell: Option<f64>) -> QueryOutcome {
+        assert!(k >= 1, "k must be at least 1");
+        let eps = eps.unwrap_or(self.epsilon);
+        let ell = ell.unwrap_or(self.ell);
+        assert!(eps > 0.0 && ell > 0.0, "epsilon and ell must be positive");
+        let plan = self.plan_for(k, eps, ell);
+        let resampled = self.ensure_theta(plan.theta);
+        let n = self.graph.n() as f64;
+        let cover = if plan.theta == self.pool_theta {
+            greedy_max_cover(&mut self.pool, plan.k)
+        } else {
+            let mut sub = self.subset(plan.theta);
+            greedy_max_cover(&mut sub, plan.k)
+        };
+        let frac = cover.coverage_fraction(plan.theta as usize);
+        QueryOutcome {
+            seeds: cover.seeds,
+            theta_used: plan.theta,
+            pool_theta: self.pool_theta,
+            resampled,
+            estimated_spread: frac * n,
+        }
+    }
+
+    /// Answers a `k`-seed selection as the `k`-prefix of a single cached
+    /// greedy run over the **full** pool. Near-zero marginal cost per
+    /// query; uses more RR sets than a fresh run would, so the
+    /// approximation guarantee is preserved (θ only ever exceeds the
+    /// required λ/OPT), but seed sets may differ from
+    /// [`select`](Self::select)'s exact replay.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn select_fast(&mut self, k: usize) -> QueryOutcome {
+        assert!(k >= 1, "k must be at least 1");
+        let resampled = if k > self.k_max {
+            self.k_max = k;
+            let plan = self.plan_for(k, self.epsilon, self.ell);
+            self.ensure_theta(plan.theta)
+        } else {
+            let plan = self.plan_for(self.k_max, self.epsilon, self.ell);
+            self.ensure_theta(plan.theta)
+        };
+        let depth = self.k_max;
+        let stale = match &self.fast {
+            Some(f) => f.pool_theta != self.pool_theta || f.cover.seeds.len() < k.min(depth),
+            None => true,
+        };
+        if stale {
+            let cover = greedy_max_cover(&mut self.pool, depth);
+            self.fast = Some(FastCover {
+                pool_theta: self.pool_theta,
+                cover,
+            });
+        }
+        let fast = self.fast.as_ref().expect("fast cover just ensured");
+        let k_eff = k.min(fast.cover.seeds.len());
+        let covered: usize = fast.cover.marginal[..k_eff].iter().sum();
+        let frac = if self.pool_theta == 0 {
+            0.0
+        } else {
+            covered as f64 / self.pool_theta as f64
+        };
+        QueryOutcome {
+            seeds: fast.cover.seeds[..k_eff].to_vec(),
+            theta_used: self.pool_theta,
+            pool_theta: self.pool_theta,
+            resampled,
+            estimated_spread: frac * self.graph.n() as f64,
+        }
+    }
+
+    /// Estimates `E[I(seeds)]` as `n · F_R(seeds)` over the full pool
+    /// (Corollary 1's unbiased coverage estimator). Warms the pool first
+    /// if cold.
+    ///
+    /// # Panics
+    /// Panics if any seed is outside the graph's node range.
+    pub fn spread(&mut self, seeds: &[NodeId]) -> f64 {
+        if self.pool_theta == 0 {
+            self.warm();
+        }
+        self.pool.coverage_fraction(seeds) * self.graph.n() as f64
+    }
+
+    /// Estimates the marginal spread gain of adding `candidate` to `base`:
+    /// `spread(base ∪ {candidate}) − spread(base)`, both against the full
+    /// pool. Zero when `candidate` is already in `base`.
+    pub fn marginal_gain(&mut self, base: &[NodeId], candidate: NodeId) -> f64 {
+        if base.contains(&candidate) {
+            return 0.0;
+        }
+        if self.pool_theta == 0 {
+            self.warm();
+        }
+        let before = self.pool.count_covered(base);
+        let mut with: Vec<NodeId> = base.to_vec();
+        with.push(candidate);
+        let after = self.pool.count_covered(&with);
+        let denom = self.pool.len().max(1) as f64;
+        (after - before) as f64 / denom * self.graph.n() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tim_diffusion::IndependentCascade;
+    use tim_graph::{gen, weights};
+
+    fn wc_graph(n: usize, seed: u64) -> Graph {
+        let mut g = gen::barabasi_albert(n, 4, 0.0, seed);
+        weights::assign_weighted_cascade(&mut g);
+        g
+    }
+
+    fn engine(seed: u64) -> QueryEngine<IndependentCascade> {
+        QueryEngine::new(wc_graph(300, 1), IndependentCascade, "ic")
+            .epsilon(0.8)
+            .seed(seed)
+            .threads(2)
+            .k_max(12)
+    }
+
+    #[test]
+    fn warm_pool_select_does_not_resample() {
+        let mut e = engine(5);
+        e.warm();
+        let theta = e.pool_theta();
+        assert!(theta > 0);
+        for k in [1usize, 6, 12] {
+            let out = e.select(k);
+            assert_eq!(out.seeds.len(), k);
+            assert!(!out.resampled, "k={k} resampled on a warm pool");
+            assert!(out.theta_used <= theta);
+        }
+        assert_eq!(e.pool_theta(), theta);
+    }
+
+    #[test]
+    fn tighter_epsilon_grows_the_pool() {
+        let mut e = engine(6);
+        e.warm();
+        let before = e.pool_theta();
+        // theta scales as eps^-2: 0.8 -> 0.1 is a 64x demand, far beyond
+        // any over-provisioning the warm-up applied.
+        let out = e.select_with(12, Some(0.1), None);
+        assert!(out.resampled, "eps 0.8 -> 0.1 must grow theta");
+        assert!(out.theta_used > before);
+        assert!(e.pool_theta() >= out.theta_used);
+        // And the old answers are still served without resampling.
+        let again = e.select(12);
+        assert!(!again.resampled);
+    }
+
+    #[test]
+    fn fast_mode_is_a_prefix_of_the_deep_run() {
+        let mut e = engine(7);
+        e.warm();
+        let full = e.select_fast(12);
+        for k in [1usize, 4, 9] {
+            let out = e.select_fast(k);
+            assert_eq!(out.seeds, full.seeds[..k], "fast k={k} is not a prefix");
+            assert!(!out.resampled);
+            assert!(out.estimated_spread <= full.estimated_spread + 1e-9);
+        }
+    }
+
+    #[test]
+    fn spread_and_marginal_agree_with_pool_coverage() {
+        let mut e = engine(8);
+        e.warm();
+        let out = e.select(4);
+        let s = e.spread(&out.seeds);
+        assert!((s - out.estimated_spread).abs() / out.estimated_spread < 0.25);
+        // Marginal gain of an already-chosen seed is 0.
+        assert_eq!(e.marginal_gain(&out.seeds, out.seeds[0]), 0.0);
+        // Submodularity: gain on top of seeds <= gain on empty base.
+        let cand = (0..e.graph().n() as NodeId)
+            .find(|v| !out.seeds.contains(v))
+            .unwrap();
+        let on_seeds = e.marginal_gain(&out.seeds, cand);
+        let on_empty = e.marginal_gain(&[], cand);
+        assert!(on_seeds <= on_empty + 1e-9);
+        assert!(on_empty >= 0.0);
+        // A chosen seed on an empty base recovers its full (positive) gain.
+        assert!(e.marginal_gain(&[], out.seeds[0]) > 0.0);
+    }
+
+    #[test]
+    fn pool_round_trip_preserves_answers() {
+        let mut e = engine(9);
+        e.warm();
+        let want = e.select(5).seeds;
+        let pool = e.to_pool();
+        let mut bytes = Vec::new();
+        pool.write(&mut bytes).unwrap();
+        let loaded = RrPool::read(bytes.as_slice()).unwrap();
+        let mut e2 =
+            QueryEngine::from_pool(wc_graph(300, 1), IndependentCascade, "ic", loaded).unwrap();
+        let out = e2.select(5);
+        assert_eq!(out.seeds, want);
+        assert!(!out.resampled);
+    }
+
+    #[test]
+    fn from_pool_rejects_unusable_parameters_without_panicking() {
+        // f64::from_bits accepts anything, so a decoded pool can carry a
+        // zero/negative/NaN epsilon; attaching must error, not panic.
+        let mut e = engine(11);
+        e.warm();
+        for (eps, ell) in [(0.0, 1.0), (-1.0, 1.0), (f64::NAN, 1.0), (0.5, 0.0)] {
+            let mut pool = e.to_pool();
+            pool.meta.epsilon = eps;
+            pool.meta.ell = ell;
+            assert!(
+                matches!(
+                    QueryEngine::from_pool(wc_graph(300, 1), IndependentCascade, "ic", pool),
+                    Err(EngineError::Format(_))
+                ),
+                "eps={eps} ell={ell} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn from_pool_rejects_wrong_graph_and_model() {
+        let mut e = engine(10);
+        e.warm();
+        let pool = e.to_pool();
+        assert!(matches!(
+            QueryEngine::from_pool(
+                wc_graph(300, 2), // different graph
+                IndependentCascade,
+                "ic",
+                pool.clone()
+            ),
+            Err(EngineError::Mismatch(_))
+        ));
+        assert!(matches!(
+            QueryEngine::from_pool(wc_graph(300, 1), IndependentCascade, "lt", pool),
+            Err(EngineError::Mismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,32 @@
+//! **`tim_engine`** — a reusable influence-query engine over persistent
+//! RR-set pools.
+//!
+//! TIM/TIM+ (Tang, Xiao, Shi; SIGMOD 2014) split influence maximization
+//! into an expensive sampling phase (θ reverse-reachable sets) and a
+//! cheap greedy phase. The rest of this workspace rebuilds both from
+//! scratch per invocation; this crate makes the sampled pool a
+//! **first-class, persistent asset** so a production service can pay the
+//! sampling cost once and answer many queries against it:
+//!
+//! - [`RrPool`] — a serialized [`tim_coverage::SetCollection`] plus a
+//!   provenance header (graph content checksum, model, seed, ε, ℓ, θ)
+//!   that the loader validates before the pool may serve a graph;
+//! - [`QueryEngine`] — answers seed-selection queries for any `k` from a
+//!   warm pool, **byte-identical** to a fresh [`tim_core::TimPlus`] run
+//!   at the same `(seed, ε, ℓ, k)` (exact replay via the sampling
+//!   stream's shard structure), or via a single cached greedy run
+//!   (prefix answering); plus spread and marginal-gain estimates against
+//!   the pool. It resamples only when ε/ℓ/k demand a larger θ than the
+//!   pool holds.
+//!
+//! Pairs with [`tim_graph::snapshot`] (binary `.timg` graph snapshots) so
+//! that a serving process starts without touching a text parser: load
+//! snapshot, load pool, answer queries.
+
+mod engine;
+mod error;
+mod pool;
+
+pub use engine::{QueryEngine, QueryOutcome};
+pub use error::EngineError;
+pub use pool::{PoolMeta, RrPool, POOL_MAGIC, POOL_VERSION};

@@ -1,0 +1,363 @@
+//! Persistent RR-set pools (`.timp`): a serialized
+//! [`SetCollection`] plus the provenance that makes it safe to reuse.
+//!
+//! TIM's cost is dominated by sampling the θ RR sets of the
+//! node-selection phase; the greedy step over them is cheap. A pool file
+//! captures that expensive artifact once so later processes can answer
+//! influence queries without resampling. The provenance header pins
+//! everything the sample depends on — the graph (by content checksum),
+//! the diffusion model, and the `(seed, ε, ℓ)` configuration — and the
+//! loader refuses any mismatch rather than silently serving sets drawn
+//! from a different distribution.
+//!
+//! # File layout (version 1, little-endian)
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 0..4 | magic `b"TIMP"` |
+//! | 4..8 | format version (`u32`) |
+//! | 8..16 | FNV-1a checksum of everything after this field (`u64`) |
+//! | … | provenance: graph checksum, seed, select seed, θ, `k_max`, ε, ℓ, model tag |
+//! | … | collection: universe `n`, set count, member count, offsets, arena |
+
+use crate::error::EngineError;
+use std::io::{Read, Write};
+use std::path::Path;
+use tim_coverage::SetCollection;
+use tim_graph::snapshot::Fnv1a;
+use tim_graph::NodeId;
+
+/// The four magic bytes opening every pool file.
+pub const POOL_MAGIC: [u8; 4] = *b"TIMP";
+
+/// Current pool format version.
+pub const POOL_VERSION: u32 = 1;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Provenance of a pool: everything the sampled sets depend on.
+///
+/// The engine validates all of it before serving queries; see
+/// [`QueryEngine::from_pool`](crate::QueryEngine::from_pool).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolMeta {
+    /// [`tim_graph::snapshot::graph_checksum`] of the graph the sets were
+    /// sampled on (covers adjacency *and* edge probabilities, hence also
+    /// the weight model).
+    pub graph_checksum: u64,
+    /// Diffusion model tag (`"ic"` / `"lt"`).
+    pub model: String,
+    /// Approximation slack ε the pool was built for.
+    pub epsilon: f64,
+    /// Failure exponent ℓ the pool was built for.
+    pub ell: f64,
+    /// The run seed queries replicate.
+    pub seed: u64,
+    /// Largest `k` the pool was warmed for (informational; queries beyond
+    /// it trigger a resample rather than an error).
+    pub k_max: u32,
+    /// Number of RR sets stored (θ of the pool).
+    pub theta: u64,
+    /// Seed of the node-selection sampling stream
+    /// ([`tim_core::select_stream_seed`] of `seed`).
+    pub select_seed: u64,
+}
+
+/// A serialized RR-set pool: provenance plus the sets themselves.
+#[derive(Debug, Clone)]
+pub struct RrPool {
+    /// Provenance header.
+    pub meta: PoolMeta,
+    /// The sampled RR sets, in generation (shard) order.
+    pub sets: SetCollection,
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize, what: &str) -> Result<&'a [u8], EngineError> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(EngineError::Format(format!(
+                "pool truncated while reading {what}"
+            ))),
+        }
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, EngineError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, EngineError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4-byte slice"),
+        ))
+    }
+}
+
+impl RrPool {
+    /// Serializes the pool into `writer`.
+    pub fn write<W: Write>(&self, mut writer: W) -> Result<(), EngineError> {
+        let sets = &self.sets;
+        let mut payload = Vec::with_capacity(
+            64 + self.meta.model.len() + sets.raw_offsets().len() * 8 + sets.raw_data().len() * 4,
+        );
+        put_u64(&mut payload, self.meta.graph_checksum);
+        put_u64(&mut payload, self.meta.seed);
+        put_u64(&mut payload, self.meta.select_seed);
+        put_u64(&mut payload, self.meta.theta);
+        payload.extend_from_slice(&self.meta.k_max.to_le_bytes());
+        put_u64(&mut payload, self.meta.epsilon.to_bits());
+        put_u64(&mut payload, self.meta.ell.to_bits());
+        let model = self.meta.model.as_bytes();
+        payload.extend_from_slice(&(model.len() as u32).to_le_bytes());
+        payload.extend_from_slice(model);
+        put_u64(&mut payload, sets.universe() as u64);
+        put_u64(&mut payload, sets.len() as u64);
+        put_u64(&mut payload, sets.total_members() as u64);
+        for &o in sets.raw_offsets() {
+            put_u64(&mut payload, o as u64);
+        }
+        for &v in sets.raw_data() {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+
+        writer.write_all(&POOL_MAGIC)?;
+        writer.write_all(&POOL_VERSION.to_le_bytes())?;
+        writer.write_all(&fnv1a(&payload).to_le_bytes())?;
+        writer.write_all(&payload)?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Deserializes a pool from any reader, verifying magic, version,
+    /// checksum, and the collection's structural invariants.
+    pub fn read<R: Read>(mut reader: R) -> Result<Self, EngineError> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Self::decode(&bytes)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, EngineError> {
+        let mut cur = Cursor { buf: bytes, pos: 0 };
+        if cur.take(4, "magic")? != POOL_MAGIC {
+            return Err(EngineError::Format(
+                "not a TIMP pool file (bad magic)".into(),
+            ));
+        }
+        let version = cur.u32("version")?;
+        if version != POOL_VERSION {
+            return Err(EngineError::Format(format!(
+                "unsupported pool version {version} (expected {POOL_VERSION})"
+            )));
+        }
+        let stored = cur.u64("checksum")?;
+        let actual = fnv1a(&bytes[cur.pos..]);
+        if stored != actual {
+            return Err(EngineError::Format(format!(
+                "pool checksum mismatch: file says {stored:#018x}, payload hashes to {actual:#018x}"
+            )));
+        }
+
+        let graph_checksum = cur.u64("graph checksum")?;
+        let seed = cur.u64("seed")?;
+        let select_seed = cur.u64("select seed")?;
+        let theta = cur.u64("theta")?;
+        let k_max = cur.u32("k_max")?;
+        let epsilon = f64::from_bits(cur.u64("epsilon")?);
+        let ell = f64::from_bits(cur.u64("ell")?);
+        let model_len = cur.u32("model tag length")? as usize;
+        let model = String::from_utf8(cur.take(model_len, "model tag")?.to_vec())
+            .map_err(|_| EngineError::Format("model tag is not UTF-8".into()))?;
+
+        let n = cur.u64("universe")? as usize;
+        let num_sets = cur.u64("set count")? as usize;
+        let members = cur.u64("member count")? as usize;
+        if num_sets as u64 != theta {
+            return Err(EngineError::Format(format!(
+                "pool stores {num_sets} sets but header claims theta = {theta}"
+            )));
+        }
+        let offsets_len = num_sets
+            .checked_add(1)
+            .ok_or_else(|| EngineError::Format("set count overflows".into()))?;
+        // Bounds-check against the actual payload BEFORE allocating: the
+        // header is untrusted, and a huge claimed count must fail as a
+        // truncation error, not an allocation abort.
+        let raw = cur.take(
+            offsets_len
+                .checked_mul(8)
+                .ok_or_else(|| EngineError::Format("offsets length overflows".into()))?,
+            "offsets",
+        )?;
+        let offsets: Vec<usize> = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as usize)
+            .collect();
+        let raw = cur.take(
+            members
+                .checked_mul(4)
+                .ok_or_else(|| EngineError::Format("arena length overflows".into()))?,
+            "member arena",
+        )?;
+        let data: Vec<NodeId> = raw
+            .chunks_exact(4)
+            .map(|c| NodeId::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect();
+        if cur.pos != bytes.len() {
+            return Err(EngineError::Format(format!(
+                "{} trailing bytes after pool payload",
+                bytes.len() - cur.pos
+            )));
+        }
+
+        let sets = SetCollection::from_raw_parts(n, data, offsets)
+            .map_err(|e| EngineError::Format(format!("invalid set collection: {e}")))?;
+        Ok(RrPool {
+            meta: PoolMeta {
+                graph_checksum,
+                model,
+                epsilon,
+                ell,
+                seed,
+                k_max,
+                theta,
+                select_seed,
+            },
+            sets,
+        })
+    }
+
+    /// Saves the pool to `path`.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), EngineError> {
+        let file = std::fs::File::create(path)?;
+        self.write(std::io::BufWriter::new(file))
+    }
+
+    /// Loads a pool from `path`.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, EngineError> {
+        Self::decode(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pool() -> RrPool {
+        let mut sets = SetCollection::new(10);
+        sets.push(&[0, 1, 2]);
+        sets.push(&[3]);
+        sets.push(&[4, 5]);
+        RrPool {
+            meta: PoolMeta {
+                graph_checksum: 0xDEAD_BEEF,
+                model: "ic".into(),
+                epsilon: 0.1,
+                ell: 1.0,
+                seed: 42,
+                k_max: 5,
+                theta: 3,
+                select_seed: 77,
+            },
+            sets,
+        }
+    }
+
+    fn encode(pool: &RrPool) -> Vec<u8> {
+        let mut buf = Vec::new();
+        pool.write(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_meta_and_sets() {
+        let pool = sample_pool();
+        let loaded = RrPool::read(encode(&pool).as_slice()).unwrap();
+        assert_eq!(loaded.meta, pool.meta);
+        assert_eq!(loaded.sets.len(), pool.sets.len());
+        for i in 0..pool.sets.len() {
+            assert_eq!(loaded.sets.set(i), pool.sets.set(i));
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let pool = sample_pool();
+        let good = encode(&pool);
+        for (mutate, what) in [(0usize, "magic"), (4, "version"), (30, "payload")] {
+            let mut bytes = good.clone();
+            bytes[mutate] ^= 0xFF;
+            assert!(
+                RrPool::read(bytes.as_slice()).is_err(),
+                "corrupting {what} must fail"
+            );
+        }
+        for cut in [0, 10, good.len() - 1] {
+            assert!(RrPool::read(&good[..cut]).is_err());
+        }
+        let mut long = good.clone();
+        long.push(7);
+        assert!(RrPool::read(long.as_slice()).is_err());
+    }
+
+    #[test]
+    fn huge_claimed_set_count_fails_as_truncation_not_allocation() {
+        // The header is untrusted: a claimed theta of 2^60 must be caught
+        // by payload bounds checks, not by attempting the allocation.
+        let pool = sample_pool();
+        let mut bytes = encode(&pool);
+        let huge = (1u64 << 60).to_le_bytes();
+        // Payload layout: checksum'd region starts at byte 16; theta is at
+        // payload offset 24, the set count at offset 66 (after the 2-byte
+        // "ic" model tag and the universe).
+        bytes[16 + 24..16 + 32].copy_from_slice(&huge);
+        bytes[16 + 66..16 + 74].copy_from_slice(&huge);
+        let checksum = fnv1a(&bytes[16..]);
+        bytes[8..16].copy_from_slice(&checksum.to_le_bytes());
+        match RrPool::read(bytes.as_slice()) {
+            Err(EngineError::Format(m)) => assert!(m.contains("truncated"), "{m}"),
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn theta_set_count_mismatch_is_rejected() {
+        let mut pool = sample_pool();
+        pool.meta.theta = 99;
+        assert!(matches!(
+            RrPool::read(encode(&pool).as_slice()),
+            Err(EngineError::Format(m)) if m.contains("theta")
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let pool = sample_pool();
+        let dir = std::env::temp_dir().join(format!("timp_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.timp");
+        pool.save(&path).unwrap();
+        let loaded = RrPool::load(&path).unwrap();
+        assert_eq!(loaded.meta, pool.meta);
+        std::fs::remove_file(&path).ok();
+    }
+}

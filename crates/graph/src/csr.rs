@@ -49,6 +49,32 @@ pub struct DegreeStats {
 }
 
 impl Graph {
+    /// Builds a graph directly from `(src, dst, probability)` triples over
+    /// the node universe `0..n` — a one-call convenience over
+    /// [`GraphBuilder`](crate::GraphBuilder), with the same semantics
+    /// (self-loops dropped, parallel edges merged keeping the highest
+    /// probability).
+    ///
+    /// ```
+    /// use tim_graph::Graph;
+    ///
+    /// let g = Graph::from_edges(3, [(0, 1, 0.5), (1, 2, 1.0), (1, 1, 0.9)]);
+    /// assert_eq!(g.n(), 3);
+    /// assert_eq!(g.m(), 2); // the self-loop is dropped
+    /// assert_eq!(g.out_neighbors(1), &[2]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if an endpoint is outside `0..n` or a probability is outside
+    /// `[0, 1]`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId, f32)>) -> Graph {
+        let mut b = crate::GraphBuilder::new(n);
+        for (u, v, p) in edges {
+            b.add_edge_with_probability(u, v, p);
+        }
+        b.build()
+    }
+
     /// Number of nodes `n`.
     #[inline]
     pub fn n(&self) -> usize {

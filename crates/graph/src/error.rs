@@ -28,6 +28,12 @@ pub enum GraphError {
         /// Explanation of what failed.
         message: String,
     },
+    /// A binary snapshot was malformed, truncated, version-mismatched, or
+    /// failed its checksum.
+    Snapshot {
+        /// Explanation of what failed.
+        message: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -43,6 +49,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Snapshot { message } => {
+                write!(f, "snapshot error: {message}")
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }

@@ -21,6 +21,14 @@ pub struct LoadedGraph {
 }
 
 impl LoadedGraph {
+    /// Wraps a graph that never had external labels with the identity
+    /// label map (`label_of(i) == i`), so generated graphs can flow through
+    /// label-aware code paths such as snapshot saving.
+    pub fn from_dense(graph: Graph) -> Self {
+        let labels = (0..graph.n() as u64).collect();
+        LoadedGraph { graph, labels }
+    }
+
     /// Maps a dense node id back to its original label.
     pub fn label_of(&self, node: crate::NodeId) -> u64 {
         self.labels[node as usize]
@@ -120,6 +128,20 @@ pub fn load_edge_list<P: AsRef<Path>>(
 ) -> Result<LoadedGraph, GraphError> {
     let file = std::fs::File::open(path)?;
     read_edge_list(file, undirected)
+}
+
+/// Loads a graph from either a text edge list or a binary
+/// [`snapshot`](crate::snapshot), dispatching on the file's magic bytes
+/// rather than its extension.
+///
+/// `undirected` only affects the text loader: snapshots already store the
+/// final arc set, so the flag is ignored for them.
+pub fn load_graph<P: AsRef<Path>>(path: P, undirected: bool) -> Result<LoadedGraph, GraphError> {
+    if crate::snapshot::sniff_snapshot(&path)? {
+        crate::snapshot::load_snapshot(path)
+    } else {
+        load_edge_list(path, undirected)
+    }
 }
 
 /// Writes `graph` as `src dst p` lines (dense ids).

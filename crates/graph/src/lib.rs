@@ -18,7 +18,11 @@
 //! - [`gen`] — deterministic synthetic generators (Erdős–Rényi G(n,m),
 //!   directed Barabási–Albert, Watts–Strogatz, power-law configuration
 //!   model) used as stand-ins for the paper's datasets;
-//! - [`io`] — a SNAP-style whitespace edge-list reader/writer.
+//! - [`io`] — a SNAP-style whitespace edge-list reader/writer, plus
+//!   [`io::load_graph`] which transparently dispatches between text and
+//!   binary inputs;
+//! - [`snapshot`] — versioned, checksummed binary graph snapshots
+//!   (`.timg`) that skip text parsing and label remapping entirely.
 
 pub mod analysis;
 mod builder;
@@ -26,6 +30,7 @@ mod csr;
 mod error;
 pub mod gen;
 pub mod io;
+pub mod snapshot;
 pub mod weights;
 
 pub use builder::GraphBuilder;

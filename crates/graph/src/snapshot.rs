@@ -1,0 +1,502 @@
+//! Versioned, checksummed binary graph snapshots (`.timg`).
+//!
+//! Text edge lists are convenient for interchange but expensive to load:
+//! every line is parsed, labels are interned through a hash map, and the
+//! CSR layout is rebuilt from scratch. A snapshot stores the finished
+//! product — both CSR directions, the edge probabilities, and the
+//! label map — so loading is a bounds-checked `memcpy` plus a checksum
+//! pass, and the loaded [`Graph`] is bit-identical to the one that was
+//! saved.
+//!
+//! # File layout (version 1, little-endian)
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 0..4 | magic `b"TIMG"` |
+//! | 4..8 | format version (`u32`) |
+//! | 8..16 | FNV-1a checksum of everything after this field (`u64`) |
+//! | 16..32 | `n`, `m` (`u64` each) |
+//! | … | `out_offsets` (`(n+1)×u64`), `out_targets` (`m×u32`), `out_probs` (`m×f32` as bits) |
+//! | … | `in_offsets` (`(n+1)×u64`), `in_sources` (`m×u32`), `in_probs` (`m×f32` as bits) |
+//! | … | `labels` (`n×u64`) |
+//!
+//! Any truncation, trailing garbage, bit flip, or structural violation is
+//! rejected with [`GraphError::Snapshot`].
+//!
+//! ```
+//! use tim_graph::{snapshot, Graph};
+//!
+//! let g = Graph::from_edges(3, [(0, 1, 0.5), (1, 2, 0.25)]);
+//! let labels = vec![10, 20, 30];
+//! let mut buf = Vec::new();
+//! snapshot::write_snapshot(&g, &labels, &mut buf).unwrap();
+//!
+//! let loaded = snapshot::read_snapshot(buf.as_slice()).unwrap();
+//! assert_eq!(loaded.graph.m(), 2);
+//! assert_eq!(loaded.label_of(1), 20);
+//! assert_eq!(snapshot::graph_checksum(&loaded.graph), snapshot::graph_checksum(&g));
+//! ```
+
+use crate::io::LoadedGraph;
+use crate::{Graph, GraphError, NodeId};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The four magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 4] = *b"TIMG";
+
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// Streaming FNV-1a (64-bit) hasher; dependency-free and fast enough to
+/// checksum multi-hundred-megabyte snapshots in a single pass.
+///
+/// This is the single checksum implementation shared by every binary
+/// format in the workspace (`.timg` here, `.timp` pools in `tim_engine`)
+/// — integrity protection against corruption, **not** a MAC.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Absorbs one little-endian `u64`.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Content checksum of a graph: a pure function of `(n, forward CSR,
+/// probabilities)`.
+///
+/// Two graphs have equal checksums exactly when they have identical node
+/// counts, adjacency, and bit-identical edge probabilities — the reverse
+/// CSR is derived data and is deliberately excluded. RR-set pools record
+/// this value as provenance so a pool can refuse to serve a graph it was
+/// not sampled from.
+pub fn graph_checksum(graph: &Graph) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update_u64(graph.n() as u64);
+    h.update_u64(graph.m() as u64);
+    for v in 0..graph.n() as NodeId {
+        h.update_u64(graph.out_degree(v) as u64);
+        for (&t, &p) in graph
+            .out_neighbors(v)
+            .iter()
+            .zip(graph.out_probabilities(v))
+        {
+            h.update_u64(u64::from(t));
+            h.update_u64(u64::from(p.to_bits()));
+        }
+    }
+    h.finish()
+}
+
+fn put_u64s(buf: &mut Vec<u8>, values: impl IntoIterator<Item = u64>) {
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_u32s(buf: &mut Vec<u8>, values: impl IntoIterator<Item = u32>) {
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Serializes `graph` and its label map into `writer`.
+///
+/// `labels[i]` must be the original label of dense node `i`; pass
+/// `(0..n as u64)` (see [`LoadedGraph::from_dense`]) for graphs that never
+/// had external labels. Errors if `labels.len() != graph.n()`.
+pub fn write_snapshot<W: Write>(
+    graph: &Graph,
+    labels: &[u64],
+    mut writer: W,
+) -> Result<(), GraphError> {
+    if labels.len() != graph.n() {
+        return Err(GraphError::Snapshot {
+            message: format!(
+                "label map has {} entries for a {}-node graph",
+                labels.len(),
+                graph.n()
+            ),
+        });
+    }
+    let n = graph.n();
+    let m = graph.m();
+    let mut payload = Vec::with_capacity(16 + (n + 1) * 16 + m * 16 + n * 8);
+    put_u64s(&mut payload, [n as u64, m as u64]);
+    put_u64s(&mut payload, graph.out_offsets.iter().map(|&o| o as u64));
+    put_u32s(&mut payload, graph.out_targets.iter().copied());
+    put_u32s(&mut payload, graph.out_probs.iter().map(|p| p.to_bits()));
+    put_u64s(&mut payload, graph.in_offsets.iter().map(|&o| o as u64));
+    put_u32s(&mut payload, graph.in_sources.iter().copied());
+    put_u32s(&mut payload, graph.in_probs.iter().map(|p| p.to_bits()));
+    put_u64s(&mut payload, labels.iter().copied());
+
+    let mut checksum = Fnv1a::new();
+    checksum.update(&payload);
+
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&checksum.finish().to_le_bytes())?;
+    writer.write_all(&payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Byte-slice cursor used by the decoder; every read is bounds-checked so
+/// truncated files produce a clean [`GraphError::Snapshot`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize, what: &str) -> Result<&'a [u8], GraphError> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(GraphError::Snapshot {
+                message: format!("truncated while reading {what}"),
+            }),
+        }
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, GraphError> {
+        let bytes = self.take(8, what)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn u64s(&mut self, count: usize, what: &str) -> Result<Vec<u64>, GraphError> {
+        let bytes = self.take(count.checked_mul(8).ok_or_else(|| overflow(what))?, what)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect())
+    }
+
+    fn u32s(&mut self, count: usize, what: &str) -> Result<Vec<u32>, GraphError> {
+        let bytes = self.take(count.checked_mul(4).ok_or_else(|| overflow(what))?, what)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect())
+    }
+}
+
+fn overflow(what: &str) -> GraphError {
+    GraphError::Snapshot {
+        message: format!("{what} length overflows"),
+    }
+}
+
+fn offsets_from(raw: Vec<u64>, m: usize, what: &str) -> Result<Vec<usize>, GraphError> {
+    let offsets: Vec<usize> = raw.into_iter().map(|o| o as usize).collect();
+    if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
+        return Err(GraphError::Snapshot {
+            message: format!("{what} must run from 0 to the edge count"),
+        });
+    }
+    Ok(offsets)
+}
+
+/// Deserializes a snapshot from any reader, verifying the magic, version,
+/// checksum, and all CSR invariants before returning the graph.
+pub fn read_snapshot<R: Read>(mut reader: R) -> Result<LoadedGraph, GraphError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    decode_snapshot(&bytes)
+}
+
+fn decode_snapshot(bytes: &[u8]) -> Result<LoadedGraph, GraphError> {
+    let mut cur = Cursor { buf: bytes, pos: 0 };
+    let magic = cur.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(GraphError::Snapshot {
+            message: "not a TIMG snapshot (bad magic)".into(),
+        });
+    }
+    let version = u32::from_le_bytes(cur.take(4, "version")?.try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(GraphError::Snapshot {
+            message: format!("unsupported snapshot version {version} (expected {VERSION})"),
+        });
+    }
+    let stored_checksum = cur.u64("checksum")?;
+    let payload = &bytes[cur.pos..];
+    let mut checksum = Fnv1a::new();
+    checksum.update(payload);
+    if checksum.finish() != stored_checksum {
+        return Err(GraphError::Snapshot {
+            message: format!(
+                "checksum mismatch: file says {stored_checksum:#018x}, payload hashes to {:#018x}",
+                checksum.finish()
+            ),
+        });
+    }
+
+    let n = cur.u64("node count")? as usize;
+    let m = cur.u64("edge count")? as usize;
+    let n1 = n.checked_add(1).ok_or_else(|| GraphError::Snapshot {
+        message: "node count overflows".into(),
+    })?;
+    let out_offsets = offsets_from(cur.u64s(n1, "out offsets")?, m, "out offsets")?;
+    let out_targets: Vec<NodeId> = cur.u32s(m, "out targets")?;
+    let out_probs: Vec<f32> = cur
+        .u32s(m, "out probabilities")?
+        .into_iter()
+        .map(f32::from_bits)
+        .collect();
+    let in_offsets = offsets_from(cur.u64s(n1, "in offsets")?, m, "in offsets")?;
+    let in_sources: Vec<NodeId> = cur.u32s(m, "in sources")?;
+    let in_probs: Vec<f32> = cur
+        .u32s(m, "in probabilities")?
+        .into_iter()
+        .map(f32::from_bits)
+        .collect();
+    let labels = cur.u64s(n, "labels")?;
+    if cur.pos != bytes.len() {
+        return Err(GraphError::Snapshot {
+            message: format!("{} trailing bytes after payload", bytes.len() - cur.pos),
+        });
+    }
+
+    let graph = Graph {
+        n,
+        out_offsets,
+        out_targets,
+        out_probs,
+        in_offsets,
+        in_sources,
+        in_probs,
+    };
+    graph.validate().map_err(|message| GraphError::Snapshot {
+        message: format!("invalid CSR in snapshot: {message}"),
+    })?;
+    Ok(LoadedGraph { graph, labels })
+}
+
+/// Saves `graph` and its label map to `path`.
+pub fn save_snapshot<P: AsRef<Path>>(
+    graph: &Graph,
+    labels: &[u64],
+    path: P,
+) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_snapshot(graph, labels, std::io::BufWriter::new(file))
+}
+
+/// Loads a snapshot from `path`.
+pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, GraphError> {
+    decode_snapshot(&std::fs::read(path)?)
+}
+
+/// True when the file at `path` starts with the snapshot magic bytes.
+///
+/// Used by [`io::load_graph`](crate::io::load_graph) to dispatch between
+/// the text and binary loaders without relying on file extensions.
+pub fn sniff_snapshot<P: AsRef<Path>>(path: P) -> Result<bool, GraphError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut head = [0u8; 4];
+    let mut filled = 0;
+    while filled < head.len() {
+        match file.read(&mut head[filled..])? {
+            0 => return Ok(false), // shorter than the magic: not a snapshot
+            k => filled += k,
+        }
+    }
+    Ok(head == MAGIC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, weights};
+
+    fn sample() -> (Graph, Vec<u64>) {
+        let mut g = gen::barabasi_albert(80, 3, 0.1, 7);
+        weights::assign_weighted_cascade(&mut g);
+        let labels: Vec<u64> = (0..g.n() as u64).map(|i| i * 17 + 3).collect();
+        (g, labels)
+    }
+
+    fn encode(g: &Graph, labels: &[u64]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot(g, labels, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let (g, labels) = sample();
+        let loaded = read_snapshot(encode(&g, &labels).as_slice()).unwrap();
+        assert_eq!(loaded.labels, labels);
+        assert_eq!(loaded.graph.n(), g.n());
+        assert_eq!(loaded.graph.m(), g.m());
+        for v in 0..g.n() as NodeId {
+            assert_eq!(loaded.graph.out_neighbors(v), g.out_neighbors(v));
+            assert_eq!(loaded.graph.out_probabilities(v), g.out_probabilities(v));
+            assert_eq!(loaded.graph.in_neighbors(v), g.in_neighbors(v));
+            assert_eq!(loaded.graph.in_probabilities(v), g.in_probabilities(v));
+        }
+        assert_eq!(graph_checksum(&loaded.graph), graph_checksum(&g));
+    }
+
+    #[test]
+    fn checksum_distinguishes_probability_changes() {
+        let (mut g, _) = sample();
+        let before = graph_checksum(&g);
+        weights::assign_constant(&mut g, 0.123);
+        assert_ne!(before, graph_checksum(&g));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let (g, labels) = sample();
+        let mut bytes = encode(&g, &labels);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            read_snapshot(bytes.as_slice()),
+            Err(GraphError::Snapshot { message }) if message.contains("magic")
+        ));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let (g, labels) = sample();
+        let mut bytes = encode(&g, &labels);
+        bytes[4] = 99;
+        assert!(matches!(
+            read_snapshot(bytes.as_slice()),
+            Err(GraphError::Snapshot { message }) if message.contains("version")
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let (g, labels) = sample();
+        let mut bytes = encode(&g, &labels);
+        let mid = 16 + (bytes.len() - 16) / 2;
+        bytes[mid] ^= 0x01;
+        assert!(matches!(
+            read_snapshot(bytes.as_slice()),
+            Err(GraphError::Snapshot { message }) if message.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let (g, labels) = sample();
+        let bytes = encode(&g, &labels);
+        for cut in [0, 3, 7, 15, 40, bytes.len() - 1] {
+            assert!(
+                read_snapshot(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (g, labels) = sample();
+        let mut bytes = encode(&g, &labels);
+        bytes.push(0);
+        // The appended byte breaks the checksum first; either message is a
+        // rejection, which is what matters.
+        assert!(read_snapshot(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn huge_claimed_node_count_is_rejected_cleanly() {
+        // n = u64::MAX with a valid checksum must fail as a snapshot
+        // error (overflow/truncation), never panic or allocate.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u64::MAX.to_le_bytes()); // n
+        payload.extend_from_slice(&0u64.to_le_bytes()); // m
+        let mut h = Fnv1a::new();
+        h.update(&payload);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&h.finish().to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        match read_snapshot(bytes.as_slice()) {
+            Err(GraphError::Snapshot { message }) => {
+                assert!(message.contains("overflow"), "{message}")
+            }
+            other => panic!("expected snapshot error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_label_count_is_an_error() {
+        let (g, _) = sample();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_snapshot(&g, &[1, 2, 3], &mut buf),
+            Err(GraphError::Snapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_sniffing() {
+        let (g, labels) = sample();
+        let dir = std::env::temp_dir().join(format!("timg_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("g.timg");
+        let text = dir.join("g.txt");
+        save_snapshot(&g, &labels, &snap).unwrap();
+        crate::io::save_edge_list(&g, &text).unwrap();
+        assert!(sniff_snapshot(&snap).unwrap());
+        assert!(!sniff_snapshot(&text).unwrap());
+        let loaded = load_snapshot(&snap).unwrap();
+        assert_eq!(loaded.labels, labels);
+        assert_eq!(graph_checksum(&loaded.graph), graph_checksum(&g));
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&text).ok();
+    }
+
+    #[test]
+    fn empty_file_is_not_a_snapshot() {
+        let dir = std::env::temp_dir().join(format!("timg_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty");
+        std::fs::write(&path, b"").unwrap();
+        assert!(!sniff_snapshot(&path).unwrap());
+        assert!(read_snapshot(std::fs::File::open(&path).unwrap()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

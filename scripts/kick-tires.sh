@@ -34,6 +34,27 @@ echo "selected seeds: $SEEDS"
 "$TIM" evaluate "$GRAPH" --seeds "$SEEDS" --model ic --weights wc --runs 2000 --seed 7 \
     | tee out/kick-tires/evaluate.txt
 
+echo "== snapshot: binary graph round trip =="
+SNAP=out/kick-tires/ba_small.timg
+"$TIM" snapshot "$GRAPH" --out "$SNAP" | tee out/kick-tires/snapshot.txt
+"$TIM" stats "$SNAP" > /dev/null   # transparent .timg input
+
+echo "== query engine: warm pool answers == fresh select =="
+POOL=out/kick-tires/ba_small.timp
+{
+    echo "select 10"
+    echo "select 5"
+    echo "eval $SEEDS"
+    echo "marginal $(head -1 out/kick-tires/select.txt) $(sed -n 2p out/kick-tires/select.txt)"
+    echo "select 3 fast"
+} | "$TIM" query "$SNAP" --pool "$POOL" -k 10 --eps 0.3 --seed 7 \
+    | tee out/kick-tires/query.txt
+# The k=10 query answer must be byte-identical to the fresh select run.
+head -1 out/kick-tires/query.txt | sed 's/^seeds: //' | tr ' ' '\n' \
+    > out/kick-tires/query_seeds.txt
+diff out/kick-tires/select.txt out/kick-tires/query_seeds.txt \
+    && echo "warm-pool seeds byte-identical to fresh select: OK"
+
 echo "== experiment driver (quick): Figure 4 phase breakdown =="
 cargo run --release -p tim_bench --bin experiments -- fig4 --quick --scale 0.2 \
     | tee out/kick-tires/fig4_quick.txt

@@ -38,6 +38,7 @@ pub use tim_baselines as baselines;
 pub use tim_core as core;
 pub use tim_coverage as coverage;
 pub use tim_diffusion as diffusion;
+pub use tim_engine as engine;
 pub use tim_eval as eval;
 pub use tim_graph as graph;
 pub use tim_rng as rng;
@@ -54,11 +55,12 @@ pub mod prelude {
         simpath::SimPath,
         SeedSelector,
     };
-    pub use tim_core::{Imm, ImmResult, Tim, TimPlus, TimResult};
+    pub use tim_core::{Imm, ImmResult, SamplingPlan, Tim, TimPlus, TimResult};
     pub use tim_diffusion::{
         CustomTriggering, DiffusionModel, IndependentCascade, LinearThreshold, RrSampler,
         SimWorkspace, SpreadEstimator,
     };
-    pub use tim_graph::{gen, io, weights, Graph, GraphBuilder, NodeId};
+    pub use tim_engine::{QueryEngine, QueryOutcome, RrPool};
+    pub use tim_graph::{gen, io, snapshot, weights, Graph, GraphBuilder, NodeId};
     pub use tim_rng::{RandomSource, Rng};
 }
