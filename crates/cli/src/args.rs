@@ -70,17 +70,10 @@ impl Args {
     }
 }
 
-/// Parses a comma-separated list of node labels.
-pub fn parse_id_list(s: &str) -> Result<Vec<u64>, String> {
-    s.split(',')
-        .filter(|t| !t.is_empty())
-        .map(|t| {
-            t.trim()
-                .parse::<u64>()
-                .map_err(|_| format!("bad node id '{t}'"))
-        })
-        .collect()
-}
+// The id-list grammar is owned by the wire protocol (`--seeds` uses the
+// same `id,id,...` form as protocol queries); re-export the single
+// implementation rather than keeping a drift-prone copy here.
+pub use tim_server::protocol::parse_id_list;
 
 #[cfg(test)]
 mod tests {

@@ -1,8 +1,9 @@
-//! The six subcommands: select, evaluate, stats, generate, snapshot,
-//! query.
+//! The eight subcommands: select, evaluate, stats, generate, snapshot,
+//! query, serve, client.
 
 use crate::args::{parse_id_list, Args};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 use tim_baselines::{
     celf::CelfGreedy, degree_discount::DegreeDiscount, high_degree::HighDegree, irie::Irie,
     pagerank::PageRank, ris::Ris, simpath::SimPath, SeedSelector,
@@ -13,6 +14,7 @@ use tim_engine::{QueryEngine, RrPool};
 use tim_eval::Dataset;
 use tim_graph::io::LoadedGraph;
 use tim_graph::{analysis, io, snapshot, weights, Graph, NodeId};
+use tim_server::{protocol, LabelMap, Server, ServerConfig, ServerState};
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
@@ -31,7 +33,16 @@ usage:
                (reads line-delimited queries from stdin:
                   select <k> [fast] [eps=<v>] [ell=<v>]
                   eval <id,id,...>
-                  marginal <id,id,...> <cand-id>)
+                  marginal <id,id,...> <cand-id>
+                  ping)
+  tim serve    <graph> [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
+               [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
+               [--seed 0] [--pool <path.timp>] [--undirected] [--quiet]
+               (serves the query protocol over TCP; prints `listening on <addr>`
+                on stdout when bound — see docs/PROTOCOL.md)
+  tim client   --addr <host:port>
+               (pipes line-delimited queries from stdin to a running server,
+                answers to stdout)
 
   <graph> is a SNAP-style text edge list or a binary .timg snapshot
   (auto-detected by content, not extension).";
@@ -49,6 +60,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "generate" => generate(&args),
         "snapshot" => snapshot_cmd(&args),
         "query" => query(&args),
+        "serve" => serve(&args),
+        "client" => client(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -444,6 +457,9 @@ fn query_with<M: DiffusionModel + Sync + Clone>(
 /// Runs the line-delimited query protocol: one answer line on `out` per
 /// input line. Malformed queries produce an `error: …` line and the
 /// session continues — batch workloads should not die on one bad line.
+///
+/// Delegates every line to [`tim_server::protocol`] — the same code that
+/// serves `tim serve` connections, so the two front ends cannot drift.
 fn query_session<M: DiffusionModel + Sync + Clone>(
     engine: &mut QueryEngine<M>,
     labels: &[u64],
@@ -451,113 +467,145 @@ fn query_session<M: DiffusionModel + Sync + Clone>(
     out: &mut impl Write,
     quiet: bool,
 ) -> Result<(), String> {
-    let to_dense: std::collections::HashMap<u64, NodeId> = labels
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| (l, i as NodeId))
-        .collect();
-    let dense_seeds = |spec: &str| -> Result<Vec<NodeId>, String> {
-        parse_id_list(spec)?
-            .into_iter()
-            .map(|l| {
-                to_dense
-                    .get(&l)
-                    .copied()
-                    .ok_or_else(|| format!("label {l} not present in the graph"))
-            })
-            .collect()
-    };
-
+    let map = LabelMap::new(labels.to_vec());
     for line in input.lines() {
         let line = line.map_err(|e| format!("reading queries: {e}"))?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+        let Some(reply) = protocol::handle_line(engine, &map, &line) else {
+            continue; // blank line or comment
+        };
+        if !quiet {
+            if let Some(note) = &reply.note {
+                eprintln!("{note}");
+            }
         }
-        let mut tokens = trimmed.split_whitespace();
-        let answer = match tokens.next() {
-            Some("select") => (|| -> Result<String, String> {
-                let k: usize = tokens
-                    .next()
-                    .ok_or("select: missing k")?
-                    .parse()
-                    .map_err(|_| "select: bad k".to_string())?;
-                if k == 0 {
-                    return Err("select: k must be positive".into());
-                }
-                let mut fast = false;
-                let (mut eps, mut ell) = (None, None);
-                for t in tokens.by_ref() {
-                    if t == "fast" {
-                        fast = true;
-                    } else if let Some(v) = t.strip_prefix("eps=") {
-                        eps = Some(v.parse().map_err(|_| format!("select: bad eps '{v}'"))?);
-                    } else if let Some(v) = t.strip_prefix("ell=") {
-                        ell = Some(v.parse().map_err(|_| format!("select: bad ell '{v}'"))?);
-                    } else {
-                        return Err(format!("select: unknown option '{t}'"));
-                    }
-                }
-                let outcome = if fast {
-                    if eps.is_some() || ell.is_some() {
-                        return Err("select: fast mode uses the pool's eps/ell".into());
-                    }
-                    engine.select_fast(k)
-                } else {
-                    engine.select_with(k, eps, ell)
-                };
-                if !quiet {
-                    eprintln!(
-                        "select k={k}: theta = {}{}",
-                        outcome.theta_used,
-                        if outcome.resampled {
-                            " (resampled)"
-                        } else {
-                            ""
-                        }
-                    );
-                }
-                let label_list: Vec<String> = outcome
-                    .seeds
-                    .iter()
-                    .map(|&v| labels[v as usize].to_string())
-                    .collect();
-                Ok(format!("seeds: {}", label_list.join(" ")))
-            })(),
-            Some("eval") => (|| -> Result<String, String> {
-                let spec = tokens.next().ok_or("eval: missing seed list")?;
-                if tokens.next().is_some() {
-                    return Err("eval: trailing tokens".into());
-                }
-                let seeds = dense_seeds(spec)?;
-                if seeds.is_empty() {
-                    return Err("eval: empty seed list".into());
-                }
-                Ok(format!("spread: {:.2}", engine.spread(&seeds)))
-            })(),
-            Some("marginal") => (|| -> Result<String, String> {
-                let base_spec = tokens.next().ok_or("marginal: missing base seed list")?;
-                let cand_spec = tokens.next().ok_or("marginal: missing candidate id")?;
-                if tokens.next().is_some() {
-                    return Err("marginal: trailing tokens".into());
-                }
-                let base = dense_seeds(base_spec)?;
-                let cand = dense_seeds(cand_spec)?;
-                match cand.as_slice() {
-                    &[c] => Ok(format!("marginal: {:.2}", engine.marginal_gain(&base, c))),
-                    _ => Err("marginal: candidate must be a single id".into()),
-                }
-            })(),
-            Some(other) => Err(format!("unknown query '{other}'")),
-            None => continue,
-        };
-        let line_out = match answer {
-            Ok(a) => a,
-            Err(e) => format!("error: {e}"),
-        };
-        writeln!(out, "{line_out}").map_err(|e| format!("writing answer: {e}"))?;
+        writeln!(out, "{}", reply.line).map_err(|e| format!("writing answer: {e}"))?;
     }
     Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let loaded = load(args)?;
+    match args.get("model").unwrap_or("ic").to_lowercase().as_str() {
+        "ic" => serve_with(IndependentCascade, "ic", loaded, args),
+        "lt" => serve_with(LinearThreshold, "lt", loaded, args),
+        other => Err(format!("unknown --model '{other}'")),
+    }
+}
+
+fn serve_with<M: DiffusionModel + Send + Sync + Clone + 'static>(
+    model: M,
+    model_name: &str,
+    loaded: LoadedGraph,
+    args: &Args,
+) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7171");
+    let quiet = args.switch("quiet");
+    let config = ServerConfig {
+        threads: args.get_parsed("threads", 4usize)?,
+        pool_cache: args.get_parsed("pool-cache", 4usize)?,
+        epsilon: args.get_parsed("eps", 0.1f64)?,
+        ell: args.get_parsed("ell", 1.0f64)?,
+        seed: args.get_parsed("seed", 0u64)?,
+        k_max: args.get_parsed("k", 50usize)?,
+        sample_threads: 0,
+        verbose: !quiet,
+    };
+    if config.threads == 0 {
+        return Err("serve: --threads must be positive".into());
+    }
+    if config.pool_cache == 0 {
+        return Err("serve: --pool-cache must be positive".into());
+    }
+    let LoadedGraph { graph, labels } = loaded;
+    let graph = Arc::new(graph);
+    let state = Arc::new(ServerState::new(
+        Arc::clone(&graph),
+        LabelMap::new(labels),
+        model.clone(),
+        model_name,
+        config.clone(),
+    ));
+
+    // Pre-seed the pool cache from a persisted `.timp` pool (keyed by the
+    // pool's own provenance, which need not match the serving defaults).
+    // This happens *before* the listening line is printed: a missing or
+    // corrupt pool must fail here, not after scripts have already parsed
+    // the address and assumed the server is up.
+    if let Some(p) = args.get("pool") {
+        if !std::path::Path::new(p).exists() {
+            return Err(format!("serve: pool file {p} does not exist"));
+        }
+        let pool = RrPool::load(p).map_err(|e| format!("loading pool {p}: {e}"))?;
+        let engine = QueryEngine::from_pool(Arc::clone(&graph), model, model_name, pool)
+            .map_err(|e| format!("attaching pool {p}: {e}"))?;
+        let shared = state.preload(engine);
+        if !quiet {
+            eprintln!(
+                "preloaded pool {p}: theta = {}, warmed for k <= {}",
+                shared.pool_theta(),
+                shared.warmed_k()
+            );
+        }
+    }
+
+    // Bind before the (possibly long) default-pool warm-up: the address
+    // is known immediately, and connections queue in the listen backlog
+    // until the workers start.
+    let server =
+        Server::bind(Arc::clone(&state), addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("listening on {}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("flushing stdout: {e}"))?;
+
+    let t0 = std::time::Instant::now();
+    let theta = state.warm_default();
+    if !quiet {
+        eprintln!(
+            "default pool ready: theta = {theta} in {:.2?} (k <= {}, eps = {}, ell = {}, seed = {})",
+            t0.elapsed(),
+            config.k_max,
+            config.epsilon,
+            config.ell,
+            config.seed
+        );
+        eprintln!(
+            "serving with {} workers, pool cache capacity {}",
+            config.threads, config.pool_cache
+        );
+    }
+    server.start().wait();
+    Ok(())
+}
+
+fn client(args: &Args) -> Result<(), String> {
+    let addr = args
+        .get("addr")
+        .ok_or_else(|| "client: --addr <host:port> is required".to_string())?;
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cloning connection: {e}"))?;
+
+    // Uploader thread: stdin → server, then half-close so the server sees
+    // EOF once our queries are sent; responses keep flowing back.
+    let upload = std::thread::spawn(move || -> Result<(), String> {
+        let stdin = std::io::stdin();
+        std::io::copy(&mut stdin.lock(), &mut writer)
+            .map_err(|e| format!("sending queries: {e}"))?;
+        writer
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| format!("closing send side: {e}"))?;
+        Ok(())
+    });
+
+    let mut out = std::io::stdout();
+    let copy = std::io::copy(&mut std::io::BufReader::new(stream), &mut out)
+        .map_err(|e| format!("reading answers: {e}"));
+    let upload = upload.join().map_err(|_| "uploader panicked".to_string())?;
+    copy?;
+    upload
 }
 
 #[cfg(test)]
@@ -780,6 +828,56 @@ mod tests {
         )
         .unwrap();
         assert!(String::from_utf8(out).unwrap().contains("label 999"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags_fast() {
+        let dir = tmpdir();
+        let path = dir.join("srv.txt");
+        std::fs::write(&path, "0 1\n1 2\n2 0\n").unwrap();
+        let path_s = path.to_str().unwrap();
+        // Bind happens before any pool warm-up, so these fail quickly.
+        assert!(dispatch(&argv(&format!("serve {path_s} --addr not-an-addr"))).is_err());
+        assert!(dispatch(&argv(&format!(
+            "serve {path_s} --addr 127.0.0.1:0 --threads 0"
+        )))
+        .is_err());
+        assert!(dispatch(&argv(&format!(
+            "serve {path_s} --addr 127.0.0.1:0 --pool-cache 0"
+        )))
+        .is_err());
+        assert!(dispatch(&argv(&format!(
+            "serve {path_s} --addr 127.0.0.1:0 --pool /nonexistent.timp"
+        )))
+        .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn client_requires_addr_and_reports_connect_failure() {
+        assert!(dispatch(&argv("client")).is_err());
+        // A port nothing listens on: connect must error out, not hang.
+        assert!(dispatch(&argv("client --addr 127.0.0.1:1")).is_err());
+    }
+
+    #[test]
+    fn query_session_answers_ping() {
+        let loaded = io::read_edge_list("0 1\n1 2\n2 0\n".as_bytes(), false).unwrap();
+        let mut g = loaded.graph;
+        weights::assign_constant(&mut g, 0.5);
+        let mut engine = QueryEngine::new(g, IndependentCascade, "ic")
+            .epsilon(1.0)
+            .k_max(2);
+        let mut out = Vec::new();
+        query_session(
+            &mut engine,
+            &loaded.labels,
+            "ping\n".as_bytes(),
+            &mut out,
+            true,
+        )
+        .unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "pong tim/1\n");
     }
 
     #[test]

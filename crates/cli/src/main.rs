@@ -11,6 +11,9 @@
 //! tim snapshot <graph> --out <path.timg> [--weights keep] [--undirected]
 //! tim query    <graph> [--pool <path.timp>] [-k 50] [--model ic]
 //!              [--eps 0.1] [--ell 1.0] [--seed 0] [--quiet]
+//! tim serve    <graph> [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
+//!              [-k 50] [--model ic] [--eps 0.1] [--seed 0] [--pool <path.timp>]
+//! tim client   --addr <host:port>
 //! ```
 //!
 //! `<graph>` is either SNAP-style text (`src dst [prob]`, `#` comments) or
@@ -20,8 +23,14 @@
 //!
 //! `tim query` keeps an RR-set pool warm (optionally persisted as a
 //! `.timp` file) and answers line-delimited `select` / `eval` /
-//! `marginal` queries from stdin — `select` answers are byte-identical to
-//! a fresh `tim select --algo tim+` at the same `(seed, eps, ell, k)`.
+//! `marginal` / `ping` queries from stdin — `select` answers are
+//! byte-identical to a fresh `tim select --algo tim+` at the same
+//! `(seed, eps, ell, k)`.
+//!
+//! `tim serve` answers the same protocol over TCP from multiple worker
+//! threads, sharing warm pools across connections through an LRU pool
+//! cache keyed by provenance; `tim client` pipes a scripted stdin session
+//! to a running server. The protocol spec is `docs/PROTOCOL.md`.
 
 mod args;
 mod commands;

@@ -141,6 +141,17 @@ impl SetCollection {
             + self.inv_offsets.capacity() * size_of::<usize>()
     }
 
+    /// True when the inverted index is built and matches the current set
+    /// count. While this holds, every query the index serves
+    /// ([`sets_containing`](Self::sets_containing),
+    /// [`degree`](Self::degree), and the `*_indexed` greedy solvers) is
+    /// `&self` — the basis for answering influence queries concurrently
+    /// from a shared read-only pool.
+    #[inline]
+    pub fn has_inverted_index(&self) -> bool {
+        self.inv_built_for == self.len()
+    }
+
     /// Builds (or rebuilds) the inverted index if stale.
     pub fn ensure_inverted_index(&mut self) {
         if self.inv_built_for == self.len() {

@@ -58,9 +58,28 @@ impl CoverResult {
 /// assert_eq!(cover.covered, 3);
 /// ```
 pub fn greedy_max_cover(collection: &mut SetCollection, k: usize) -> CoverResult {
+    collection.ensure_inverted_index();
+    greedy_max_cover_indexed(collection, k)
+}
+
+/// [`greedy_max_cover`] over a shared (`&`) collection whose inverted
+/// index is already built.
+///
+/// The solver itself never mutates the collection — the `&mut` in
+/// [`greedy_max_cover`] exists only to build the lazy index. Hot query
+/// paths that keep the index warm (e.g. `tim_engine`'s shared pools
+/// serving concurrent readers) call this variant directly.
+///
+/// # Panics
+/// Panics if the inverted index is stale
+/// ([`SetCollection::has_inverted_index`] is false).
+pub fn greedy_max_cover_indexed(collection: &SetCollection, k: usize) -> CoverResult {
+    assert!(
+        collection.has_inverted_index(),
+        "inverted index is stale; call ensure_inverted_index first"
+    );
     let n = collection.universe();
     let k = k.min(n);
-    collection.ensure_inverted_index();
 
     let mut covered = vec![false; collection.len()];
     // Current marginal gain per node; starts at the hypergraph degree.
@@ -140,9 +159,24 @@ pub fn greedy_max_cover(collection: &mut SetCollection, k: usize) -> CoverResult
 /// Functionally identical to [`greedy_max_cover`]; kept separate as the
 /// DESIGN.md ablation target for the selection data structure.
 pub fn greedy_max_cover_bucket(collection: &mut SetCollection, k: usize) -> CoverResult {
+    collection.ensure_inverted_index();
+    greedy_max_cover_bucket_indexed(collection, k)
+}
+
+/// [`greedy_max_cover_bucket`] over a shared (`&`) collection whose
+/// inverted index is already built; see [`greedy_max_cover_indexed`] for
+/// why the `&self` variant exists.
+///
+/// # Panics
+/// Panics if the inverted index is stale
+/// ([`SetCollection::has_inverted_index`] is false).
+pub fn greedy_max_cover_bucket_indexed(collection: &SetCollection, k: usize) -> CoverResult {
+    assert!(
+        collection.has_inverted_index(),
+        "inverted index is stale; call ensure_inverted_index first"
+    );
     let n = collection.universe();
     let k = k.min(n);
-    collection.ensure_inverted_index();
 
     let mut covered = vec![false; collection.len()];
     let mut gain: Vec<usize> = (0..n as NodeId).map(|v| collection.degree(v)).collect();
@@ -361,6 +395,24 @@ mod tests {
             assert_eq!(s2.len(), r2.seeds.len());
         }
         let _ = &mut c;
+    }
+
+    #[test]
+    fn indexed_variants_match_the_mutable_entry_points() {
+        let mut c = collection(&[&[9, 0], &[9, 1], &[9, 2], &[3], &[1, 2]], 10);
+        let want_heap = greedy_max_cover(&mut c.clone(), 3);
+        let want_bucket = greedy_max_cover_bucket(&mut c.clone(), 3);
+        c.ensure_inverted_index();
+        let shared: &SetCollection = &c;
+        assert_eq!(greedy_max_cover_indexed(shared, 3), want_heap);
+        assert_eq!(greedy_max_cover_bucket_indexed(shared, 3), want_bucket);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn indexed_variant_panics_without_an_index() {
+        let c = collection(&[&[0, 1]], 3);
+        let _ = greedy_max_cover_indexed(&c, 1);
     }
 
     #[test]

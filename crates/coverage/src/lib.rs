@@ -18,9 +18,18 @@
 //!
 //! Both solvers return identical coverage values (tie-breaking may differ);
 //! the criterion bench `max_cover` compares their constants.
+//!
+//! The `&mut` in the solver entry points exists only to build the lazy
+//! inverted index; once [`SetCollection::has_inverted_index`] holds, the
+//! `*_indexed` variants solve the same instance through a shared `&`
+//! reference — which is what lets `tim_engine`/`tim_server` answer many
+//! queries concurrently against one immutable pool.
 
 mod collection;
 mod greedy;
 
 pub use collection::SetCollection;
-pub use greedy::{greedy_max_cover, greedy_max_cover_bucket, CoverResult};
+pub use greedy::{
+    greedy_max_cover, greedy_max_cover_bucket, greedy_max_cover_bucket_indexed,
+    greedy_max_cover_indexed, CoverResult,
+};

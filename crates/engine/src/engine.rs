@@ -3,9 +3,10 @@
 use crate::error::EngineError;
 use crate::pool::{PoolMeta, RrPool};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use tim_core::parallel::{generate_rr_sets, shard_layout};
 use tim_core::{select_stream_seed, SamplingPlan, TimPlus};
-use tim_coverage::{greedy_max_cover, CoverResult, SetCollection};
+use tim_coverage::{greedy_max_cover, greedy_max_cover_indexed, CoverResult, SetCollection};
 use tim_diffusion::DiffusionModel;
 use tim_graph::snapshot::graph_checksum;
 use tim_graph::{Graph, NodeId};
@@ -80,7 +81,7 @@ struct FastCover {
 /// ```
 #[derive(Debug)]
 pub struct QueryEngine<M> {
-    graph: Graph,
+    graph: Arc<Graph>,
     model: M,
     model_name: String,
     epsilon: f64,
@@ -103,9 +104,14 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
     /// `k_max` 50). `model_name` is the provenance tag persisted with
     /// pools (`"ic"` / `"lt"`).
     ///
+    /// Accepts the graph by value or as an [`Arc`] — several engines (e.g.
+    /// the entries of a serving pool cache) can share one immutable graph
+    /// without copying the CSR arrays.
+    ///
     /// # Panics
     /// Panics if the graph has fewer than 2 nodes or no edges.
-    pub fn new(graph: Graph, model: M, model_name: impl Into<String>) -> Self {
+    pub fn new(graph: impl Into<Arc<Graph>>, model: M, model_name: impl Into<String>) -> Self {
+        let graph: Arc<Graph> = graph.into();
         assert!(graph.n() >= 2, "engine needs at least 2 nodes");
         assert!(graph.m() >= 1, "engine needs at least 1 edge");
         let n = graph.n();
@@ -174,11 +180,12 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
     /// provenance chain (graph checksum, model tag, universe size, seed
     /// consistency). The engine adopts the pool's `(ε, ℓ, seed, k_max)`.
     pub fn from_pool(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         model: M,
         model_name: impl Into<String>,
         pool: RrPool,
     ) -> Result<Self, EngineError> {
+        let graph: Arc<Graph> = graph.into();
         let model_name = model_name.into();
         let meta = &pool.meta;
         let checksum = graph_checksum(&graph);
@@ -229,22 +236,33 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
             .k_max(meta.k_max.max(1) as usize);
         engine.pool_theta = meta.theta;
         engine.pool = pool.sets;
+        // Invariant: a non-empty pool always carries a fresh inverted
+        // index, so the read-only `try_*` paths can run greedy without
+        // mutating the collection.
+        engine.pool.ensure_inverted_index();
         Ok(engine)
+    }
+
+    /// The engine's current provenance header (what
+    /// [`to_pool`](Self::to_pool) would persist), without cloning the
+    /// sets. Cheap — used e.g. to derive pool-cache keys.
+    pub fn pool_meta(&self) -> PoolMeta {
+        PoolMeta {
+            graph_checksum: self.graph_checksum,
+            model: self.model_name.clone(),
+            epsilon: self.epsilon,
+            ell: self.ell,
+            seed: self.seed,
+            k_max: self.k_max as u32,
+            theta: self.pool_theta,
+            select_seed: self.select_seed,
+        }
     }
 
     /// Snapshots the current pool (with provenance) for persistence.
     pub fn to_pool(&self) -> RrPool {
         RrPool {
-            meta: PoolMeta {
-                graph_checksum: self.graph_checksum,
-                model: self.model_name.clone(),
-                epsilon: self.epsilon,
-                ell: self.ell,
-                seed: self.seed,
-                k_max: self.k_max as u32,
-                theta: self.pool_theta,
-                select_seed: self.select_seed,
-            },
+            meta: self.pool_meta(),
             sets: self.pool.clone(),
         }
     }
@@ -252,6 +270,12 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
     /// The graph queries run against.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// A shared handle to the graph, for building further engines (e.g.
+    /// pool-cache entries at a different ε/ℓ) without copying it.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
     }
 
     /// Current pool size θ (0 when cold).
@@ -326,6 +350,10 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
             self.threads,
         );
         self.pool = pool;
+        // Keep the inverted index fresh whenever the pool is non-empty, so
+        // every subsequent same-θ greedy run — including the read-only
+        // `try_*` paths used under shared references — is `&self`.
+        self.pool.ensure_inverted_index();
         self.pool_theta = theta;
         self.fast = None;
         true
@@ -372,9 +400,19 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         assert!(eps > 0.0 && ell > 0.0, "epsilon and ell must be positive");
         let plan = self.plan_for(k, eps, ell);
         let resampled = self.ensure_theta(plan.theta);
+        let outcome = self.answer_plan(&plan, resampled);
+        debug_assert_eq!(outcome.seeds.len(), plan.k.min(self.graph.n()));
+        outcome
+    }
+
+    /// Runs greedy for an already-satisfiable plan (`plan.theta ≤`
+    /// [`pool_theta`](Self::pool_theta)) — the shared tail of the mutable
+    /// and read-only select paths.
+    fn answer_plan(&self, plan: &SamplingPlan, resampled: bool) -> QueryOutcome {
+        debug_assert!(plan.theta <= self.pool_theta);
         let n = self.graph.n() as f64;
         let cover = if plan.theta == self.pool_theta {
-            greedy_max_cover(&mut self.pool, plan.k)
+            greedy_max_cover_indexed(&self.pool, plan.k)
         } else {
             let mut sub = self.subset(plan.theta);
             greedy_max_cover(&mut sub, plan.k)
@@ -387,6 +425,33 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
             resampled,
             estimated_spread: frac * n,
         }
+    }
+
+    /// Read-only [`select_with`](Self::select_with): answers from cached
+    /// plans and the current pool **without mutating the engine**, or
+    /// returns `None` when the query would need a plan computation or a
+    /// resample (then take the `&mut` path). Used by
+    /// [`SharedEngine`](crate::SharedEngine) to serve concurrent readers
+    /// under a read lock; a `Some` answer is byte-identical to what
+    /// [`select_with`](Self::select_with) would return.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or a given ε/ℓ is not positive.
+    pub fn try_select_with(
+        &self,
+        k: usize,
+        eps: Option<f64>,
+        ell: Option<f64>,
+    ) -> Option<QueryOutcome> {
+        assert!(k >= 1, "k must be at least 1");
+        let eps = eps.unwrap_or(self.epsilon);
+        let ell = ell.unwrap_or(self.ell);
+        assert!(eps > 0.0 && ell > 0.0, "epsilon and ell must be positive");
+        let plan = self.plans.get(&(k, eps.to_bits(), ell.to_bits()))?;
+        if plan.theta > self.pool_theta {
+            return None;
+        }
+        Some(self.answer_plan(plan, false))
     }
 
     /// Answers a `k`-seed selection as the `k`-prefix of a single cached
@@ -421,20 +486,64 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
             });
         }
         let fast = self.fast.as_ref().expect("fast cover just ensured");
+        Self::fast_prefix_outcome(fast, k, self.pool_theta, self.graph.n(), resampled)
+    }
+
+    /// Assembles the `k`-prefix answer from a cached full-pool greedy run.
+    fn fast_prefix_outcome(
+        fast: &FastCover,
+        k: usize,
+        pool_theta: u64,
+        n: usize,
+        resampled: bool,
+    ) -> QueryOutcome {
         let k_eff = k.min(fast.cover.seeds.len());
         let covered: usize = fast.cover.marginal[..k_eff].iter().sum();
-        let frac = if self.pool_theta == 0 {
+        let frac = if pool_theta == 0 {
             0.0
         } else {
-            covered as f64 / self.pool_theta as f64
+            covered as f64 / pool_theta as f64
         };
         QueryOutcome {
             seeds: fast.cover.seeds[..k_eff].to_vec(),
-            theta_used: self.pool_theta,
-            pool_theta: self.pool_theta,
+            theta_used: pool_theta,
+            pool_theta,
             resampled,
-            estimated_spread: frac * self.graph.n() as f64,
+            estimated_spread: frac * n as f64,
         }
+    }
+
+    /// Read-only [`select_fast`](Self::select_fast): serves the `k`-prefix
+    /// from the cached full-pool greedy run without mutating the engine,
+    /// or returns `None` when the cache is cold/stale or `k` exceeds the
+    /// warmed `k_max` (then take the `&mut` path). A `Some` answer is
+    /// byte-identical to what [`select_fast`](Self::select_fast) would
+    /// return from the same state.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn try_select_fast(&self, k: usize) -> Option<QueryOutcome> {
+        assert!(k >= 1, "k must be at least 1");
+        if k > self.k_max {
+            return None;
+        }
+        let plan = self
+            .plans
+            .get(&(self.k_max, self.epsilon.to_bits(), self.ell.to_bits()))?;
+        if plan.theta > self.pool_theta {
+            return None;
+        }
+        let fast = self.fast.as_ref()?;
+        if fast.pool_theta != self.pool_theta || fast.cover.seeds.len() < k.min(self.k_max) {
+            return None;
+        }
+        Some(Self::fast_prefix_outcome(
+            fast,
+            k,
+            self.pool_theta,
+            self.graph.n(),
+            false,
+        ))
     }
 
     /// Estimates `E[I(seeds)]` as `n · F_R(seeds)` over the full pool
@@ -466,6 +575,36 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         let after = self.pool.count_covered(&with);
         let denom = self.pool.len().max(1) as f64;
         (after - before) as f64 / denom * self.graph.n() as f64
+    }
+
+    /// Read-only [`spread`](Self::spread): `None` when the pool is cold
+    /// (then take the `&mut` path, which warms it). A `Some` answer equals
+    /// what [`spread`](Self::spread) would return from the same state.
+    ///
+    /// # Panics
+    /// Panics if any seed is outside the graph's node range.
+    pub fn try_spread(&self, seeds: &[NodeId]) -> Option<f64> {
+        if self.pool_theta == 0 {
+            return None;
+        }
+        Some(self.pool.coverage_fraction(seeds) * self.graph.n() as f64)
+    }
+
+    /// Read-only [`marginal_gain`](Self::marginal_gain): `None` when the
+    /// pool is cold (then take the `&mut` path, which warms it).
+    pub fn try_marginal_gain(&self, base: &[NodeId], candidate: NodeId) -> Option<f64> {
+        if base.contains(&candidate) {
+            return Some(0.0);
+        }
+        if self.pool_theta == 0 {
+            return None;
+        }
+        let before = self.pool.count_covered(base);
+        let mut with: Vec<NodeId> = base.to_vec();
+        with.push(candidate);
+        let after = self.pool.count_covered(&with);
+        let denom = self.pool.len().max(1) as f64;
+        Some((after - before) as f64 / denom * self.graph.n() as f64)
     }
 }
 
@@ -568,6 +707,55 @@ mod tests {
         let out = e2.select(5);
         assert_eq!(out.seeds, want);
         assert!(!out.resampled);
+    }
+
+    #[test]
+    fn try_paths_answer_identically_or_report_misses() {
+        let mut e = engine(12);
+        // Cold engine, nothing cached: every try_* path must miss.
+        assert!(e.try_select_with(3, None, None).is_none());
+        assert!(e.try_select_fast(3).is_none());
+        assert!(e.try_spread(&[0]).is_none());
+        assert!(e.try_marginal_gain(&[0], 1).is_none());
+        // An already-included candidate needs no pool at all.
+        assert_eq!(e.try_marginal_gain(&[4], 4), Some(0.0));
+
+        e.warm();
+        // Warm pool but no plan cached for k = 3 yet: still a miss.
+        assert!(e.try_select_with(3, None, None).is_none());
+        let want = e.select(3);
+        let got = e.try_select_with(3, None, None).expect("plan now cached");
+        assert_eq!(got.seeds, want.seeds);
+        assert_eq!(got.theta_used, want.theta_used);
+        assert!(!got.resampled);
+
+        // Fast cache must exist before the read-only fast path serves.
+        assert!(e.try_select_fast(2).is_none());
+        let want_fast = e.select_fast(2);
+        let got_fast = e.try_select_fast(2).expect("fast cover now cached");
+        assert_eq!(got_fast.seeds, want_fast.seeds);
+        assert!(e.try_select_fast(e.warmed_k() + 1).is_none());
+
+        let s = e.spread(&want.seeds);
+        assert_eq!(e.try_spread(&want.seeds), Some(s));
+        let m = e.marginal_gain(&want.seeds, 99);
+        assert_eq!(e.try_marginal_gain(&want.seeds, 99), Some(m));
+    }
+
+    #[test]
+    fn engines_share_one_graph_through_an_arc() {
+        let g = std::sync::Arc::new(wc_graph(300, 1));
+        let mut a = QueryEngine::new(std::sync::Arc::clone(&g), IndependentCascade, "ic")
+            .epsilon(0.8)
+            .seed(5)
+            .k_max(4);
+        let mut b = QueryEngine::new(a.graph_arc(), IndependentCascade, "ic")
+            .epsilon(0.8)
+            .seed(5)
+            .k_max(4);
+        // Three handles: ours plus one per engine — no CSR copies made.
+        assert_eq!(std::sync::Arc::strong_count(&g), 3);
+        assert_eq!(a.select(4).seeds, b.select(4).seeds);
     }
 
     #[test]

@@ -22,11 +22,19 @@
 //! Pairs with [`tim_graph::snapshot`] (binary `.timg` graph snapshots) so
 //! that a serving process starts without touching a text parser: load
 //! snapshot, load pool, answer queries.
+//!
+//! For concurrent serving, [`SharedEngine`] wraps a [`QueryEngine`] in an
+//! `RwLock` with a read-mostly fast path: queries answerable from the warm
+//! pool (the engine's `try_*` methods) run under a shared read guard, and
+//! only plan computation or pool growth takes the write lock. `tim_server`
+//! builds its per-provenance pool cache out of these.
 
 mod engine;
 mod error;
 mod pool;
+mod shared;
 
 pub use engine::{QueryEngine, QueryOutcome};
 pub use error::EngineError;
 pub use pool::{PoolMeta, RrPool, POOL_MAGIC, POOL_VERSION};
+pub use shared::SharedEngine;

@@ -1,0 +1,375 @@
+//! LRU cache of shared query engines, keyed by pool provenance.
+//!
+//! A serving process sees a *mix* of query configurations: most clients
+//! use the deployment defaults, a few ask for a tighter ε or a different
+//! ℓ. Each distinct `(graph checksum, model, seed, ε, ℓ)` tuple is its
+//! own pool provenance (exactly what `.timp` files pin), so the cache
+//! maps that tuple to an [`Arc<SharedEngine>`] — reusing warm pools across
+//! connections and lazily building cold ones.
+//!
+//! Two locking properties matter for serving:
+//!
+//! - The cache's own mutex is held only for map bookkeeping (lookup,
+//!   LRU bump, eviction) — never while sampling. A cold build runs on an
+//!   entry-local [`OnceLock`], so concurrent requests for the *same* cold
+//!   key build once (the rest block on that entry only), and requests for
+//!   *other* keys are never blocked by a build.
+//! - Eviction drops the cache's reference; connections already holding
+//!   the `Arc` keep answering against the evicted pool until they finish.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use tim_diffusion::DiffusionModel;
+use tim_engine::SharedEngine;
+
+/// Pool-cache key: the full provenance a pool depends on. Float
+/// parameters are keyed by their exact bit patterns (the same convention
+/// `.timp` provenance headers and the engine's plan cache use).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PoolKey {
+    /// `tim_graph::snapshot::graph_checksum` of the graph (covers
+    /// adjacency and probabilities, hence the weight model).
+    pub graph_checksum: u64,
+    /// Diffusion-model tag (`"ic"` / `"lt"`).
+    pub model: String,
+    /// Run seed queries replicate.
+    pub seed: u64,
+    /// Bit pattern of ε.
+    pub epsilon_bits: u64,
+    /// Bit pattern of ℓ.
+    pub ell_bits: u64,
+}
+
+impl PoolKey {
+    /// Builds a key from the provenance tuple.
+    pub fn new(
+        graph_checksum: u64,
+        model: impl Into<String>,
+        seed: u64,
+        eps: f64,
+        ell: f64,
+    ) -> Self {
+        PoolKey {
+            graph_checksum,
+            model: model.into(),
+            seed,
+            epsilon_bits: eps.to_bits(),
+            ell_bits: ell.to_bits(),
+        }
+    }
+
+    /// The ε this key was built with.
+    pub fn epsilon(&self) -> f64 {
+        f64::from_bits(self.epsilon_bits)
+    }
+
+    /// The ℓ this key was built with.
+    pub fn ell(&self) -> f64 {
+        f64::from_bits(self.ell_bits)
+    }
+}
+
+/// Cache effectiveness counters (monotone since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry (possibly still building).
+    pub hits: u64,
+    /// Lookups that inserted a new entry.
+    pub misses: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+}
+
+struct Entry<M> {
+    engine: OnceLock<Arc<SharedEngine<M>>>,
+}
+
+struct Slot<M> {
+    last_used: u64,
+    entry: Arc<Entry<M>>,
+}
+
+struct Inner<M> {
+    tick: u64,
+    entries: HashMap<PoolKey, Slot<M>>,
+    stats: CacheStats,
+}
+
+/// An LRU cache of [`SharedEngine`]s keyed by [`PoolKey`]; see the
+/// module docs for the locking contract.
+pub struct PoolCache<M> {
+    capacity: usize,
+    inner: Mutex<Inner<M>>,
+}
+
+impl<M> std::fmt::Debug for PoolCache<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self.inner.lock().map(|i| i.entries.len());
+        f.debug_struct("PoolCache")
+            .field("capacity", &self.capacity)
+            .field("len", &len.unwrap_or(0))
+            .finish()
+    }
+}
+
+const POISONED: &str = "pool cache mutex poisoned";
+
+impl<M: DiffusionModel + Sync + Clone> PoolCache<M> {
+    /// Creates an empty cache holding at most `capacity` engines.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "pool cache capacity must be at least 1");
+        PoolCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                tick: 0,
+                entries: HashMap::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Returns the engine for `key`, building it with `build` on a cold
+    /// miss. The build runs without the cache lock; concurrent callers of
+    /// the same cold key share one build.
+    pub fn get_or_build(
+        &self,
+        key: &PoolKey,
+        build: impl FnOnce() -> SharedEngine<M>,
+    ) -> Arc<SharedEngine<M>> {
+        let entry = {
+            let mut inner = self.inner.lock().expect(POISONED);
+            inner.tick += 1;
+            let tick = inner.tick;
+            if inner.entries.contains_key(key) {
+                inner.stats.hits += 1;
+                let slot = inner.entries.get_mut(key).expect("entry just checked");
+                slot.last_used = tick;
+                Arc::clone(&slot.entry)
+            } else {
+                inner.stats.misses += 1;
+                if inner.entries.len() >= self.capacity {
+                    Self::evict_lru(&mut inner);
+                }
+                let entry = Arc::new(Entry {
+                    engine: OnceLock::new(),
+                });
+                inner.entries.insert(
+                    key.clone(),
+                    Slot {
+                        last_used: tick,
+                        entry: Arc::clone(&entry),
+                    },
+                );
+                entry
+            }
+        };
+        Arc::clone(entry.engine.get_or_init(|| Arc::new(build())))
+    }
+
+    /// Pre-seeds the cache (e.g. with an engine restored from a `.timp`
+    /// file at startup), evicting the LRU entry if the cache is full.
+    /// Replaces any existing entry for the key.
+    pub fn insert(&self, key: PoolKey, engine: SharedEngine<M>) -> Arc<SharedEngine<M>> {
+        let shared = Arc::new(engine);
+        let entry = Entry {
+            engine: OnceLock::new(),
+        };
+        entry
+            .engine
+            .set(Arc::clone(&shared))
+            .ok()
+            .expect("fresh OnceLock");
+        let mut inner = self.inner.lock().expect(POISONED);
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
+            Self::evict_lru(&mut inner);
+        }
+        inner.entries.insert(
+            key,
+            Slot {
+                last_used: tick,
+                entry: Arc::new(entry),
+            },
+        );
+        shared
+    }
+
+    fn evict_lru(inner: &mut Inner<M>) {
+        if let Some(oldest) = inner
+            .entries
+            .iter()
+            .min_by_key(|(_, s)| s.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            inner.entries.remove(&oldest);
+            inner.stats.evictions += 1;
+        }
+    }
+
+    /// True when `key` currently has an entry (does not touch LRU order).
+    pub fn contains(&self, key: &PoolKey) -> bool {
+        self.inner.lock().expect(POISONED).entries.contains_key(key)
+    }
+
+    /// Number of cached entries (including ones still building).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect(POISONED).entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect(POISONED).stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use tim_diffusion::IndependentCascade;
+    use tim_engine::QueryEngine;
+    use tim_graph::{gen, weights, Graph};
+
+    fn graph() -> Arc<Graph> {
+        let mut g = gen::barabasi_albert(120, 3, 0.0, 1);
+        weights::assign_weighted_cascade(&mut g);
+        Arc::new(g)
+    }
+
+    fn key(eps: f64) -> PoolKey {
+        PoolKey::new(7, "ic", 0, eps, 1.0)
+    }
+
+    fn cheap_engine(g: &Arc<Graph>, eps: f64) -> SharedEngine<IndependentCascade> {
+        SharedEngine::new(
+            QueryEngine::new(Arc::clone(g), IndependentCascade, "ic")
+                .epsilon(eps)
+                .threads(1)
+                .k_max(2),
+        )
+    }
+
+    #[test]
+    fn key_round_trips_floats_bit_exactly() {
+        let k = key(0.1);
+        assert_eq!(k.epsilon(), 0.1);
+        assert_eq!(k.ell(), 1.0);
+        assert_ne!(key(0.1), key(0.1 + f64::EPSILON));
+    }
+
+    #[test]
+    fn hit_returns_the_same_engine_and_counts() {
+        let g = graph();
+        let cache = PoolCache::new(2);
+        let built = AtomicUsize::new(0);
+        let a = cache.get_or_build(&key(1.0), || {
+            built.fetch_add(1, Ordering::SeqCst);
+            cheap_engine(&g, 1.0)
+        });
+        let b = cache.get_or_build(&key(1.0), || {
+            built.fetch_add(1, Ordering::SeqCst);
+            cheap_engine(&g, 1.0)
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(built.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn lru_entry_is_evicted_and_rebuilt_on_return() {
+        let g = graph();
+        let cache = PoolCache::new(2);
+        let build = |eps: f64| cheap_engine(&g, eps);
+        let first = cache.get_or_build(&key(1.0), || build(1.0));
+        cache.get_or_build(&key(0.9), || build(0.9));
+        // Touch 1.0 so 0.9 becomes the LRU victim.
+        cache.get_or_build(&key(1.0), || build(1.0));
+        cache.get_or_build(&key(0.8), || build(0.8));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&key(1.0)));
+        assert!(!cache.contains(&key(0.9)));
+        assert!(cache.contains(&key(0.8)));
+        assert_eq!(cache.stats().evictions, 1);
+
+        // The surviving key still serves the original engine…
+        let again = cache.get_or_build(&key(1.0), || build(1.0));
+        assert!(Arc::ptr_eq(&first, &again));
+        // …and the evicted key is a cold miss again.
+        let miss_before = cache.stats().misses;
+        cache.get_or_build(&key(0.9), || build(0.9));
+        assert_eq!(cache.stats().misses, miss_before + 1);
+    }
+
+    #[test]
+    fn concurrent_cold_misses_build_once() {
+        let g = graph();
+        let cache = Arc::new(PoolCache::new(2));
+        let built = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let (cache, built, g) = (Arc::clone(&cache), Arc::clone(&built), Arc::clone(&g));
+                std::thread::spawn(move || {
+                    let e = cache.get_or_build(&key(1.0), || {
+                        built.fetch_add(1, Ordering::SeqCst);
+                        // Make the build window wide enough to overlap.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        cheap_engine(&g, 1.0)
+                    });
+                    e.pool_theta()
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(built.load(Ordering::SeqCst), 1, "exactly one build");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_preseeds_and_replaces() {
+        let g = graph();
+        let cache = PoolCache::new(1);
+        cache.insert(key(1.0), cheap_engine(&g, 1.0));
+        assert_eq!(cache.len(), 1);
+        let built = AtomicUsize::new(0);
+        let e = cache.get_or_build(&key(1.0), || {
+            built.fetch_add(1, Ordering::SeqCst);
+            cheap_engine(&g, 1.0)
+        });
+        assert_eq!(built.load(Ordering::SeqCst), 0, "pre-seeded entry serves");
+        assert_eq!(e.warmed_k(), 2);
+        // Inserting a different key in a full cache evicts the LRU.
+        cache.insert(key(0.5), cheap_engine(&g, 0.5));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&key(0.5)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = PoolCache::<IndependentCascade>::new(0);
+    }
+}

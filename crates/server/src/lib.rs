@@ -1,0 +1,48 @@
+//! **`tim_server`** — a concurrent influence-query server over shared,
+//! immutable RR-set pools.
+//!
+//! TIM/TIM+ (Tang, Xiao, Shi; SIGMOD 2014) splits influence maximization
+//! into an expensive sampling phase and a cheap greedy phase; `tim_engine`
+//! already makes the sampled pool a persistent, provenance-pinned asset.
+//! This crate adds the deployment shape that split makes practical: **one
+//! long-lived process answering many simultaneous queries** against pools
+//! it builds once and shares read-only.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - [`protocol`] — the newline-delimited query protocol shared verbatim
+//!   with `tim query` (normative spec: `docs/PROTOCOL.md`). Parsing
+//!   ([`protocol::parse_query`]) is split from execution
+//!   ([`protocol::execute`]) so a server can route a parsed query to the
+//!   right pool before running it; [`protocol::QueryBackend`] abstracts
+//!   over an exclusive [`tim_engine::QueryEngine`] and a shared
+//!   [`tim_engine::SharedEngine`], which is what keeps `tim query` and
+//!   `tim serve` byte-identical by construction.
+//! - [`cache`] — [`cache::PoolCache`], an LRU cache of
+//!   [`tim_engine::SharedEngine`]s keyed by pool provenance
+//!   `(graph checksum, model, seed, ε, ℓ)`. Distinct query mixes reuse or
+//!   lazily build pools; a cold build never holds the cache lock, so it
+//!   never blocks readers of other pools.
+//! - [`server`] — [`server::Server`], a multi-threaded TCP server:
+//!   [`server::ServerState`] (graph + label map + pool cache) shared via
+//!   `Arc` across worker threads that each accept and serve connections.
+//!
+//! # Determinism under concurrency
+//!
+//! Exact-replay `select` answers are pure functions of the pool's
+//! provenance and the query — concurrent clients receive byte-identical
+//! responses to a serial replay under **any** interleaving. `eval`,
+//! `marginal`, and `select … fast` answers are pure functions of the
+//! provenance, the query, *and the pool's current θ*; θ only changes when
+//! a query demands growth, so sessions whose queries stay within the
+//! warmed pool are interleaving-independent too. See ARCHITECTURE.md
+//! §"Concurrency guarantees" and the `concurrent_determinism` integration
+//! test.
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, PoolCache, PoolKey};
+pub use protocol::{execute, parse_query, LabelMap, ParsedLine, Query, QueryBackend, Reply};
+pub use server::{Server, ServerConfig, ServerHandle, ServerState};

@@ -1,0 +1,516 @@
+//! The line-delimited influence-query protocol shared by `tim query` and
+//! `tim serve`.
+//!
+//! One request per line, one answer line per request; blank lines and `#`
+//! comments are ignored (no answer). Malformed requests answer
+//! `error: …` and the session continues. The normative grammar, framing,
+//! and versioning rules live in `docs/PROTOCOL.md`; this module is the
+//! single implementation both front ends use, so they cannot drift apart.
+//!
+//! Parsing ([`parse_query`]) is deliberately separate from execution
+//! ([`execute`]): a concurrent server must inspect a query's ε/ℓ
+//! overrides to route it to the right pool *before* running it, while the
+//! CLI simply executes against its one engine. [`QueryBackend`] abstracts
+//! the engine access so the same `execute` serves an exclusive
+//! [`QueryEngine`] (`tim query`) and a lock-sharded [`SharedEngine`]
+//! (`tim serve`).
+
+use std::collections::HashMap;
+use tim_diffusion::DiffusionModel;
+use tim_engine::{QueryEngine, QueryOutcome, SharedEngine};
+use tim_graph::NodeId;
+
+/// Protocol version implemented by this module (see `docs/PROTOCOL.md`).
+/// Reported by the `ping` reply as `pong tim/1`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Parses a comma-separated list of node labels (`17,4,99`). Empty items
+/// are skipped, so trailing commas are harmless.
+pub fn parse_id_list(s: &str) -> Result<Vec<u64>, String> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad node id '{t}'"))
+        })
+        .collect()
+}
+
+/// Bidirectional node-label map: dense ids `0..n` ↔ original labels.
+///
+/// Queries and answers speak original labels; engines speak dense ids.
+/// Built once per graph and shared read-only across connections.
+#[derive(Debug, Clone)]
+pub struct LabelMap {
+    labels: Vec<u64>,
+    to_dense: HashMap<u64, NodeId>,
+}
+
+impl LabelMap {
+    /// Builds the map from `labels[i]` = original label of dense node `i`
+    /// (the `labels` vector of `tim_graph::io::LoadedGraph`).
+    pub fn new(labels: Vec<u64>) -> Self {
+        let to_dense = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i as NodeId))
+            .collect();
+        LabelMap { labels, to_dense }
+    }
+
+    /// The identity map over `0..n`, for graphs that never had external
+    /// labels (e.g. synthetic generators).
+    pub fn identity(n: usize) -> Self {
+        Self::new((0..n as u64).collect())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Original label of dense node `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn label_of(&self, v: NodeId) -> u64 {
+        self.labels[v as usize]
+    }
+
+    /// Dense id of an original label.
+    pub fn to_dense(&self, label: u64) -> Result<NodeId, String> {
+        self.to_dense
+            .get(&label)
+            .copied()
+            .ok_or_else(|| format!("label {label} not present in the graph"))
+    }
+
+    /// Maps a list of original labels to dense ids.
+    pub fn map_all(&self, labels: &[u64]) -> Result<Vec<NodeId>, String> {
+        labels.iter().map(|&l| self.to_dense(l)).collect()
+    }
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `select <k> [fast] [eps=<v>] [ell=<v>]` — seed selection.
+    Select {
+        /// Seed-set size.
+        k: usize,
+        /// Prefix answering over the full pool instead of exact replay.
+        fast: bool,
+        /// Per-query ε override (exact replay only).
+        eps: Option<f64>,
+        /// Per-query ℓ override (exact replay only).
+        ell: Option<f64>,
+    },
+    /// `eval <id,id,...>` — pool-coverage spread estimate (original
+    /// labels).
+    Eval {
+        /// Seed labels to evaluate.
+        seeds: Vec<u64>,
+    },
+    /// `marginal <id,id,...> <cand>` — marginal gain of adding `cand`
+    /// (original labels; the candidate list must map to exactly one id).
+    Marginal {
+        /// Base seed labels.
+        base: Vec<u64>,
+        /// Candidate label list (validated to a single id at execution).
+        cand: Vec<u64>,
+    },
+    /// `ping` — liveness/version probe; answers `pong tim/1`.
+    Ping,
+}
+
+/// Result of parsing one input line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedLine {
+    /// Blank line or `#` comment: produces no answer line.
+    Empty,
+    /// A well-formed request.
+    Query(Query),
+    /// A malformed request; answer `error: <reason>` and continue.
+    Malformed(String),
+}
+
+/// Parses one protocol line. Never fails hard: malformed input becomes
+/// [`ParsedLine::Malformed`] so sessions survive bad lines.
+pub fn parse_query(line: &str) -> ParsedLine {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return ParsedLine::Empty;
+    }
+    let mut tokens = trimmed.split_whitespace();
+    let parsed = match tokens.next() {
+        Some("select") => (|| -> Result<Query, String> {
+            let k: usize = tokens
+                .next()
+                .ok_or("select: missing k")?
+                .parse()
+                .map_err(|_| "select: bad k".to_string())?;
+            if k == 0 {
+                return Err("select: k must be positive".into());
+            }
+            let mut fast = false;
+            let (mut eps, mut ell) = (None, None);
+            for t in tokens.by_ref() {
+                if t == "fast" {
+                    fast = true;
+                } else if let Some(v) = t.strip_prefix("eps=") {
+                    eps = Some(v.parse().map_err(|_| format!("select: bad eps '{v}'"))?);
+                } else if let Some(v) = t.strip_prefix("ell=") {
+                    ell = Some(v.parse().map_err(|_| format!("select: bad ell '{v}'"))?);
+                } else {
+                    return Err(format!("select: unknown option '{t}'"));
+                }
+            }
+            if fast && (eps.is_some() || ell.is_some()) {
+                return Err("select: fast mode uses the pool's eps/ell".into());
+            }
+            // NaN must be rejected alongside non-positive values: the
+            // engine asserts eps > 0, and a panic would kill the session.
+            if let Some(e) = eps.filter(|&e: &f64| e.is_nan() || e <= 0.0) {
+                return Err(format!("select: eps must be positive, got '{e}'"));
+            }
+            if let Some(l) = ell.filter(|&l: &f64| l.is_nan() || l <= 0.0) {
+                return Err(format!("select: ell must be positive, got '{l}'"));
+            }
+            Ok(Query::Select { k, fast, eps, ell })
+        })(),
+        Some("eval") => (|| -> Result<Query, String> {
+            let spec = tokens.next().ok_or("eval: missing seed list")?;
+            if tokens.next().is_some() {
+                return Err("eval: trailing tokens".into());
+            }
+            let seeds = parse_id_list(spec)?;
+            if seeds.is_empty() {
+                return Err("eval: empty seed list".into());
+            }
+            Ok(Query::Eval { seeds })
+        })(),
+        Some("marginal") => (|| -> Result<Query, String> {
+            let base_spec = tokens.next().ok_or("marginal: missing base seed list")?;
+            let cand_spec = tokens.next().ok_or("marginal: missing candidate id")?;
+            if tokens.next().is_some() {
+                return Err("marginal: trailing tokens".into());
+            }
+            Ok(Query::Marginal {
+                base: parse_id_list(base_spec)?,
+                cand: parse_id_list(cand_spec)?,
+            })
+        })(),
+        Some("ping") => (|| -> Result<Query, String> {
+            if tokens.next().is_some() {
+                return Err("ping: trailing tokens".into());
+            }
+            Ok(Query::Ping)
+        })(),
+        Some(other) => Err(format!("unknown query '{other}'")),
+        None => return ParsedLine::Empty,
+    };
+    match parsed {
+        Ok(q) => ParsedLine::Query(q),
+        Err(e) => ParsedLine::Malformed(e),
+    }
+}
+
+/// Engine access as the protocol needs it — implemented by an exclusive
+/// [`QueryEngine`] (`tim query`) and by shared references to a
+/// [`SharedEngine`] (`tim serve`), so both front ends execute queries
+/// through the very same [`execute`].
+pub trait QueryBackend {
+    /// Exact-replay seed selection with optional ε/ℓ overrides.
+    fn select_with(&mut self, k: usize, eps: Option<f64>, ell: Option<f64>) -> QueryOutcome;
+    /// Prefix answering over the full pool.
+    fn select_fast(&mut self, k: usize) -> QueryOutcome;
+    /// Pool-coverage spread estimate of `seeds` (dense ids).
+    fn spread(&mut self, seeds: &[NodeId]) -> f64;
+    /// Marginal spread gain of adding `candidate` to `base` (dense ids).
+    fn marginal_gain(&mut self, base: &[NodeId], candidate: NodeId) -> f64;
+}
+
+impl<M: DiffusionModel + Sync + Clone> QueryBackend for QueryEngine<M> {
+    fn select_with(&mut self, k: usize, eps: Option<f64>, ell: Option<f64>) -> QueryOutcome {
+        QueryEngine::select_with(self, k, eps, ell)
+    }
+    fn select_fast(&mut self, k: usize) -> QueryOutcome {
+        QueryEngine::select_fast(self, k)
+    }
+    fn spread(&mut self, seeds: &[NodeId]) -> f64 {
+        QueryEngine::spread(self, seeds)
+    }
+    fn marginal_gain(&mut self, base: &[NodeId], candidate: NodeId) -> f64 {
+        QueryEngine::marginal_gain(self, base, candidate)
+    }
+}
+
+impl<M: DiffusionModel + Sync + Clone> QueryBackend for &SharedEngine<M> {
+    fn select_with(&mut self, k: usize, eps: Option<f64>, ell: Option<f64>) -> QueryOutcome {
+        SharedEngine::select_with(self, k, eps, ell)
+    }
+    fn select_fast(&mut self, k: usize) -> QueryOutcome {
+        SharedEngine::select_fast(self, k)
+    }
+    fn spread(&mut self, seeds: &[NodeId]) -> f64 {
+        SharedEngine::spread(self, seeds)
+    }
+    fn marginal_gain(&mut self, base: &[NodeId], candidate: NodeId) -> f64 {
+        SharedEngine::marginal_gain(self, base, candidate)
+    }
+}
+
+/// One protocol answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// The single machine-readable answer line (no trailing newline).
+    /// Failed queries carry their `error: …` line here.
+    pub line: String,
+    /// Optional human-readable progress note (pool θ, resample flag) —
+    /// `tim query` prints it to stderr unless `--quiet`; servers may log
+    /// it. Never part of the answer stream.
+    pub note: Option<String>,
+}
+
+impl Reply {
+    fn answer(line: String) -> Self {
+        Reply { line, note: None }
+    }
+
+    fn error(e: String) -> Self {
+        Reply {
+            line: format!("error: {e}"),
+            note: None,
+        }
+    }
+}
+
+/// Executes a parsed query against a backend, mapping labels both ways.
+/// Infallible by design: execution errors (unknown labels, …) become
+/// `error: …` answer lines so one bad query never kills a session.
+pub fn execute<B: QueryBackend>(backend: &mut B, labels: &LabelMap, query: &Query) -> Reply {
+    match query {
+        Query::Select { k, fast, eps, ell } => {
+            let outcome = if *fast {
+                backend.select_fast(*k)
+            } else {
+                backend.select_with(*k, *eps, *ell)
+            };
+            let note = format!(
+                "select k={k}: theta = {}{}",
+                outcome.theta_used,
+                if outcome.resampled {
+                    " (resampled)"
+                } else {
+                    ""
+                }
+            );
+            let label_list: Vec<String> = outcome
+                .seeds
+                .iter()
+                .map(|&v| labels.label_of(v).to_string())
+                .collect();
+            Reply {
+                line: format!("seeds: {}", label_list.join(" ")),
+                note: Some(note),
+            }
+        }
+        Query::Eval { seeds } => match labels.map_all(seeds) {
+            Ok(dense) => Reply::answer(format!("spread: {:.2}", backend.spread(&dense))),
+            Err(e) => Reply::error(e),
+        },
+        Query::Marginal { base, cand } => {
+            let mapped = labels
+                .map_all(base)
+                .and_then(|b| labels.map_all(cand).map(|c| (b, c)));
+            match mapped {
+                Ok((base, cand)) => match cand.as_slice() {
+                    &[c] => {
+                        Reply::answer(format!("marginal: {:.2}", backend.marginal_gain(&base, c)))
+                    }
+                    _ => Reply::error("marginal: candidate must be a single id".into()),
+                },
+                Err(e) => Reply::error(e),
+            }
+        }
+        Query::Ping => Reply::answer(format!("pong tim/{PROTOCOL_VERSION}")),
+    }
+}
+
+/// Parses and executes one input line: `None` for blank/comment lines
+/// (no answer), `Some` otherwise — with malformed input folded into an
+/// `error: …` reply. This is the whole per-line behavior of `tim query`
+/// and of one `tim serve` connection.
+pub fn handle_line<B: QueryBackend>(
+    backend: &mut B,
+    labels: &LabelMap,
+    line: &str,
+) -> Option<Reply> {
+    match parse_query(line) {
+        ParsedLine::Empty => None,
+        ParsedLine::Malformed(e) => Some(Reply::error(e)),
+        ParsedLine::Query(q) => Some(execute(backend, labels, &q)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tim_diffusion::IndependentCascade;
+    use tim_graph::{gen, weights};
+
+    fn backend() -> (QueryEngine<IndependentCascade>, LabelMap) {
+        let mut g = gen::barabasi_albert(200, 4, 0.0, 1);
+        weights::assign_weighted_cascade(&mut g);
+        let n = g.n();
+        let mut e = QueryEngine::new(g, IndependentCascade, "ic")
+            .epsilon(1.0)
+            .seed(3)
+            .threads(2)
+            .k_max(5);
+        e.warm();
+        (e, LabelMap::identity(n))
+    }
+
+    #[test]
+    fn parse_covers_grammar_and_errors() {
+        assert_eq!(parse_query("  "), ParsedLine::Empty);
+        assert_eq!(parse_query("# comment"), ParsedLine::Empty);
+        assert_eq!(
+            parse_query("select 5 fast"),
+            ParsedLine::Query(Query::Select {
+                k: 5,
+                fast: true,
+                eps: None,
+                ell: None
+            })
+        );
+        assert_eq!(
+            parse_query("select 3 eps=0.5 ell=2"),
+            ParsedLine::Query(Query::Select {
+                k: 3,
+                fast: false,
+                eps: Some(0.5),
+                ell: Some(2.0)
+            })
+        );
+        assert_eq!(
+            parse_query("eval 1,2,3"),
+            ParsedLine::Query(Query::Eval {
+                seeds: vec![1, 2, 3]
+            })
+        );
+        assert_eq!(
+            parse_query("marginal 1,2 9"),
+            ParsedLine::Query(Query::Marginal {
+                base: vec![1, 2],
+                cand: vec![9]
+            })
+        );
+        assert_eq!(parse_query("ping"), ParsedLine::Query(Query::Ping));
+
+        for (line, needle) in [
+            ("select", "missing k"),
+            ("select x", "bad k"),
+            ("select 0", "k must be positive"),
+            ("select 2 bogus", "unknown option"),
+            ("select 2 eps=z", "bad eps"),
+            ("select 2 ell=z", "bad ell"),
+            ("select 2 eps=-1", "eps must be positive"),
+            ("select 2 ell=0", "ell must be positive"),
+            ("select 2 fast eps=0.5", "fast mode uses the pool's eps/ell"),
+            ("eval", "missing seed list"),
+            ("eval 1 2", "trailing tokens"),
+            ("eval ,", "empty seed list"),
+            ("eval 1,x", "bad node id"),
+            ("marginal", "missing base seed list"),
+            ("marginal 1", "missing candidate id"),
+            ("marginal 1 2 3", "trailing tokens"),
+            ("ping now", "trailing tokens"),
+            ("frobnicate", "unknown query"),
+        ] {
+            match parse_query(line) {
+                ParsedLine::Malformed(e) => {
+                    assert!(e.contains(needle), "{line:?}: {e:?} missing {needle:?}")
+                }
+                other => panic!("{line:?}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn execute_answers_every_query_kind() {
+        let (mut e, labels) = backend();
+        let reply = handle_line(&mut e, &labels, "select 3").unwrap();
+        assert!(reply.line.starts_with("seeds: "));
+        assert_eq!(reply.line.split_whitespace().count(), 4);
+        assert!(reply.note.as_deref().unwrap().starts_with("select k=3"));
+
+        let fast = handle_line(&mut e, &labels, "select 2 fast").unwrap();
+        assert!(fast.line.starts_with("seeds: "));
+
+        let spread = handle_line(&mut e, &labels, "eval 0,1").unwrap();
+        assert!(spread.line.starts_with("spread: "));
+
+        let marginal = handle_line(&mut e, &labels, "marginal 0 1").unwrap();
+        assert!(marginal.line.starts_with("marginal: "));
+
+        assert_eq!(
+            handle_line(&mut e, &labels, "ping").unwrap().line,
+            "pong tim/1"
+        );
+        assert!(handle_line(&mut e, &labels, "# skip").is_none());
+        assert!(handle_line(&mut e, &labels, "eval 99999")
+            .unwrap()
+            .line
+            .contains("label 99999 not present"));
+        assert!(handle_line(&mut e, &labels, "marginal 0 1,2")
+            .unwrap()
+            .line
+            .contains("candidate must be a single id"));
+    }
+
+    #[test]
+    fn shared_backend_matches_exclusive_backend() {
+        let (mut exclusive, labels) = backend();
+        let (engine, _) = backend();
+        let shared = SharedEngine::new(engine);
+        let mut shared_ref = &shared;
+        for line in [
+            "select 4",
+            "select 2 fast",
+            "eval 0,5",
+            "marginal 0 7",
+            "ping",
+        ] {
+            let a = handle_line(&mut exclusive, &labels, line).unwrap();
+            let b = handle_line(&mut shared_ref, &labels, line).unwrap();
+            assert_eq!(a.line, b.line, "{line}");
+        }
+    }
+
+    #[test]
+    fn label_map_round_trips_sparse_labels() {
+        let m = LabelMap::new(vec![100, 7, 42]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.label_of(1), 7);
+        assert_eq!(m.to_dense(42), Ok(2));
+        assert_eq!(m.map_all(&[42, 100]), Ok(vec![2, 0]));
+        assert!(m.to_dense(8).unwrap_err().contains("label 8"));
+        assert_eq!(LabelMap::identity(3).label_of(2), 2);
+    }
+
+    #[test]
+    fn id_list_parses_and_rejects() {
+        assert_eq!(parse_id_list("1,2, 3").unwrap(), vec![1, 2, 3]);
+        assert!(parse_id_list("1,x").is_err());
+        assert_eq!(parse_id_list("").unwrap(), Vec::<u64>::new());
+    }
+}

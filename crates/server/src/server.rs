@@ -1,0 +1,512 @@
+//! The multi-threaded TCP server: shared state + worker accept loops.
+//!
+//! The design is deliberately boring: `N` worker threads share one
+//! [`TcpListener`] (kernel-balanced `accept`) and one immutable
+//! [`ServerState`] behind an `Arc`. Each connection is served to
+//! completion by the worker that accepted it — the protocol is
+//! line-oriented and stateless per line, so per-connection concurrency
+//! comes from running many connections on many workers, all answering
+//! from the same shared pools. Query concurrency *within* a pool is the
+//! [`SharedEngine`] read-fast-path; pool *diversity* across query mixes
+//! is the [`PoolCache`].
+
+use crate::cache::{CacheStats, PoolCache, PoolKey};
+use crate::protocol::{execute, parse_query, LabelMap, ParsedLine, Query, Reply};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use tim_diffusion::DiffusionModel;
+use tim_engine::{QueryEngine, SharedEngine};
+use tim_graph::snapshot::graph_checksum;
+use tim_graph::Graph;
+
+/// Longest accepted request line (bytes, excluding the newline). Longer
+/// lines answer `error: …` and close the connection (`docs/PROTOCOL.md`).
+pub const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// Server tuning knobs; every field has a serving-friendly default.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads, i.e. connections served concurrently (default 4).
+    pub threads: usize,
+    /// Pool-cache capacity: distinct `(ε, ℓ)` mixes kept warm (default 4).
+    pub pool_cache: usize,
+    /// Default approximation slack ε (default 0.1).
+    pub epsilon: f64,
+    /// Default failure exponent ℓ (default 1).
+    pub ell: f64,
+    /// Run seed every query replicates (default 0).
+    pub seed: u64,
+    /// Seed-set size pools are warmed for (default 50).
+    pub k_max: usize,
+    /// Sampling threads per pool build; 0 means all cores (default 0).
+    pub sample_threads: usize,
+    /// Log per-query progress notes to stderr (default false).
+    pub verbose: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            pool_cache: 4,
+            epsilon: 0.1,
+            ell: 1.0,
+            seed: 0,
+            k_max: 50,
+            sample_threads: 0,
+            verbose: false,
+        }
+    }
+}
+
+/// Everything a connection needs, shared immutably across workers: the
+/// graph, its label map, the model, the defaults, and the pool cache.
+#[derive(Debug)]
+pub struct ServerState<M> {
+    graph: Arc<Graph>,
+    labels: Arc<LabelMap>,
+    model: M,
+    model_name: String,
+    config: ServerConfig,
+    graph_checksum: u64,
+    cache: PoolCache<M>,
+}
+
+impl<M: DiffusionModel + Send + Sync + Clone + 'static> ServerState<M> {
+    /// Builds the shared state. Pools are built lazily on first use; call
+    /// [`warm_default`](Self::warm_default) to pay the default pool's
+    /// sampling cost at startup instead of on the first query.
+    ///
+    /// # Panics
+    /// Panics if `labels` does not cover the graph's nodes, or a config
+    /// parameter is out of range (non-positive ε/ℓ, zero `k_max`, zero
+    /// `threads`, zero `pool_cache`).
+    pub fn new(
+        graph: impl Into<Arc<Graph>>,
+        labels: LabelMap,
+        model: M,
+        model_name: impl Into<String>,
+        config: ServerConfig,
+    ) -> Self {
+        let graph: Arc<Graph> = graph.into();
+        assert_eq!(
+            labels.len(),
+            graph.n(),
+            "label map must cover every graph node"
+        );
+        assert!(config.threads >= 1, "threads must be at least 1");
+        assert!(config.epsilon > 0.0, "epsilon must be positive");
+        assert!(config.ell > 0.0, "ell must be positive");
+        assert!(config.k_max >= 1, "k_max must be at least 1");
+        let checksum = graph_checksum(&graph);
+        ServerState {
+            graph,
+            labels: Arc::new(labels),
+            model,
+            model_name: model_name.into(),
+            cache: PoolCache::new(config.pool_cache),
+            config,
+            graph_checksum: checksum,
+        }
+    }
+
+    /// The label map connections answer through.
+    pub fn labels(&self) -> &LabelMap {
+        &self.labels
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Content checksum of the served graph.
+    pub fn graph_checksum(&self) -> u64 {
+        self.graph_checksum
+    }
+
+    /// Pool-cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of pools currently cached.
+    pub fn cached_pools(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The provenance key for a query at the given ε/ℓ (defaults applied).
+    pub fn key_for(&self, eps: Option<f64>, ell: Option<f64>) -> PoolKey {
+        PoolKey::new(
+            self.graph_checksum,
+            self.model_name.clone(),
+            self.config.seed,
+            eps.unwrap_or(self.config.epsilon),
+            ell.unwrap_or(self.config.ell),
+        )
+    }
+
+    fn build_engine(&self, eps: f64, ell: f64) -> SharedEngine<M> {
+        let mut engine = QueryEngine::new(
+            Arc::clone(&self.graph),
+            self.model.clone(),
+            self.model_name.clone(),
+        )
+        .epsilon(eps)
+        .ell(ell)
+        .seed(self.config.seed)
+        .k_max(self.config.k_max);
+        if self.config.sample_threads > 0 {
+            engine = engine.threads(self.config.sample_threads);
+        }
+        engine.warm();
+        SharedEngine::new(engine)
+    }
+
+    /// The engine for a query at the given ε/ℓ: a cache hit reuses the
+    /// warm pool, a cold miss builds (and warms) one without blocking
+    /// readers of other pools.
+    pub fn engine_for(&self, eps: Option<f64>, ell: Option<f64>) -> Arc<SharedEngine<M>> {
+        let eps = eps.unwrap_or(self.config.epsilon);
+        let ell = ell.unwrap_or(self.config.ell);
+        let key = self.key_for(Some(eps), Some(ell));
+        self.cache
+            .get_or_build(&key, || self.build_engine(eps, ell))
+    }
+
+    /// The engine serving default-configuration queries.
+    pub fn default_engine(&self) -> Arc<SharedEngine<M>> {
+        self.engine_for(None, None)
+    }
+
+    /// Builds (or reuses) the default pool now, returning its θ — lets a
+    /// server pay the sampling cost before accepting connections.
+    pub fn warm_default(&self) -> u64 {
+        self.default_engine().pool_theta()
+    }
+
+    /// Pre-seeds the cache with an engine restored from persistent state
+    /// (e.g. a `.timp` pool file), keyed by its own provenance.
+    pub fn preload(&self, engine: QueryEngine<M>) -> Arc<SharedEngine<M>> {
+        let meta = engine.pool_meta();
+        let key = PoolKey::new(
+            meta.graph_checksum,
+            meta.model.clone(),
+            meta.seed,
+            meta.epsilon,
+            meta.ell,
+        );
+        self.cache.insert(key, SharedEngine::new(engine))
+    }
+
+    /// Handles one protocol line end-to-end: parse, route to the right
+    /// pool, execute. `None` for blank/comment lines, otherwise the
+    /// answer line. This is the entire per-line behavior of a connection
+    /// (and directly testable without a socket).
+    pub fn handle(&self, line: &str) -> Option<String> {
+        let query = match parse_query(line) {
+            ParsedLine::Empty => return None,
+            ParsedLine::Malformed(e) => return Some(format!("error: {e}")),
+            ParsedLine::Query(q) => q,
+        };
+        // Route by provenance: an exact-replay select with ε/ℓ overrides
+        // runs against its own pool; everything else (including fast
+        // selects, which the parser already pins to pool defaults) runs
+        // against the default pool.
+        let engine = match &query {
+            Query::Select {
+                fast: false,
+                eps,
+                ell,
+                ..
+            } if eps.is_some() || ell.is_some() => self.engine_for(*eps, *ell),
+            Query::Ping => {
+                // Liveness must not trigger a pool build.
+                return Some(execute(&mut NoBackend, &self.labels, &query).line);
+            }
+            _ => self.default_engine(),
+        };
+        let Reply { line, note } = execute(&mut &*engine, &self.labels, &query);
+        if self.config.verbose {
+            if let Some(note) = note {
+                eprintln!("{note}");
+            }
+        }
+        Some(line)
+    }
+}
+
+/// Backend for queries that never touch an engine (`ping`).
+struct NoBackend;
+
+impl crate::protocol::QueryBackend for NoBackend {
+    fn select_with(
+        &mut self,
+        _k: usize,
+        _eps: Option<f64>,
+        _ell: Option<f64>,
+    ) -> tim_engine::QueryOutcome {
+        unreachable!("ping never selects")
+    }
+    fn select_fast(&mut self, _k: usize) -> tim_engine::QueryOutcome {
+        unreachable!("ping never selects")
+    }
+    fn spread(&mut self, _seeds: &[tim_graph::NodeId]) -> f64 {
+        unreachable!("ping never evaluates")
+    }
+    fn marginal_gain(&mut self, _base: &[tim_graph::NodeId], _candidate: tim_graph::NodeId) -> f64 {
+        unreachable!("ping never evaluates")
+    }
+}
+
+/// A bound (but not yet serving) query server.
+#[derive(Debug)]
+pub struct Server<M> {
+    state: Arc<ServerState<M>>,
+    listener: Arc<TcpListener>,
+    addr: SocketAddr,
+}
+
+impl<M: DiffusionModel + Send + Sync + Clone + 'static> Server<M> {
+    /// Binds to `addr` (use port 0 for an ephemeral port; the bound
+    /// address is [`local_addr`](Self::local_addr)).
+    pub fn bind(state: Arc<ServerState<M>>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            state,
+            listener: Arc::new(listener),
+            addr,
+        })
+    }
+
+    /// The address the server is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Spawns the worker threads and starts accepting connections.
+    pub fn start(self) -> ServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..self.state.config.threads)
+            .map(|i| {
+                let state = Arc::clone(&self.state);
+                let listener = Arc::clone(&self.listener);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("tim-serve-{i}"))
+                    .spawn(move || {
+                        loop {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let stream = match listener.accept() {
+                                Ok((stream, _)) => stream,
+                                Err(e) => {
+                                    // Persistent accept errors (EMFILE
+                                    // under fd exhaustion, …) return
+                                    // immediately; back off instead of
+                                    // busy-spinning the core.
+                                    eprintln!("accept failed: {e}; retrying");
+                                    std::thread::sleep(std::time::Duration::from_millis(50));
+                                    continue;
+                                }
+                            };
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            // A dropped connection is the client's
+                            // problem, not the server's; a panicked one
+                            // (poisoned lock, engine invariant assert)
+                            // must not take the worker thread with it.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let _ = serve_connection(&state, stream);
+                                }));
+                            if outcome.is_err() {
+                                eprintln!("connection handler panicked; worker continues");
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ServerHandle {
+            stop,
+            addr: self.addr,
+            workers,
+        }
+    }
+}
+
+/// Handle to a running server: keeps it alive, stops it on demand.
+#[derive(Debug)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until every worker exits (i.e. forever, unless another
+    /// thread calls [`stop`](Self::stop) — the serve-forever mode of
+    /// `tim serve`).
+    pub fn wait(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Stops accepting, wakes blocked workers, and joins them. In-flight
+    /// connections finish their current accept/serve cycle first.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Release);
+        // One wake-up connection per worker: each blocked accept consumes
+        // exactly one, re-checks the flag, and exits.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Serves one connection: one answer line per request line, until EOF.
+fn serve_connection<M: DiffusionModel + Send + Sync + Clone + 'static>(
+    state: &ServerState<M>,
+    stream: TcpStream,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // Limit covers content + newline, so content of exactly
+    // MAX_LINE_BYTES is still accepted (the limit is on the line
+    // *excluding* its terminator — see docs/PROTOCOL.md).
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_LINE_BYTES + 2);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.set_limit(MAX_LINE_BYTES + 2);
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break; // EOF: client is done.
+        }
+        let content_len = n - usize::from(line.ends_with('\n'));
+        if content_len as u64 > MAX_LINE_BYTES {
+            writer.write_all(b"error: request line exceeds the 1 MiB limit\n")?;
+            writer.flush()?;
+            // Closing with unread bytes in the receive buffer would RST
+            // the connection and may discard the error line before the
+            // client reads it. Drain (bounded) so the close is graceful.
+            let _ = writer.shutdown(std::net::Shutdown::Write);
+            let mut raw = reader.into_inner();
+            let mut sink = [0u8; 8192];
+            let mut drained: u64 = 0;
+            while drained < 64 * MAX_LINE_BYTES {
+                match raw.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => drained += n as u64,
+                }
+            }
+            return Ok(());
+        }
+        if let Some(answer) = state.handle(&line) {
+            writer.write_all(answer.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tim_diffusion::IndependentCascade;
+    use tim_graph::{gen, weights};
+
+    fn state(pool_cache: usize) -> ServerState<IndependentCascade> {
+        let mut g = gen::barabasi_albert(150, 3, 0.0, 1);
+        weights::assign_weighted_cascade(&mut g);
+        let n = g.n();
+        ServerState::new(
+            g,
+            LabelMap::identity(n),
+            IndependentCascade,
+            "ic",
+            ServerConfig {
+                threads: 2,
+                pool_cache,
+                epsilon: 1.0,
+                ell: 1.0,
+                seed: 3,
+                k_max: 4,
+                sample_threads: 1,
+                verbose: false,
+            },
+        )
+    }
+
+    #[test]
+    fn handle_routes_overrides_to_their_own_pool() {
+        let s = state(4);
+        assert_eq!(s.cached_pools(), 0);
+        assert!(s.handle("select 2").unwrap().starts_with("seeds: "));
+        assert_eq!(s.cached_pools(), 1, "default pool built");
+        assert!(s.handle("select 2 eps=0.9").unwrap().starts_with("seeds: "));
+        assert_eq!(s.cached_pools(), 2, "override pool built");
+        // Same override again: reuse, not rebuild.
+        s.handle("select 2 eps=0.9").unwrap();
+        assert_eq!(s.cached_pools(), 2);
+        // eval/marginal/fast go to the default pool.
+        assert!(s.handle("eval 0,1").unwrap().starts_with("spread: "));
+        assert!(s.handle("marginal 0 1").unwrap().starts_with("marginal: "));
+        assert!(s.handle("select 2 fast").unwrap().starts_with("seeds: "));
+        assert_eq!(s.cached_pools(), 2);
+    }
+
+    #[test]
+    fn handle_answers_ping_without_building_a_pool() {
+        let s = state(1);
+        assert_eq!(s.handle("ping").unwrap(), "pong tim/1");
+        assert_eq!(s.cached_pools(), 0);
+        assert_eq!(s.handle("# comment"), None);
+        assert_eq!(s.handle(""), None);
+        assert!(s.handle("nonsense").unwrap().starts_with("error: "));
+        assert_eq!(s.cached_pools(), 0);
+    }
+
+    #[test]
+    fn explicit_defaults_share_the_default_pool() {
+        let s = state(2);
+        s.handle("select 2").unwrap();
+        // eps equal to the default maps to the same provenance key.
+        s.handle("select 2 eps=1.0").unwrap();
+        assert_eq!(s.cached_pools(), 1);
+        assert_eq!(s.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn server_start_and_stop_shut_down_cleanly() {
+        let s = Arc::new(state(2));
+        let server = Server::bind(Arc::clone(&s), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.start();
+        // A quick live round trip before shutdown.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"ping\n").unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = String::new();
+        BufReader::new(&mut conn).read_line(&mut buf).unwrap();
+        assert_eq!(buf.trim_end(), "pong tim/1");
+        handle.stop();
+    }
+}

@@ -1,0 +1,164 @@
+//! The serving determinism contract: N concurrent clients receive
+//! responses byte-identical to a serial replay of the same commands
+//! through an exclusive `QueryEngine`, for any interleaving.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use tim_diffusion::IndependentCascade;
+use tim_engine::QueryEngine;
+use tim_graph::{gen, weights, Graph};
+use tim_server::{protocol, LabelMap, Server, ServerConfig, ServerState};
+
+fn wc_graph() -> Graph {
+    let mut g = gen::barabasi_albert(300, 4, 0.0, 1);
+    weights::assign_weighted_cascade(&mut g);
+    g
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        threads: 4,
+        pool_cache: 4,
+        epsilon: 0.8,
+        ell: 1.0,
+        seed: 7,
+        k_max: 8,
+        sample_threads: 2,
+        verbose: false,
+    }
+}
+
+/// Serial ground truth: the same lines through an exclusive engine with
+/// the same provenance, via the very same protocol implementation.
+fn serial_replay(lines: &[String]) -> Vec<String> {
+    let g = wc_graph();
+    let labels = LabelMap::identity(g.n());
+    let cfg = config();
+    let mut engine = QueryEngine::new(g, IndependentCascade, "ic")
+        .epsilon(cfg.epsilon)
+        .ell(cfg.ell)
+        .seed(cfg.seed)
+        .threads(cfg.sample_threads)
+        .k_max(cfg.k_max);
+    engine.warm();
+    lines
+        .iter()
+        .filter_map(|l| protocol::handle_line(&mut engine, &labels, l).map(|r| r.line))
+        .collect()
+}
+
+fn start_server() -> (
+    Arc<ServerState<IndependentCascade>>,
+    tim_server::ServerHandle,
+) {
+    let g = wc_graph();
+    let labels = LabelMap::identity(g.n());
+    let state = Arc::new(ServerState::new(
+        g,
+        labels,
+        IndependentCascade,
+        "ic",
+        config(),
+    ));
+    let server = Server::bind(Arc::clone(&state), "127.0.0.1:0").unwrap();
+    (state, server.start())
+}
+
+/// Sends `lines` over one connection and collects the response lines.
+fn run_client(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    for l in lines {
+        stream.write_all(l.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+    }
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    BufReader::new(stream).lines().map(|l| l.unwrap()).collect()
+}
+
+#[test]
+fn interleaved_clients_get_byte_identical_answers() {
+    // Every command stays within the warmed pool, so every answer —
+    // including eval/marginal coverage values — is a pure function of
+    // provenance + query, independent of interleaving.
+    let script: Vec<String> = [
+        "# warm-pool session",
+        "select 1",
+        "select 4",
+        "marginal 0 1",
+        "select 8",
+        "eval 0,1,2",
+        "",
+        "select 2 fast",
+        "marginal 0,1 2",
+        "ping",
+        "select 5",
+        "bogus query",
+        "eval 0,5",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let want = serial_replay(&script);
+    assert_eq!(want.len(), 11, "9 answers + 1 pong + 1 error");
+
+    let (_state, handle) = start_server();
+    let addr = handle.addr();
+    let clients: Vec<_> = (0..6)
+        .map(|i| {
+            let script = script.clone();
+            std::thread::spawn(move || {
+                // Rotate each client's command order so the worker
+                // threads genuinely interleave different queries.
+                let mut rotated: Vec<String> = script.clone();
+                rotated.rotate_left(i % script.len());
+                (rotated.clone(), run_client(addr, &rotated))
+            })
+        })
+        .collect();
+
+    // Answers must match a serial replay of each client's own order.
+    for c in clients {
+        let (sent, got) = c.join().unwrap();
+        assert_eq!(got, serial_replay(&sent));
+    }
+    handle.stop();
+}
+
+#[test]
+fn pool_growth_keeps_exact_replay_byte_identical() {
+    // k = 12 > k_max = 8 forces the default pool to grow mid-session.
+    // Exact-replay selects carve their plan's θ-prefix out of whatever
+    // the pool holds, so even clients racing the growth get answers
+    // byte-identical to the serial replay.
+    let script: Vec<String> = ["select 12", "select 3", "select 8", "select 1"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let want = serial_replay(&script);
+
+    let (_state, handle) = start_server();
+    let addr = handle.addr();
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let script = script.clone();
+            std::thread::spawn(move || {
+                let mut rotated = script.clone();
+                rotated.rotate_left(i % script.len());
+                (rotated.clone(), run_client(addr, &rotated))
+            })
+        })
+        .collect();
+    for c in clients {
+        let (sent, got) = c.join().unwrap();
+        // Same multiset of answers as the serial replay, in the client's
+        // own command order.
+        let mut expect: Vec<String> = serial_replay(&sent);
+        assert_eq!(got, expect);
+        expect.sort();
+        let mut sorted_want = want.clone();
+        sorted_want.sort();
+        assert_eq!(expect, sorted_want);
+    }
+    handle.stop();
+}

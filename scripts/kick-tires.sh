@@ -41,19 +41,50 @@ SNAP=out/kick-tires/ba_small.timg
 
 echo "== query engine: warm pool answers == fresh select =="
 POOL=out/kick-tires/ba_small.timp
+SESSION=out/kick-tires/session.txt
 {
+    echo "ping"
     echo "select 10"
     echo "select 5"
     echo "eval $SEEDS"
     echo "marginal $(head -1 out/kick-tires/select.txt) $(sed -n 2p out/kick-tires/select.txt)"
     echo "select 3 fast"
-} | "$TIM" query "$SNAP" --pool "$POOL" -k 10 --eps 0.3 --seed 7 \
+} > "$SESSION"
+"$TIM" query "$SNAP" --pool "$POOL" -k 10 --eps 0.3 --seed 7 < "$SESSION" \
     | tee out/kick-tires/query.txt
 # The k=10 query answer must be byte-identical to the fresh select run.
-head -1 out/kick-tires/query.txt | sed 's/^seeds: //' | tr ' ' '\n' \
+sed -n 2p out/kick-tires/query.txt | sed 's/^seeds: //' | tr ' ' '\n' \
     > out/kick-tires/query_seeds.txt
 diff out/kick-tires/select.txt out/kick-tires/query_seeds.txt \
     && echo "warm-pool seeds byte-identical to fresh select: OK"
+
+echo "== server: tim serve answers == tim query answers =="
+# Ephemeral port; the bound address appears on stdout as "listening on …".
+"$TIM" serve "$SNAP" --addr 127.0.0.1:0 --pool "$POOL" -k 10 --eps 0.3 --seed 7 \
+    > out/kick-tires/serve.addr 2> out/kick-tires/serve.log &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' out/kick-tires/serve.addr 2>/dev/null && break
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^listening on //p' out/kick-tires/serve.addr)
+echo "server at $ADDR (pid $SERVE_PID)"
+"$TIM" client --addr "$ADDR" < "$SESSION" | tee out/kick-tires/serve_answers.txt
+# Two more concurrent scripted clients: every session must agree.
+"$TIM" client --addr "$ADDR" < "$SESSION" > out/kick-tires/serve_answers2.txt &
+C2=$!
+"$TIM" client --addr "$ADDR" < "$SESSION" > out/kick-tires/serve_answers3.txt &
+C3=$!
+wait $C2 $C3
+kill $SERVE_PID 2>/dev/null || true
+wait $SERVE_PID 2>/dev/null || true
+trap - EXIT
+diff out/kick-tires/query.txt out/kick-tires/serve_answers.txt \
+    && echo "tim serve byte-identical to tim query: OK"
+diff out/kick-tires/serve_answers.txt out/kick-tires/serve_answers2.txt
+diff out/kick-tires/serve_answers.txt out/kick-tires/serve_answers3.txt \
+    && echo "concurrent client sessions byte-identical: OK"
 
 echo "== experiment driver (quick): Figure 4 phase breakdown =="
 cargo run --release -p tim_bench --bin experiments -- fig4 --quick --scale 0.2 \

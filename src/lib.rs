@@ -42,6 +42,7 @@ pub use tim_engine as engine;
 pub use tim_eval as eval;
 pub use tim_graph as graph;
 pub use tim_rng as rng;
+pub use tim_server as server;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -60,7 +61,8 @@ pub mod prelude {
         CustomTriggering, DiffusionModel, IndependentCascade, LinearThreshold, RrSampler,
         SimWorkspace, SpreadEstimator,
     };
-    pub use tim_engine::{QueryEngine, QueryOutcome, RrPool};
+    pub use tim_engine::{QueryEngine, QueryOutcome, RrPool, SharedEngine};
     pub use tim_graph::{gen, io, snapshot, weights, Graph, GraphBuilder, NodeId};
     pub use tim_rng::{RandomSource, Rng};
+    pub use tim_server::{LabelMap, PoolCache, Server, ServerConfig, ServerState};
 }
