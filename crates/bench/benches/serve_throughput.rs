@@ -47,7 +47,7 @@ fn config(threads: usize) -> ServerConfig {
         seed: 7,
         k_max: 10,
         sample_threads: 0,
-        verbose: false,
+        ..ServerConfig::default()
     }
 }
 

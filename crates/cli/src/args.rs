@@ -3,10 +3,12 @@
 use std::collections::HashMap;
 
 /// Parsed command line: positionals plus `--flag value` / `--flag` pairs.
+/// Flags may repeat (`--graph a=x --graph b=y`); [`Args::get`] returns the
+/// last occurrence, [`Args::get_all`] every occurrence in order.
 #[derive(Debug, Default)]
 pub struct Args {
     pub positional: Vec<String>,
-    flags: HashMap<String, String>,
+    flags: HashMap<String, Vec<String>>,
     switches: Vec<String>,
 }
 
@@ -26,14 +28,20 @@ impl Args {
                     let value = it
                         .next()
                         .ok_or_else(|| format!("--{name} requires a value"))?;
-                    args.flags.insert(name.to_string(), value.clone());
+                    args.flags
+                        .entry(name.to_string())
+                        .or_default()
+                        .push(value.clone());
                 }
             } else if let Some(name) = a.strip_prefix('-') {
                 // Short flags: -k 50 style.
                 let value = it
                     .next()
                     .ok_or_else(|| format!("-{name} requires a value"))?;
-                args.flags.insert(name.to_string(), value.clone());
+                args.flags
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(value.clone());
             } else {
                 args.positional.push(a.clone());
             }
@@ -46,9 +54,17 @@ impl Args {
         self.switches.iter().any(|s| s == name)
     }
 
-    /// String flag value.
+    /// String flag value (the last occurrence when repeated).
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.flags.get(name).map(String::as_str)
+        self.flags
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// Every occurrence of a repeatable flag, in command-line order.
+    pub fn get_all(&self, name: &str) -> &[String] {
+        self.flags.get(name).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Parsed flag with a default.
@@ -91,6 +107,15 @@ mod tests {
         assert_eq!(a.get_parsed("eps", 0.1).unwrap(), 0.2);
         assert!(a.switch("undirected"));
         assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn repeated_flags_keep_every_occurrence() {
+        let a = Args::parse(&argv("--graph a=x --graph b=y --eps 0.1 --eps 0.2")).unwrap();
+        assert_eq!(a.get_all("graph"), ["a=x".to_string(), "b=y".to_string()]);
+        assert_eq!(a.get("graph"), Some("b=y"), "get returns the last");
+        assert_eq!(a.get_parsed("eps", 0.0).unwrap(), 0.2);
+        assert!(a.get_all("nope").is_empty());
     }
 
     #[test]

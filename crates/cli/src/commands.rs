@@ -2,7 +2,7 @@
 //! query, serve, client.
 
 use crate::args::{parse_id_list, Args};
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 use std::sync::Arc;
 use tim_baselines::{
     celf::CelfGreedy, degree_discount::DegreeDiscount, high_degree::HighDegree, irie::Irie,
@@ -14,7 +14,10 @@ use tim_engine::{QueryEngine, RrPool};
 use tim_eval::Dataset;
 use tim_graph::io::LoadedGraph;
 use tim_graph::{analysis, io, snapshot, weights, Graph, NodeId};
-use tim_server::{protocol, LabelMap, Server, ServerConfig, ServerState};
+use tim_server::{
+    CappedLine, CappedLineReader, GraphCatalog, LabelMap, Server, ServerConfig, ServerState,
+    DEFAULT_GRAPH_NAME, OVERSIZED_LINE_REPLY,
+};
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
@@ -28,24 +31,31 @@ usage:
   tim generate <ba|gnm|ws|powerlaw|nethept|epinions|dblp|livejournal|twitter>
                --out <path> [--n 10000] [--param 4] [--scale 1.0] [--seed 0]
   tim snapshot <graph> --out <path.timg> [--weights keep|wc|lt|const:<p>|tri] [--seed 0] [--undirected]
-  tim query    <graph> [--pool <path.timp>] [-k <K=50>] [--model ic|lt] [--weights wc|...]
-               [--eps 0.1] [--ell 1.0] [--seed 0] [--undirected] [--quiet]
-               (reads line-delimited queries from stdin:
+  tim query    [<graph>] [--graph <name>=<path>]... [--graphs <dir>]
+               [--default-graph <name>] [--max-loaded 8] [--pool <path.timp>]
+               [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
+               [--seed 0] [--pool-cache 4] [--undirected] [--quiet]
+               (reads line-delimited tim/2 queries from stdin:
                   select <k> [fast] [eps=<v>] [ell=<v>]
                   eval <id,id,...>
                   marginal <id,id,...> <cand-id>
-                  ping)
-  tim serve    <graph> [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
+                  use <graph> | graphs | stats | batch <n> | ping)
+  tim serve    [<graph>] [--graph <name>=<path>]... [--graphs <dir>]
+               [--default-graph <name>] [--max-loaded 8]
+               [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
                [--seed 0] [--pool <path.timp>] [--undirected] [--quiet]
-               (serves the query protocol over TCP; prints `listening on <addr>`
-                on stdout when bound — see docs/PROTOCOL.md)
+               (serves the tim/2 query protocol over TCP; prints
+                `listening on <addr>` on stdout when bound — see docs/PROTOCOL.md)
   tim client   --addr <host:port>
                (pipes line-delimited queries from stdin to a running server,
-                answers to stdout)
+                answers to stdout; exits nonzero if any response is `error: …`)
 
   <graph> is a SNAP-style text edge list or a binary .timg snapshot
-  (auto-detected by content, not extension).";
+  (auto-detected by content, not extension). `query` and `serve` host a
+  multi-graph catalog: the positional graph (if given) is named `default`,
+  each --graph adds a lazily loaded named graph, and --graphs scans a
+  directory of .timg/.txt/.edges files (stems become names).";
 
 /// Entry point: dispatches on the subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -67,25 +77,12 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
 }
 
 /// Applies a `--weights` spec to a graph. `seed` perturbs the seeded
-/// models (lt/tri) exactly as `select`/`evaluate` always have.
+/// models (lt/tri) exactly as `select`/`evaluate` always have. The spec
+/// grammar is owned by `tim_graph::weights::apply_spec` — the same code
+/// the server-side graph catalog uses for lazy loads, so the eager CLI
+/// path and lazy serving path cannot drift.
 fn apply_weights(graph: &mut Graph, spec: &str, seed: u64) -> Result<(), String> {
-    match spec {
-        "wc" => weights::assign_weighted_cascade(graph),
-        "lt" => weights::assign_lt_normalized(graph, seed ^ 0x17),
-        "tri" => weights::assign_trivalency(graph, seed ^ 0x3),
-        "keep" => {} // probabilities from the file
-        other => {
-            if let Some(p) = other.strip_prefix("const:") {
-                let p: f32 = p
-                    .parse()
-                    .map_err(|_| format!("--weights const: bad probability '{p}'"))?;
-                weights::assign_constant(graph, p);
-            } else {
-                return Err(format!("unknown --weights '{other}'"));
-            }
-        }
-    }
-    Ok(())
+    weights::apply_spec(graph, spec, seed).map_err(|e| e.to_string())
 }
 
 /// Loads the input graph (text or `.timg`, sniffed by content) and applies
@@ -365,83 +362,205 @@ fn check_pool_flag<T: PartialEq + std::fmt::Display>(
     }
 }
 
+/// Builds the shared server configuration from `query`/`serve` flags.
+fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
+    let config = ServerConfig {
+        threads: args.get_parsed("threads", 4usize)?,
+        pool_cache: args.get_parsed("pool-cache", 4usize)?,
+        epsilon: args.get_parsed("eps", 0.1f64)?,
+        ell: args.get_parsed("ell", 1.0f64)?,
+        seed: args.get_parsed("seed", 0u64)?,
+        k_max: args.get_parsed("k", 50usize)?,
+        sample_threads: 0,
+        verbose: !quiet,
+        weights: args.get("weights").unwrap_or("wc").to_string(),
+        undirected: args.switch("undirected"),
+        max_loaded: args.get_parsed("max-loaded", 8usize)?,
+    };
+    if config.threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    if config.pool_cache == 0 {
+        return Err("--pool-cache must be positive".into());
+    }
+    if config.max_loaded == 0 {
+        return Err("--max-loaded must be positive".into());
+    }
+    Ok(config)
+}
+
+/// Builds the multi-graph catalog state `query` and `serve` share: the
+/// positional graph (if given) is loaded eagerly and registered resident
+/// as `default`; every `--graph name=path` and every file a `--graphs`
+/// directory scan finds is registered for lazy loading. Sessions start on
+/// `--default-graph`, defaulting to `default` when present, else the
+/// first catalog name in sorted order.
+fn build_state<M: DiffusionModel + Send + Sync + Clone + 'static>(
+    model: M,
+    model_name: &str,
+    args: &Args,
+    config: ServerConfig,
+) -> Result<ServerState<M>, String> {
+    let mut catalog = GraphCatalog::new(model, model_name, config);
+    if !args.positional.is_empty() {
+        let LoadedGraph { graph, labels } = load(args)?;
+        catalog.add_resident(DEFAULT_GRAPH_NAME, graph, LabelMap::new(labels))?;
+    }
+    for spec in args.get_all("graph") {
+        let (name, path) = tim_graph::catalog::parse_graph_spec(spec).map_err(|e| e.to_string())?;
+        catalog.add_path(name, path)?;
+    }
+    if let Some(dir) = args.get("graphs") {
+        for (name, path) in tim_graph::catalog::scan_graph_dir(dir).map_err(|e| e.to_string())? {
+            catalog.add_path(name, path)?;
+        }
+    }
+    if catalog.is_empty() {
+        return Err(
+            "no graphs: provide a positional <graph>, --graph name=path, or --graphs <dir>".into(),
+        );
+    }
+    let default_graph = match args.get("default-graph") {
+        Some(name) => name.to_string(),
+        None if catalog.contains(DEFAULT_GRAPH_NAME) => DEFAULT_GRAPH_NAME.to_string(),
+        None => catalog.names()[0].to_string(),
+    };
+    ServerState::from_catalog(catalog, default_graph)
+}
+
 fn query(args: &Args) -> Result<(), String> {
-    let loaded = load(args)?;
     match args.get("model").unwrap_or("ic").to_lowercase().as_str() {
-        "ic" => query_with(IndependentCascade, "ic", loaded, args),
-        "lt" => query_with(LinearThreshold, "lt", loaded, args),
+        "ic" => query_with(IndependentCascade, "ic", args),
+        "lt" => query_with(LinearThreshold, "lt", args),
         other => Err(format!("unknown --model '{other}'")),
     }
 }
 
-fn query_with<M: DiffusionModel + Sync + Clone>(
+fn query_with<M: DiffusionModel + Send + Sync + Clone + 'static>(
     model: M,
     model_name: &str,
-    loaded: LoadedGraph,
     args: &Args,
 ) -> Result<(), String> {
-    let k_max: usize = args.get_parsed("k", 50usize)?;
-    let eps: f64 = args.get_parsed("eps", 0.1f64)?;
-    let ell: f64 = args.get_parsed("ell", 1.0f64)?;
-    let seed: u64 = args.get_parsed("seed", 0u64)?;
     let quiet = args.switch("quiet");
+    let mut config = server_config(args, quiet)?;
     let pool_path = args.get("pool");
-    let LoadedGraph { graph, labels } = loaded;
+    let multi_graph = !args.get_all("graph").is_empty() || args.get("graphs").is_some();
 
-    let mut engine = match pool_path {
+    // A persisted pool pins its configuration: explicit flags must agree.
+    // In the classic single-graph shape, absent flags inherit the pool's
+    // values (so the session's default engine *is* the loaded pool). With
+    // a multi-graph catalog the config is shared by *every* graph, so
+    // inheriting would silently change unrelated graphs' provenance —
+    // there the pool's values must be given explicitly.
+    let loaded_pool = match pool_path {
         Some(p) if std::path::Path::new(p).exists() => {
             let pool = RrPool::load(p).map_err(|e| format!("loading pool {p}: {e}"))?;
-            check_pool_flag("eps", args.get("eps").map(|_| eps), pool.meta.epsilon)?;
-            check_pool_flag("ell", args.get("ell").map(|_| ell), pool.meta.ell)?;
-            check_pool_flag("seed", args.get("seed").map(|_| seed), pool.meta.seed)?;
-            check_pool_flag("k", args.get("k").map(|_| k_max), pool.meta.k_max as usize)?;
-            let engine = QueryEngine::from_pool(graph, model, model_name, pool)
-                .map_err(|e| format!("attaching pool {p}: {e} (delete the file to rebuild)"))?;
-            if !quiet {
-                eprintln!(
-                    "loaded pool {p}: theta = {}, warmed for k <= {}",
-                    engine.pool_theta(),
-                    engine.warmed_k()
-                );
+            check_pool_flag(
+                "eps",
+                args.get("eps").map(|_| config.epsilon),
+                pool.meta.epsilon,
+            )?;
+            check_pool_flag("ell", args.get("ell").map(|_| config.ell), pool.meta.ell)?;
+            check_pool_flag(
+                "seed",
+                args.get("seed").map(|_| config.seed),
+                pool.meta.seed,
+            )?;
+            check_pool_flag(
+                "k",
+                args.get("k").map(|_| config.k_max),
+                pool.meta.k_max as usize,
+            )?;
+            if multi_graph {
+                for (flag, given, pool_value) in [
+                    ("eps", config.epsilon, pool.meta.epsilon),
+                    ("ell", config.ell, pool.meta.ell),
+                    ("seed", config.seed as f64, pool.meta.seed as f64),
+                    ("k", config.k_max as f64, pool.meta.k_max as f64),
+                ] {
+                    if given != pool_value {
+                        return Err(format!(
+                            "--pool {p} pins {flag} = {pool_value}, but the catalog serves \
+                             {flag} = {given}; pass --{flag} {pool_value} explicitly (pool \
+                             provenance is not inherited by multi-graph catalogs)"
+                        ));
+                    }
+                }
+            } else {
+                config.epsilon = pool.meta.epsilon;
+                config.ell = pool.meta.ell;
+                config.seed = pool.meta.seed;
+                config.k_max = pool.meta.k_max as usize;
             }
-            engine
+            Some(pool)
         }
-        _ => {
-            let mut engine = QueryEngine::new(graph, model, model_name)
-                .epsilon(eps)
-                .ell(ell)
-                .seed(seed)
-                .k_max(k_max);
-            let t0 = std::time::Instant::now();
-            engine.warm();
-            if !quiet {
-                eprintln!(
-                    "warmed pool: theta = {} in {:.2?} (k <= {k_max}, eps = {eps}, ell = {ell})",
-                    engine.pool_theta(),
-                    t0.elapsed()
-                );
+        _ => None,
+    };
+
+    let state = build_state(model.clone(), model_name, args, config)?;
+
+    // Attach or build-and-save the persistent pool on the default graph —
+    // the only case that loads the default graph eagerly; without --pool
+    // every graph (the default included) loads lazily on first query.
+    let mut watched_engine = None;
+    if let Some(p) = pool_path {
+        let default_state = state
+            .catalog()
+            .get(state.default_graph())
+            .map_err(|e| format!("query: {e}"))?;
+        match loaded_pool {
+            Some(pool) => {
+                let engine = QueryEngine::from_pool(
+                    Arc::clone(default_state.graph()),
+                    model,
+                    model_name,
+                    pool,
+                )
+                .map_err(|e| format!("attaching pool {p}: {e} (delete the file to rebuild)"))?;
+                let shared = default_state.preload(engine);
+                if !quiet {
+                    eprintln!(
+                        "loaded pool {p}: theta = {}, warmed for k <= {}",
+                        shared.pool_theta(),
+                        shared.warmed_k()
+                    );
+                }
+                watched_engine = Some(shared);
             }
-            if let Some(p) = pool_path {
-                engine
+            None => {
+                let t0 = std::time::Instant::now();
+                let shared = default_state.default_engine();
+                if !quiet {
+                    let cfg = default_state.config();
+                    eprintln!(
+                        "warmed pool: theta = {} in {:.2?} (k <= {}, eps = {}, ell = {})",
+                        shared.pool_theta(),
+                        t0.elapsed(),
+                        cfg.k_max,
+                        cfg.epsilon,
+                        cfg.ell
+                    );
+                }
+                shared
                     .to_pool()
                     .save(p)
                     .map_err(|e| format!("saving pool {p}: {e}"))?;
                 if !quiet {
                     eprintln!("saved pool to {p}");
                 }
+                watched_engine = Some(shared);
             }
-            engine
         }
-    };
+    }
+    let theta_before = watched_engine.as_ref().map(|e| e.pool_theta());
 
-    let theta_before = engine.pool_theta();
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
-    query_session(&mut engine, &labels, stdin.lock(), &mut stdout, quiet)?;
+    catalog_query_session(&state, stdin.lock(), &mut stdout)?;
 
     // Persist growth so the next process benefits from it.
-    if let Some(p) = pool_path {
-        if engine.pool_theta() != theta_before {
+    if let (Some(p), Some(engine), Some(before)) = (pool_path, watched_engine, theta_before) {
+        if engine.pool_theta() != before {
             engine
                 .to_pool()
                 .save(p)
@@ -454,40 +573,50 @@ fn query_with<M: DiffusionModel + Sync + Clone>(
     Ok(())
 }
 
-/// Runs the line-delimited query protocol: one answer line on `out` per
-/// input line. Malformed queries produce an `error: …` line and the
-/// session continues — batch workloads should not die on one bad line.
-///
-/// Delegates every line to [`tim_server::protocol`] — the same code that
-/// serves `tim serve` connections, so the two front ends cannot drift.
-fn query_session<M: DiffusionModel + Sync + Clone>(
-    engine: &mut QueryEngine<M>,
-    labels: &[u64],
-    input: impl BufRead,
+/// Runs a `tim/2` session over `input`: one answer line on `out` per
+/// request line, through the very same [`tim_server::Session`] machinery that serves
+/// `tim serve` connections — so the two front ends cannot drift. The
+/// 1 MiB request-line cap applies exactly as on TCP: an over-limit line
+/// answers `error: …` and ends the session.
+fn catalog_query_session<M: DiffusionModel + Send + Sync + Clone + 'static>(
+    state: &ServerState<M>,
+    input: impl Read,
     out: &mut impl Write,
-    quiet: bool,
 ) -> Result<(), String> {
-    let map = LabelMap::new(labels.to_vec());
-    for line in input.lines() {
-        let line = line.map_err(|e| format!("reading queries: {e}"))?;
-        let Some(reply) = protocol::handle_line(engine, &map, &line) else {
-            continue; // blank line or comment
-        };
-        if !quiet {
-            if let Some(note) = &reply.note {
-                eprintln!("{note}");
+    let mut reader = CappedLineReader::new(input);
+    let mut session = state.session();
+    let mut line = String::new();
+    loop {
+        match reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading queries: {e}"))?
+        {
+            CappedLine::Eof => break,
+            CappedLine::Oversized => {
+                writeln!(out, "{OVERSIZED_LINE_REPLY}")
+                    .map_err(|e| format!("writing answer: {e}"))?;
+                return Ok(()); // same contract as TCP: error, session over
+            }
+            CappedLine::Line => {
+                for answer in session.push_line(&line) {
+                    writeln!(out, "{answer}").map_err(|e| format!("writing answer: {e}"))?;
+                }
+                if session.closed() {
+                    return Ok(()); // framing violation: error answered, session over
+                }
             }
         }
-        writeln!(out, "{}", reply.line).map_err(|e| format!("writing answer: {e}"))?;
+    }
+    for answer in session.finish() {
+        writeln!(out, "{answer}").map_err(|e| format!("writing answer: {e}"))?;
     }
     Ok(())
 }
 
 fn serve(args: &Args) -> Result<(), String> {
-    let loaded = load(args)?;
     match args.get("model").unwrap_or("ic").to_lowercase().as_str() {
-        "ic" => serve_with(IndependentCascade, "ic", loaded, args),
-        "lt" => serve_with(LinearThreshold, "lt", loaded, args),
+        "ic" => serve_with(IndependentCascade, "ic", args),
+        "lt" => serve_with(LinearThreshold, "lt", args),
         other => Err(format!("unknown --model '{other}'")),
     }
 }
@@ -495,50 +624,32 @@ fn serve(args: &Args) -> Result<(), String> {
 fn serve_with<M: DiffusionModel + Send + Sync + Clone + 'static>(
     model: M,
     model_name: &str,
-    loaded: LoadedGraph,
     args: &Args,
 ) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7171");
     let quiet = args.switch("quiet");
-    let config = ServerConfig {
-        threads: args.get_parsed("threads", 4usize)?,
-        pool_cache: args.get_parsed("pool-cache", 4usize)?,
-        epsilon: args.get_parsed("eps", 0.1f64)?,
-        ell: args.get_parsed("ell", 1.0f64)?,
-        seed: args.get_parsed("seed", 0u64)?,
-        k_max: args.get_parsed("k", 50usize)?,
-        sample_threads: 0,
-        verbose: !quiet,
-    };
-    if config.threads == 0 {
-        return Err("serve: --threads must be positive".into());
-    }
-    if config.pool_cache == 0 {
-        return Err("serve: --pool-cache must be positive".into());
-    }
-    let LoadedGraph { graph, labels } = loaded;
-    let graph = Arc::new(graph);
-    let state = Arc::new(ServerState::new(
-        Arc::clone(&graph),
-        LabelMap::new(labels),
-        model.clone(),
-        model_name,
-        config.clone(),
-    ));
+    let config = server_config(args, quiet).map_err(|e| format!("serve: {e}"))?;
+    let state = Arc::new(build_state(model.clone(), model_name, args, config)?);
 
-    // Pre-seed the pool cache from a persisted `.timp` pool (keyed by the
-    // pool's own provenance, which need not match the serving defaults).
-    // This happens *before* the listening line is printed: a missing or
-    // corrupt pool must fail here, not after scripts have already parsed
-    // the address and assumed the server is up.
+    // Pre-seed the default graph's pool cache from a persisted `.timp`
+    // pool (keyed by the pool's own provenance, which need not match the
+    // serving defaults). This happens *before* the listening line is
+    // printed: a missing or corrupt pool must fail here, not after
+    // scripts have already parsed the address and assumed the server is
+    // up.
     if let Some(p) = args.get("pool") {
         if !std::path::Path::new(p).exists() {
             return Err(format!("serve: pool file {p} does not exist"));
         }
+        let default_state = state
+            .catalog()
+            .get(state.default_graph())
+            .map_err(|e| format!("serve: {e}"))?;
         let pool = RrPool::load(p).map_err(|e| format!("loading pool {p}: {e}"))?;
-        let engine = QueryEngine::from_pool(Arc::clone(&graph), model, model_name, pool)
-            .map_err(|e| format!("attaching pool {p}: {e}"))?;
-        let shared = state.preload(engine);
+        let engine =
+            QueryEngine::from_pool(Arc::clone(default_state.graph()), model, model_name, pool)
+                .map_err(|e| format!("attaching pool {p}: {e}"))?;
+        let shared = default_state.preload(engine);
         if !quiet {
             eprintln!(
                 "preloaded pool {p}: theta = {}, warmed for k <= {}",
@@ -559,10 +670,17 @@ fn serve_with<M: DiffusionModel + Send + Sync + Clone + 'static>(
         .map_err(|e| format!("flushing stdout: {e}"))?;
 
     let t0 = std::time::Instant::now();
-    let theta = state.warm_default();
+    let default_state = state
+        .catalog()
+        .get(state.default_graph())
+        .map_err(|e| format!("serve: {e}"))?;
+    let theta = default_state.warm_default();
     if !quiet {
+        let config = state.config();
         eprintln!(
-            "default pool ready: theta = {theta} in {:.2?} (k <= {}, eps = {}, ell = {}, seed = {})",
+            "default pool ready on graph '{}': theta = {theta} in {:.2?} \
+             (k <= {}, eps = {}, ell = {}, seed = {})",
+            state.default_graph(),
             t0.elapsed(),
             config.k_max,
             config.epsilon,
@@ -570,12 +688,63 @@ fn serve_with<M: DiffusionModel + Send + Sync + Clone + 'static>(
             config.seed
         );
         eprintln!(
-            "serving with {} workers, pool cache capacity {}",
-            config.threads, config.pool_cache
+            "serving {} graph(s) with {} workers, pool cache capacity {} per graph, \
+             up to {} graphs loaded",
+            state.catalog().len(),
+            config.threads,
+            config.pool_cache,
+            config.max_loaded
         );
     }
     server.start().wait();
     Ok(())
+}
+
+/// Pipes `input` to a connected server and copies the response stream to
+/// `out`, counting `error: …` response lines — the scripted-session core
+/// of `tim client`, factored out so tests can drive it without stdin.
+fn client_session<I: Read + Send, O: Write>(
+    stream: std::net::TcpStream,
+    input: I,
+    out: &mut O,
+) -> Result<u64, String> {
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cloning connection: {e}"))?;
+    let mut input = input;
+    std::thread::scope(|scope| {
+        // Uploader thread: input → server, then half-close so the server
+        // sees EOF once our queries are sent; responses keep flowing back.
+        let upload = scope.spawn(move || -> Result<(), String> {
+            std::io::copy(&mut input, &mut writer).map_err(|e| format!("sending queries: {e}"))?;
+            writer
+                .shutdown(std::net::Shutdown::Write)
+                .map_err(|e| format!("closing send side: {e}"))?;
+            Ok(())
+        });
+        let mut errors = 0u64;
+        let mut reader = std::io::BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("reading answers: {e}"))?;
+            if n == 0 {
+                break;
+            }
+            out.write_all(line.as_bytes())
+                .map_err(|e| format!("writing answer: {e}"))?;
+            if line.starts_with("error: ") {
+                errors += 1;
+            }
+        }
+        out.flush().map_err(|e| format!("flushing answers: {e}"))?;
+        upload
+            .join()
+            .map_err(|_| "uploader panicked".to_string())??;
+        Ok(errors)
+    })
 }
 
 fn client(args: &Args) -> Result<(), String> {
@@ -584,28 +753,15 @@ fn client(args: &Args) -> Result<(), String> {
         .ok_or_else(|| "client: --addr <host:port> is required".to_string())?;
     let stream =
         std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| format!("cloning connection: {e}"))?;
-
-    // Uploader thread: stdin → server, then half-close so the server sees
-    // EOF once our queries are sent; responses keep flowing back.
-    let upload = std::thread::spawn(move || -> Result<(), String> {
-        let stdin = std::io::stdin();
-        std::io::copy(&mut stdin.lock(), &mut writer)
-            .map_err(|e| format!("sending queries: {e}"))?;
-        writer
-            .shutdown(std::net::Shutdown::Write)
-            .map_err(|e| format!("closing send side: {e}"))?;
-        Ok(())
-    });
-
-    let mut out = std::io::stdout();
-    let copy = std::io::copy(&mut std::io::BufReader::new(stream), &mut out)
-        .map_err(|e| format!("reading answers: {e}"));
-    let upload = upload.join().map_err(|_| "uploader panicked".to_string())?;
-    copy?;
-    upload
+    let mut stdout = std::io::stdout();
+    let errors = client_session(stream, std::io::stdin(), &mut stdout)?;
+    if errors > 0 {
+        // Scripted sessions (kick-tires, CI) must be able to assert clean
+        // runs: any `error: …` response line fails the whole session.
+        eprintln!("tim client: {errors} error response(s) in session");
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -751,6 +907,41 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Single-graph catalog state over a parsed edge list, mirroring what
+    /// `tim query <graph>` builds.
+    fn session_state(
+        loaded: LoadedGraph,
+        eps: f64,
+        seed: u64,
+        k_max: usize,
+    ) -> ServerState<IndependentCascade> {
+        let LoadedGraph { mut graph, labels } = loaded;
+        weights::assign_weighted_cascade(&mut graph);
+        ServerState::new(
+            graph,
+            LabelMap::new(labels),
+            IndependentCascade,
+            "ic",
+            ServerConfig {
+                epsilon: eps,
+                seed,
+                k_max,
+                sample_threads: 1,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    fn run_session(state: &ServerState<IndependentCascade>, input: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        catalog_query_session(state, input.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    }
+
     #[test]
     fn query_session_answers_match_fresh_select() {
         // Sparse labels so the label round trip is exercised.
@@ -764,41 +955,26 @@ mod tests {
             })
             .collect();
         let loaded = io::read_edge_list(edges.as_bytes(), false).unwrap();
-        let mut g = loaded.graph;
-        weights::assign_weighted_cascade(&mut g);
-
+        let mut g_fresh = io::read_edge_list(edges.as_bytes(), false).unwrap().graph;
+        weights::assign_weighted_cascade(&mut g_fresh);
         let fresh = TimPlus::new(IndependentCascade)
             .epsilon(0.9)
             .seed(11)
-            .run(&g, 5);
+            .run(&g_fresh, 5);
         let want: Vec<String> = fresh
             .seeds
             .iter()
             .map(|&v| loaded.labels[v as usize].to_string())
             .collect();
 
-        let mut engine = QueryEngine::new(g, IndependentCascade, "ic")
-            .epsilon(0.9)
-            .seed(11)
-            .k_max(8);
-        engine.warm();
+        let state = session_state(loaded, 0.9, 11, 8);
         let input = format!(
             "# comment\n\nselect 5\nselect 3 fast\neval {}\nmarginal {} {}\nbogus\nselect 0\n",
             want.join(","),
             want[0],
             want[1]
         );
-        let mut out = Vec::new();
-        query_session(
-            &mut engine,
-            &loaded.labels,
-            input.as_bytes(),
-            &mut out,
-            true,
-        )
-        .unwrap();
-        let out = String::from_utf8(out).unwrap();
-        let lines: Vec<&str> = out.lines().collect();
+        let lines = run_session(&state, &input);
         assert_eq!(lines.len(), 6);
         assert_eq!(lines[0], format!("seeds: {}", want.join(" ")));
         assert!(lines[1].starts_with("seeds: "));
@@ -812,22 +988,120 @@ mod tests {
     #[test]
     fn query_session_reports_unknown_labels() {
         let loaded = io::read_edge_list("0 1\n1 2\n2 0\n".as_bytes(), false).unwrap();
-        let mut g = loaded.graph;
-        weights::assign_constant(&mut g, 0.5);
-        let mut engine = QueryEngine::new(g, IndependentCascade, "ic")
-            .epsilon(1.0)
-            .k_max(2);
+        let state = session_state(loaded, 1.0, 0, 2);
+        let lines = run_session(&state, "eval 999\n");
+        assert!(lines[0].contains("label 999"));
+    }
+
+    #[test]
+    fn query_session_enforces_the_line_cap_like_tcp() {
+        let loaded = io::read_edge_list("0 1\n1 2\n2 0\n".as_bytes(), false).unwrap();
+        let state = session_state(loaded, 1.0, 0, 2);
+        // ping, then an over-limit line, then a query that must NOT run
+        // (the session ends at the oversized line, exactly like TCP).
+        let input = format!("ping\n{}\nselect 1\n", "a".repeat((1 << 20) + 10));
+        let lines = run_session(&state, &input);
+        assert_eq!(
+            lines,
+            vec!["pong tim/2".to_string(), OVERSIZED_LINE_REPLY.to_string()]
+        );
+        // A line of exactly the cap still answers.
+        let comment = format!("#{}", "c".repeat((1 << 20) - 1));
+        let lines = run_session(&state, &format!("{comment}\nping\n"));
+        assert_eq!(lines, vec!["pong tim/2".to_string()]);
+    }
+
+    #[test]
+    fn query_session_supports_batch_and_session_verbs() {
+        let loaded = io::read_edge_list("0 1\n1 2\n2 0\n".as_bytes(), false).unwrap();
+        let state = session_state(loaded, 1.0, 0, 2);
+        let plain = run_session(&state, "select 1\neval 0,1\nping\n");
+        let batched = run_session(&state, "batch 3\nselect 1\neval 0,1\nping\n");
+        assert_eq!(plain, batched, "batch is a pure transport optimization");
+        let verbs = run_session(&state, "graphs\nuse default\nstats\n");
+        assert_eq!(verbs[0], "graphs: default");
+        assert_eq!(verbs[1], "using default");
+        assert!(verbs[2].starts_with("stats: graph=default n=3 m=3 "));
+    }
+
+    #[test]
+    fn pool_provenance_is_not_inherited_by_multi_graph_catalogs() {
+        let dir = tmpdir();
+        let (g1, g2) = (dir.join("pool_g1.txt"), dir.join("pool_g2.txt"));
+        std::fs::write(&g1, "0 1\n1 2\n2 0\n").unwrap();
+        std::fs::write(&g2, "0 1\n1 2\n2 3\n3 0\n").unwrap();
+        // A pool pinned to a non-default provenance (eps = 0.7, seed = 5).
+        let pool = dir.join("prov.timp");
+        let loaded = io::load_graph(&g1, false).unwrap();
+        let mut graph = loaded.graph;
+        weights::assign_weighted_cascade(&mut graph);
+        let mut engine = QueryEngine::new(graph, IndependentCascade, "ic")
+            .epsilon(0.7)
+            .seed(5)
+            .k_max(3);
         engine.warm();
+        engine.to_pool().save(&pool).unwrap();
+
+        // Multi-graph catalog + absent flags: the pool's provenance must
+        // NOT leak into the shared config — explicit flags are required.
+        let err = dispatch(&argv(&format!(
+            "query {} --graph extra={} --pool {}",
+            g1.display(),
+            g2.display(),
+            pool.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("not inherited"), "got: {err}");
+        // Contradicting explicit flags still fail the single-graph way.
+        let err = dispatch(&argv(&format!(
+            "query {} --eps 0.2 --pool {}",
+            g1.display(),
+            pool.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("contradicts the pool"), "got: {err}");
+        for f in [&g1, &g2, &pool] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn client_session_counts_error_responses() {
+        let loaded = io::read_edge_list("0 1\n1 2\n2 0\n".as_bytes(), false).unwrap();
+        let LoadedGraph { mut graph, labels } = loaded;
+        weights::assign_weighted_cascade(&mut graph);
+        let state = Arc::new(ServerState::new(
+            graph,
+            LabelMap::new(labels),
+            IndependentCascade,
+            "ic",
+            ServerConfig {
+                threads: 1,
+                epsilon: 1.0,
+                k_max: 2,
+                sample_threads: 1,
+                ..ServerConfig::default()
+            },
+        ));
+        let handle = Server::bind(Arc::clone(&state), "127.0.0.1:0")
+            .unwrap()
+            .start();
+
+        let connect = || std::net::TcpStream::connect(handle.addr()).unwrap();
         let mut out = Vec::new();
-        query_session(
-            &mut engine,
-            &loaded.labels,
-            "eval 999\n".as_bytes(),
+        let errors = client_session(
+            connect(),
+            "ping\nbogus\nselect 1\nnope\n".as_bytes(),
             &mut out,
-            true,
         )
         .unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("label 999"));
+        assert_eq!(errors, 2, "two error responses counted");
+        assert!(String::from_utf8(out).unwrap().starts_with("pong tim/2\n"));
+
+        let mut out = Vec::new();
+        let errors = client_session(connect(), "ping\nselect 1\n".as_bytes(), &mut out).unwrap();
+        assert_eq!(errors, 0, "clean session");
+        handle.stop();
     }
 
     #[test]
@@ -863,21 +1137,48 @@ mod tests {
     #[test]
     fn query_session_answers_ping() {
         let loaded = io::read_edge_list("0 1\n1 2\n2 0\n".as_bytes(), false).unwrap();
-        let mut g = loaded.graph;
-        weights::assign_constant(&mut g, 0.5);
-        let mut engine = QueryEngine::new(g, IndependentCascade, "ic")
-            .epsilon(1.0)
-            .k_max(2);
-        let mut out = Vec::new();
-        query_session(
-            &mut engine,
-            &loaded.labels,
-            "ping\n".as_bytes(),
-            &mut out,
-            true,
-        )
+        let state = session_state(loaded, 1.0, 0, 2);
+        assert_eq!(
+            run_session(&state, "ping\n"),
+            vec!["pong tim/2".to_string()]
+        );
+    }
+
+    #[test]
+    fn multi_graph_flags_build_a_catalog() {
+        let dir = tmpdir();
+        let (a, b) = (dir.join("cat_a.txt"), dir.join("cat_b.txt"));
+        std::fs::write(&a, "0 1\n1 2\n2 0\n").unwrap();
+        std::fs::write(&b, "0 1\n1 2\n2 3\n3 0\n").unwrap();
+        let args = Args::parse(&argv(&format!(
+            "--graph a={} --graph b={} --eps 1.0 --default-graph a",
+            a.display(),
+            b.display()
+        )))
         .unwrap();
-        assert_eq!(String::from_utf8(out).unwrap(), "pong tim/1\n");
+        let config = server_config(&args, true).unwrap();
+        let state = build_state(IndependentCascade, "ic", &args, config).unwrap();
+        assert_eq!(state.default_graph(), "a");
+        let lines = run_session(&state, "graphs\nstats\nuse b\nstats\nuse nope\n");
+        assert_eq!(lines[0], "graphs: a b");
+        assert!(lines[1].starts_with("stats: graph=a n=3 "));
+        assert_eq!(lines[2], "using b");
+        assert!(lines[3].starts_with("stats: graph=b n=4 "));
+        assert!(lines[4].starts_with("error: use: unknown graph"));
+        // Duplicate names and empty catalogs are rejected.
+        let dup = Args::parse(&argv(&format!(
+            "--graph a={} --graph a={}",
+            a.display(),
+            b.display()
+        )))
+        .unwrap();
+        let config = server_config(&dup, true).unwrap();
+        assert!(build_state(IndependentCascade, "ic", &dup, config).is_err());
+        let none = Args::parse(&argv("--eps 1.0")).unwrap();
+        let config = server_config(&none, true).unwrap();
+        assert!(build_state(IndependentCascade, "ic", &none, config).is_err());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
     }
 
     #[test]

@@ -9,10 +9,13 @@
 //! tim generate <ba|gnm|ws|powerlaw|nethept|epinions|dblp|livejournal|twitter>
 //!              --out <path> [--n 10000] [--param 4] [--scale 1.0] [--seed 0]
 //! tim snapshot <graph> --out <path.timg> [--weights keep] [--undirected]
-//! tim query    <graph> [--pool <path.timp>] [-k 50] [--model ic]
+//! tim query    [<graph>] [--graph name=path]... [--graphs <dir>]
+//!              [--pool <path.timp>] [-k 50] [--model ic]
 //!              [--eps 0.1] [--ell 1.0] [--seed 0] [--quiet]
-//! tim serve    <graph> [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
+//! tim serve    [<graph>] [--graph name=path]... [--graphs <dir>]
+//!              [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
 //!              [-k 50] [--model ic] [--eps 0.1] [--seed 0] [--pool <path.timp>]
+//!              [--default-graph <name>] [--max-loaded 8]
 //! tim client   --addr <host:port>
 //! ```
 //!
@@ -22,15 +25,19 @@
 //! labels.
 //!
 //! `tim query` keeps an RR-set pool warm (optionally persisted as a
-//! `.timp` file) and answers line-delimited `select` / `eval` /
-//! `marginal` / `ping` queries from stdin — `select` answers are
-//! byte-identical to a fresh `tim select --algo tim+` at the same
-//! `(seed, eps, ell, k)`.
+//! `.timp` file) and answers line-delimited `tim/2` queries from stdin
+//! (`select` / `eval` / `marginal` / `use` / `graphs` / `stats` /
+//! `batch` / `ping`) — `select` answers are byte-identical to a fresh
+//! `tim select --algo tim+` at the same `(seed, eps, ell, k)`.
 //!
 //! `tim serve` answers the same protocol over TCP from multiple worker
-//! threads, sharing warm pools across connections through an LRU pool
-//! cache keyed by provenance; `tim client` pipes a scripted stdin session
-//! to a running server. The protocol spec is `docs/PROTOCOL.md`.
+//! threads. One process hosts a catalog of named graphs (positional
+//! graph = `default`, plus `--graph`/`--graphs` entries, loaded lazily
+//! with LRU eviction beyond `--max-loaded`), each with its own
+//! provenance-keyed LRU pool cache; sessions switch graphs with `use`
+//! and batch requests with `batch <n>`. `tim client` pipes a scripted
+//! stdin session to a running server and exits nonzero if any response
+//! is `error: …`. The protocol spec is `docs/PROTOCOL.md`.
 
 mod args;
 mod commands;

@@ -1,0 +1,70 @@
+//! Property tests for `shard_layout` prefix-composability — the
+//! invariant the warm-pool engine, the serving pool caches, and the
+//! multi-graph catalog all rest on: a pool sampled at θ contains,
+//! shard-aligned, exactly the sets of any θ′ ≤ θ run. That holds iff,
+//! for every θ′ ≤ θ, (1) each shard's count is non-decreasing from θ′
+//! to θ and (2) each layout sums to its θ. Random pairs here complement
+//! the exhaustive-small-θ unit test in `tim_core::parallel`.
+
+use proptest::prelude::*;
+use tim_core::parallel::{shard_layout, SHARDS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn layout_sums_to_theta_and_is_bounded(theta in 0u64..5_000_000) {
+        let counts = shard_layout(theta);
+        prop_assert_eq!(counts.iter().sum::<u64>(), theta);
+        prop_assert!(counts.len() as u64 <= SHARDS);
+        prop_assert!(!counts.is_empty());
+        // Balance: shards never differ by more than one set.
+        let (min, max) = (
+            counts.iter().min().copied().unwrap_or(0),
+            counts.iter().max().copied().unwrap_or(0),
+        );
+        prop_assert!(max - min <= 1, "layout unbalanced: min {min}, max {max}");
+    }
+
+    #[test]
+    fn every_smaller_theta_is_a_shard_aligned_prefix(
+        theta in 1u64..5_000_000,
+        frac in 0.0f64..1.0,
+    ) {
+        // θ′ ≤ θ drawn over the full range, including the θ′ = θ and
+        // small-θ′ edges.
+        let theta_prime = (theta as f64 * frac) as u64;
+        let big = shard_layout(theta);
+        let small = shard_layout(theta_prime);
+        prop_assert_eq!(small.iter().sum::<u64>(), theta_prime);
+        prop_assert!(small.len() <= big.len());
+        for (i, &s) in small.iter().enumerate() {
+            prop_assert!(
+                s <= big[i],
+                "shard {i} shrank from {} to {} (theta {} -> {})",
+                s, big[i], theta_prime, theta
+            );
+        }
+    }
+
+    #[test]
+    fn growing_theta_by_one_adds_exactly_one_set_to_one_shard(
+        theta in 0u64..1_000_000,
+    ) {
+        let a = shard_layout(theta);
+        let b = shard_layout(theta + 1);
+        let sum_a: u64 = a.iter().sum();
+        let sum_b: u64 = b.iter().sum();
+        prop_assert_eq!(sum_b, sum_a + 1);
+        // Compare shard-wise (a may be shorter when theta < SHARDS).
+        let grew: usize = (0..b.len())
+            .filter(|&i| b[i] != a.get(i).copied().unwrap_or(0))
+            .count();
+        prop_assert_eq!(grew, 1, "exactly one shard gains the new set");
+        for (i, &count) in b.iter().enumerate() {
+            let prev = a.get(i).copied().unwrap_or(0);
+            prop_assert!(count >= prev, "shard {i} shrank");
+            prop_assert!(count - prev <= 1, "shard {i} grew by more than one");
+        }
+    }
+}

@@ -37,4 +37,4 @@ mod shared;
 pub use engine::{QueryEngine, QueryOutcome};
 pub use error::EngineError;
 pub use pool::{PoolMeta, RrPool, POOL_MAGIC, POOL_VERSION};
-pub use shared::SharedEngine;
+pub use shared::{EngineReadGuard, SharedEngine};

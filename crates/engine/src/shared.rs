@@ -173,6 +173,62 @@ impl<M: DiffusionModel + Sync + Clone> SharedEngine<M> {
     pub fn into_inner(self) -> QueryEngine<M> {
         self.inner.into_inner().expect(POISONED)
     }
+
+    /// Acquires the read lock once and returns a handle answering the
+    /// engine's read-only `try_*` queries against it — the batch-dispatch
+    /// primitive: a `tim/2` `batch` executes its whole run of same-engine
+    /// queries under **one** lock acquisition instead of one per line.
+    ///
+    /// A `try_*` miss (uncached plan, θ shortfall) returns `None`; the
+    /// caller must **drop the handle first** and go through the blocking
+    /// methods ([`select_with`](Self::select_with), …) — calling them while
+    /// holding the handle would self-deadlock on the write lock. Answers
+    /// never depend on which path served them.
+    pub fn read_handle(&self) -> EngineReadGuard<'_, M> {
+        EngineReadGuard {
+            guard: self.inner.read().expect(POISONED),
+        }
+    }
+}
+
+/// A read-lock guard over a [`SharedEngine`], exposing the engine's
+/// read-only query surface. Created by [`SharedEngine::read_handle`];
+/// holding it blocks pool growth (writers), not other readers.
+#[derive(Debug)]
+pub struct EngineReadGuard<'a, M> {
+    guard: std::sync::RwLockReadGuard<'a, QueryEngine<M>>,
+}
+
+impl<M: DiffusionModel + Sync + Clone> EngineReadGuard<'_, M> {
+    /// [`QueryEngine::try_select_with`] under the held read lock.
+    pub fn try_select_with(
+        &self,
+        k: usize,
+        eps: Option<f64>,
+        ell: Option<f64>,
+    ) -> Option<QueryOutcome> {
+        self.guard.try_select_with(k, eps, ell)
+    }
+
+    /// [`QueryEngine::try_select_fast`] under the held read lock.
+    pub fn try_select_fast(&self, k: usize) -> Option<QueryOutcome> {
+        self.guard.try_select_fast(k)
+    }
+
+    /// [`QueryEngine::try_spread`] under the held read lock.
+    pub fn try_spread(&self, seeds: &[NodeId]) -> Option<f64> {
+        self.guard.try_spread(seeds)
+    }
+
+    /// [`QueryEngine::try_marginal_gain`] under the held read lock.
+    pub fn try_marginal_gain(&self, base: &[NodeId], candidate: NodeId) -> Option<f64> {
+        self.guard.try_marginal_gain(base, candidate)
+    }
+
+    /// Pool size θ at the time the lock was taken.
+    pub fn pool_theta(&self) -> u64 {
+        self.guard.pool_theta()
+    }
 }
 
 impl<M: DiffusionModel + Sync + Clone> From<QueryEngine<M>> for SharedEngine<M> {
@@ -257,6 +313,32 @@ mod tests {
                 assert_eq!(seeds, serial[k - 1], "k = {k}");
             }
         }
+    }
+
+    #[test]
+    fn read_handle_answers_match_blocking_calls() {
+        let s = shared(4);
+        // Blocking ground truth first: these may take the write lock
+        // (plan caching, fast-cover build), which must not happen while a
+        // read handle is held.
+        let want = s.select(3);
+        let fast = s.select_fast(2).seeds;
+        let spread = s.spread(&want.seeds);
+        let gain = s.marginal_gain(&want.seeds, 9);
+        let theta = s.pool_theta();
+
+        let handle = s.read_handle();
+        assert_eq!(
+            handle.try_select_with(3, None, None).unwrap().seeds,
+            want.seeds
+        );
+        assert_eq!(handle.try_select_fast(2).unwrap().seeds, fast);
+        assert_eq!(handle.try_spread(&want.seeds).unwrap(), spread);
+        assert_eq!(handle.try_marginal_gain(&want.seeds, 9).unwrap(), gain);
+        assert_eq!(handle.pool_theta(), theta);
+        // A miss (k beyond the warmed pool) reports None instead of
+        // blocking — the caller is expected to drop the handle and retry.
+        assert!(handle.try_select_with(64, None, None).is_none());
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Helpers for multi-graph catalogs: graph-name validation, `name=path`
+//! spec parsing, and directory scans.
+//!
+//! A serving process (`tim serve`, see `tim_server`) can host several
+//! *named* graphs at once; clients address them by name over the wire
+//! (`use <graph>` in protocol `tim/2`). Names therefore have a strict
+//! shape — they travel inside a whitespace-tokenized line protocol — and
+//! the mapping from names to files must be deterministic. This module
+//! owns those rules so the CLI, the server, and the tests agree on them:
+//!
+//! - [`validate_graph_name`] — the normative name grammar;
+//! - [`parse_graph_spec`] — `--graph name=path` flag parsing;
+//! - [`scan_graph_dir`] — `--graphs <dir>` scans, deterministic
+//!   (name-sorted) and snapshot-preferring.
+
+use crate::GraphError;
+use std::path::{Path, PathBuf};
+
+/// Longest accepted graph name, in bytes.
+pub const MAX_GRAPH_NAME_BYTES: usize = 64;
+
+/// File extensions a [`scan_graph_dir`] pass considers, in *preference
+/// order* for a shared stem: binary snapshots load ~5× faster than text,
+/// so `net.timg` shadows `net.txt`.
+pub const SCAN_EXTENSIONS: &[&str] = &["timg", "txt", "edges"];
+
+/// Checks a graph name against the catalog grammar: 1 to
+/// [`MAX_GRAPH_NAME_BYTES`] bytes of ASCII alphanumerics, `_`, `-`, or
+/// `.`, starting with an alphanumeric.
+///
+/// The grammar keeps names safe inside the whitespace-tokenized line
+/// protocol (no spaces, no control characters) and safe as file stems
+/// (no path separators, cannot look like a flag or a relative path).
+///
+/// ```
+/// use tim_graph::catalog::validate_graph_name;
+///
+/// assert!(validate_graph_name("net-hept.v2").is_ok());
+/// assert!(validate_graph_name("").is_err());
+/// assert!(validate_graph_name("-flag").is_err());
+/// assert!(validate_graph_name("a b").is_err());
+/// ```
+pub fn validate_graph_name(name: &str) -> Result<(), GraphError> {
+    let bad = |message: String| GraphError::Catalog { message };
+    if name.is_empty() {
+        return Err(bad("graph name must not be empty".into()));
+    }
+    if name.len() > MAX_GRAPH_NAME_BYTES {
+        return Err(bad(format!(
+            "graph name '{name}' exceeds {MAX_GRAPH_NAME_BYTES} bytes"
+        )));
+    }
+    let mut chars = name.chars();
+    let first = chars.next().expect("non-empty name");
+    if !first.is_ascii_alphanumeric() {
+        return Err(bad(format!(
+            "graph name '{name}' must start with an ASCII letter or digit"
+        )));
+    }
+    if let Some(c) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.')))
+    {
+        return Err(bad(format!(
+            "graph name '{name}' contains invalid character '{c}' \
+             (allowed: ASCII letters, digits, '_', '-', '.')"
+        )));
+    }
+    Ok(())
+}
+
+/// Parses a `--graph` flag value of the form `name=path` into a validated
+/// `(name, path)` pair.
+///
+/// ```
+/// use tim_graph::catalog::parse_graph_spec;
+///
+/// let (name, path) = parse_graph_spec("hept=data/net.timg").unwrap();
+/// assert_eq!(name, "hept");
+/// assert_eq!(path.to_str(), Some("data/net.timg"));
+/// assert!(parse_graph_spec("no-equals-sign").is_err());
+/// assert!(parse_graph_spec("x=").is_err());
+/// ```
+pub fn parse_graph_spec(spec: &str) -> Result<(String, PathBuf), GraphError> {
+    let (name, path) = spec.split_once('=').ok_or_else(|| GraphError::Catalog {
+        message: format!("graph spec '{spec}' must have the form name=path"),
+    })?;
+    validate_graph_name(name)?;
+    if path.is_empty() {
+        return Err(GraphError::Catalog {
+            message: format!("graph spec '{spec}' has an empty path"),
+        });
+    }
+    Ok((name.to_string(), PathBuf::from(path)))
+}
+
+/// Scans a directory for graph files and returns `(name, path)` pairs,
+/// sorted by name.
+///
+/// A file participates when its extension is one of [`SCAN_EXTENSIONS`]
+/// and its stem is a valid graph name ([`validate_graph_name`]); its stem
+/// becomes the graph's name. When several files share a stem (e.g.
+/// `net.timg` next to the `net.txt` it was snapshotted from), the
+/// earliest extension in [`SCAN_EXTENSIONS`] wins — snapshots shadow
+/// text. Files with other extensions, invalid stems, and subdirectories
+/// are skipped silently; an empty result is an error (a typo'd directory
+/// should not produce a silently empty catalog).
+pub fn scan_graph_dir(dir: impl AsRef<Path>) -> Result<Vec<(String, PathBuf)>, GraphError> {
+    let dir = dir.as_ref();
+    let mut found: Vec<(String, usize, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Some(ext) = path.extension().and_then(|e| e.to_str()) else {
+            continue;
+        };
+        let Some(rank) = SCAN_EXTENSIONS.iter().position(|&e| e == ext) else {
+            continue;
+        };
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        if validate_graph_name(stem).is_err() {
+            continue;
+        }
+        found.push((stem.to_string(), rank, path));
+    }
+    if found.is_empty() {
+        return Err(GraphError::Catalog {
+            message: format!(
+                "no graph files (.{}) found in {}",
+                SCAN_EXTENSIONS.join("/."),
+                dir.display()
+            ),
+        });
+    }
+    // Sort by (name, extension preference); the first entry per name wins.
+    found.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    found.dedup_by(|next, kept| next.0 == kept.0);
+    Ok(found
+        .into_iter()
+        .map(|(name, _, path)| (name, path))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_grammar_accepts_and_rejects() {
+        for ok in ["a", "net-hept", "dblp.v2", "G_1", "0ab", &"x".repeat(64)] {
+            validate_graph_name(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+        for bad in [
+            "",
+            "-flag",
+            ".hidden",
+            "_x",
+            "a b",
+            "a/b",
+            "a\tb",
+            "na=me",
+            &"x".repeat(65),
+        ] {
+            assert!(validate_graph_name(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn graph_spec_parses_and_rejects() {
+        let (n, p) = parse_graph_spec("g1=/tmp/g1.timg").unwrap();
+        assert_eq!((n.as_str(), p.to_str().unwrap()), ("g1", "/tmp/g1.timg"));
+        // Only the first '=' splits, so paths may contain '='.
+        let (_, p) = parse_graph_spec("g=/tmp/a=b.txt").unwrap();
+        assert_eq!(p.to_str().unwrap(), "/tmp/a=b.txt");
+        for bad in ["nopath", "=path", "bad name=x", "g="] {
+            assert!(parse_graph_spec(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn dir_scan_is_sorted_and_prefers_snapshots() {
+        let dir = std::env::temp_dir().join(format!("tim_catalog_scan_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for f in [
+            "beta.txt",
+            "alpha.timg",
+            "alpha.txt", // shadowed by alpha.timg
+            "gamma.edges",
+            "ignored.csv",
+            "bad name.txt", // invalid stem
+        ] {
+            std::fs::write(dir.join(f), "0 1\n").unwrap();
+        }
+        let got = scan_graph_dir(&dir).unwrap();
+        let names: Vec<&str> = got.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta", "gamma"]);
+        assert!(got[0].1.ends_with("alpha.timg"), "snapshot preferred");
+        assert!(got[1].1.ends_with("beta.txt"));
+        assert!(got[2].1.ends_with("gamma.edges"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_scan_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("tim_catalog_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("readme.md"), "x").unwrap();
+        assert!(scan_graph_dir(&dir).is_err());
+        assert!(scan_graph_dir(dir.join("missing")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,6 +34,13 @@ pub enum GraphError {
         /// Explanation of what failed.
         message: String,
     },
+    /// A graph-catalog specification was invalid: a bad graph name, a
+    /// malformed `name=path` spec, an unknown weight-model spec, or a
+    /// directory scan that produced no usable graphs.
+    Catalog {
+        /// Explanation of what failed.
+        message: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -52,6 +59,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::Snapshot { message } => {
                 write!(f, "snapshot error: {message}")
+            }
+            GraphError::Catalog { message } => {
+                write!(f, "{message}")
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }

@@ -26,6 +26,7 @@
 
 pub mod analysis;
 mod builder;
+pub mod catalog;
 mod csr;
 mod error;
 pub mod gen;

@@ -145,6 +145,44 @@ pub fn assign_lt_normalized(g: &mut Graph, seed: u64) {
     });
 }
 
+/// Applies a textual weight-model spec to a graph — the single
+/// implementation behind the CLI's `--weights` flag and the lazy loads of
+/// a graph catalog, so the two cannot drift.
+///
+/// Accepted specs: `wc` (weighted cascade), `lt` (normalised LT weights),
+/// `tri` (trivalency), `keep` (probabilities from the source file),
+/// `const:<p>` (constant probability). `seed` perturbs the seeded models
+/// (`lt`/`tri`) exactly as the CLI always has.
+///
+/// ```
+/// use tim_graph::{gen, weights};
+///
+/// let mut g = gen::erdos_renyi_gnm(50, 200, 1);
+/// weights::apply_spec(&mut g, "wc", 0).unwrap();
+/// assert!(weights::apply_spec(&mut g, "bogus", 0).is_err());
+/// ```
+pub fn apply_spec(g: &mut Graph, spec: &str, seed: u64) -> Result<(), crate::GraphError> {
+    match spec {
+        "wc" => assign_weighted_cascade(g),
+        "lt" => assign_lt_normalized(g, seed ^ 0x17),
+        "tri" => assign_trivalency(g, seed ^ 0x3),
+        "keep" => {} // probabilities from the source file
+        other => {
+            if let Some(p) = other.strip_prefix("const:") {
+                let p: f32 = p.parse().map_err(|_| crate::GraphError::Catalog {
+                    message: format!("--weights const: bad probability '{p}'"),
+                })?;
+                assign_constant(g, p);
+            } else {
+                return Err(crate::GraphError::Catalog {
+                    message: format!("unknown --weights '{other}'"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +298,28 @@ mod tests {
         WeightModel::LtNormalized { seed: 1 }.apply(&mut g);
         let sum: f64 = g.in_probabilities(0).iter().map(|&p| p as f64).sum();
         assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn apply_spec_covers_every_model_and_rejects_bad_specs() {
+        let mut g = star_in(0, 4);
+        for spec in ["wc", "lt", "tri", "keep", "const:0.2"] {
+            apply_spec(&mut g, spec, 7).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        }
+        apply_spec(&mut g, "const:0.4", 0).unwrap();
+        assert!(g.edges().all(|(_, _, p)| p == 0.4));
+        // `keep` leaves the previous assignment untouched.
+        apply_spec(&mut g, "keep", 0).unwrap();
+        assert!(g.edges().all(|(_, _, p)| p == 0.4));
+        assert!(apply_spec(&mut g, "bogus", 0).is_err());
+        assert!(apply_spec(&mut g, "const:x", 0).is_err());
+        // Seeded specs replicate the direct assignment.
+        let direct = {
+            let mut h = star_in(0, 4);
+            assign_lt_normalized(&mut h, 9 ^ 0x17);
+            h.in_probabilities(0).to_vec()
+        };
+        apply_spec(&mut g, "lt", 9).unwrap();
+        assert_eq!(g.in_probabilities(0), &direct[..]);
     }
 }

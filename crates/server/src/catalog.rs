@@ -1,0 +1,607 @@
+//! The multi-graph catalog: named graphs, lazy loading, per-graph pool
+//! caches, and LRU eviction of idle graphs.
+//!
+//! A production deployment serves *several* social networks from one
+//! process (the paper evaluates across datasets from 16K to 1.4B edges);
+//! one process per graph wastes memory on duplicated runtimes and forces
+//! clients to know the topology of the fleet. [`GraphCatalog`] maps wire
+//! names (`use <graph>`, validated by
+//! [`tim_graph::catalog::validate_graph_name`]) to [`GraphState`]s — a
+//! graph, its label map, and its *own* [`PoolCache`] budget — loaded
+//! lazily from disk on first use.
+//!
+//! Locking follows the same discipline as [`PoolCache`]:
+//!
+//! - Each slot has its **own** mutex, held while loading that graph:
+//!   concurrent sessions asking for the same cold graph load it once,
+//!   and loads of *different* graphs never block each other.
+//! - The catalog-level LRU mutex is held only for bookkeeping (ticks,
+//!   victim choice) — never across a load or an eviction's slot lock.
+//! - Eviction drops the catalog's reference; sessions holding the
+//!   `Arc<GraphState>` keep answering against it until they finish, and
+//!   the graph reloads deterministically on return (answers are
+//!   provenance-determined, so eviction can never change a response).
+
+use crate::cache::{CacheStats, PoolCache, PoolKey};
+use crate::protocol::LabelMap;
+use crate::server::ServerConfig;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use tim_diffusion::DiffusionModel;
+use tim_engine::{QueryEngine, SharedEngine};
+use tim_graph::snapshot::graph_checksum;
+use tim_graph::{io, weights, Graph};
+
+/// Everything one served graph needs, shared immutably across sessions:
+/// the graph, its label map, the model, the defaults, and the graph's own
+/// pool cache. (One `GraphState` is exactly what a single-graph `tim/1`
+/// server used to hold as its whole state.)
+#[derive(Debug)]
+pub struct GraphState<M> {
+    name: String,
+    graph: Arc<Graph>,
+    labels: Arc<LabelMap>,
+    model: M,
+    model_name: String,
+    config: Arc<ServerConfig>,
+    graph_checksum: u64,
+    cache: PoolCache<M>,
+}
+
+impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
+    /// Builds the per-graph state. Pools are built lazily on first use;
+    /// call [`warm_default`](Self::warm_default) to pay the default
+    /// pool's sampling cost up front instead of on the first query.
+    ///
+    /// # Panics
+    /// Panics if `labels` does not cover the graph's nodes, or a config
+    /// parameter is out of range (non-positive ε/ℓ, zero `k_max`, zero
+    /// `pool_cache`).
+    pub fn new(
+        name: impl Into<String>,
+        graph: impl Into<Arc<Graph>>,
+        labels: impl Into<Arc<LabelMap>>,
+        model: M,
+        model_name: impl Into<String>,
+        config: Arc<ServerConfig>,
+    ) -> Self {
+        let graph: Arc<Graph> = graph.into();
+        let labels: Arc<LabelMap> = labels.into();
+        assert_eq!(
+            labels.len(),
+            graph.n(),
+            "label map must cover every graph node"
+        );
+        assert!(config.epsilon > 0.0, "epsilon must be positive");
+        assert!(config.ell > 0.0, "ell must be positive");
+        assert!(config.k_max >= 1, "k_max must be at least 1");
+        let checksum = graph_checksum(&graph);
+        GraphState {
+            name: name.into(),
+            graph,
+            labels,
+            model,
+            model_name: model_name.into(),
+            cache: PoolCache::new(config.pool_cache),
+            config,
+            graph_checksum: checksum,
+        }
+    }
+
+    /// The catalog name of this graph.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The graph served under this name.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The label map sessions answer through.
+    pub fn labels(&self) -> &Arc<LabelMap> {
+        &self.labels
+    }
+
+    /// The serving defaults this graph answers under.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Content checksum of the served graph.
+    pub fn graph_checksum(&self) -> u64 {
+        self.graph_checksum
+    }
+
+    /// Pool-cache effectiveness counters for this graph.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of pools currently cached for this graph.
+    pub fn cached_pools(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The provenance key for a query at the given ε/ℓ (defaults applied).
+    pub fn key_for(&self, eps: Option<f64>, ell: Option<f64>) -> PoolKey {
+        PoolKey::new(
+            self.graph_checksum,
+            self.model_name.clone(),
+            self.config.seed,
+            eps.unwrap_or(self.config.epsilon),
+            ell.unwrap_or(self.config.ell),
+        )
+    }
+
+    fn build_engine(&self, eps: f64, ell: f64) -> SharedEngine<M> {
+        let mut engine = QueryEngine::new(
+            Arc::clone(&self.graph),
+            self.model.clone(),
+            self.model_name.clone(),
+        )
+        .epsilon(eps)
+        .ell(ell)
+        .seed(self.config.seed)
+        .k_max(self.config.k_max);
+        if self.config.sample_threads > 0 {
+            engine = engine.threads(self.config.sample_threads);
+        }
+        engine.warm();
+        SharedEngine::new(engine)
+    }
+
+    /// The engine for a query at the given ε/ℓ: a cache hit reuses the
+    /// warm pool, a cold miss builds (and warms) one without blocking
+    /// readers of other pools.
+    pub fn engine_for(&self, eps: Option<f64>, ell: Option<f64>) -> Arc<SharedEngine<M>> {
+        let eps = eps.unwrap_or(self.config.epsilon);
+        let ell = ell.unwrap_or(self.config.ell);
+        let key = self.key_for(Some(eps), Some(ell));
+        self.cache
+            .get_or_build(&key, || self.build_engine(eps, ell))
+    }
+
+    /// The engine serving default-configuration queries.
+    pub fn default_engine(&self) -> Arc<SharedEngine<M>> {
+        self.engine_for(None, None)
+    }
+
+    /// Builds (or reuses) the default pool now, returning its θ — lets a
+    /// server pay the sampling cost before accepting connections.
+    pub fn warm_default(&self) -> u64 {
+        self.default_engine().pool_theta()
+    }
+
+    /// Pre-seeds this graph's cache with an engine restored from
+    /// persistent state (e.g. a `.timp` pool file), keyed by its own
+    /// provenance.
+    pub fn preload(&self, engine: QueryEngine<M>) -> Arc<SharedEngine<M>> {
+        let meta = engine.pool_meta();
+        let key = PoolKey::new(
+            meta.graph_checksum,
+            meta.model.clone(),
+            meta.seed,
+            meta.epsilon,
+            meta.ell,
+        );
+        self.cache.insert(key, SharedEngine::new(engine))
+    }
+
+    /// One deterministic `stats` answer line: static facts only (name,
+    /// sizes, checksum, defaults) — never counters or pool sizes, so the
+    /// reply is byte-identical under any interleaving.
+    pub fn stats_line(&self) -> String {
+        format!(
+            "stats: graph={} n={} m={} checksum={:016x} model={} eps={} ell={} seed={} k_max={}",
+            self.name,
+            self.graph.n(),
+            self.graph.m(),
+            self.graph_checksum,
+            self.model_name,
+            self.config.epsilon,
+            self.config.ell,
+            self.config.seed,
+            self.config.k_max,
+        )
+    }
+}
+
+/// Where a catalog slot's graph comes from.
+#[derive(Debug)]
+enum GraphSource {
+    /// Load lazily from disk (text edge list or `.timg`, sniffed by
+    /// content), applying the config's weight spec. Evictable.
+    Path(PathBuf),
+    /// Registered in memory (single-graph servers, tests). Pinned: never
+    /// evicted, because there is no path to reload it from.
+    Resident(Arc<Graph>, Arc<LabelMap>),
+}
+
+#[derive(Debug)]
+struct Slot<M> {
+    name: String,
+    source: GraphSource,
+    loaded: Mutex<Option<Arc<GraphState<M>>>>,
+}
+
+/// Catalog effectiveness counters (monotone since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Graphs loaded (or re-loaded after eviction) from their source.
+    pub loads: u64,
+    /// Loaded graphs dropped to respect `max_loaded`.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct LruInner {
+    tick: u64,
+    /// Slot index → last-used tick, for every currently loaded slot.
+    last_used: HashMap<usize, u64>,
+    stats: CatalogStats,
+}
+
+/// A named-graph catalog with lazy loading and LRU eviction; see the
+/// module docs for the locking contract.
+#[derive(Debug)]
+pub struct GraphCatalog<M> {
+    model: M,
+    model_name: String,
+    config: Arc<ServerConfig>,
+    slots: Vec<Slot<M>>,
+    by_name: HashMap<String, usize>,
+    lru: Mutex<LruInner>,
+}
+
+const POISONED: &str = "catalog lru mutex poisoned";
+const SLOT_POISONED: &str = "catalog slot mutex poisoned";
+
+impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
+    /// Creates an empty catalog serving under `config`'s defaults.
+    ///
+    /// # Panics
+    /// Panics if a config parameter is out of range (non-positive ε/ℓ,
+    /// zero `k_max`, zero `pool_cache`, zero `max_loaded`).
+    pub fn new(model: M, model_name: impl Into<String>, config: ServerConfig) -> Self {
+        assert!(config.epsilon > 0.0, "epsilon must be positive");
+        assert!(config.ell > 0.0, "ell must be positive");
+        assert!(config.k_max >= 1, "k_max must be at least 1");
+        assert!(config.pool_cache >= 1, "pool_cache must be at least 1");
+        assert!(config.max_loaded >= 1, "max_loaded must be at least 1");
+        GraphCatalog {
+            model,
+            model_name: model_name.into(),
+            config: Arc::new(config),
+            slots: Vec::new(),
+            by_name: HashMap::new(),
+            lru: Mutex::new(LruInner::default()),
+        }
+    }
+
+    fn add_slot(&mut self, name: String, source: GraphSource) -> Result<(), String> {
+        tim_graph::catalog::validate_graph_name(&name).map_err(|e| e.to_string())?;
+        if self.by_name.contains_key(&name) {
+            return Err(format!("duplicate graph name '{name}'"));
+        }
+        self.by_name.insert(name.clone(), self.slots.len());
+        self.slots.push(Slot {
+            name,
+            source,
+            loaded: Mutex::new(None),
+        });
+        Ok(())
+    }
+
+    /// Registers a graph to be loaded lazily from `path` on first use
+    /// (text edge list or `.timg` snapshot, sniffed by content; the
+    /// config's weight spec is applied after loading).
+    pub fn add_path(
+        &mut self,
+        name: impl Into<String>,
+        path: impl Into<PathBuf>,
+    ) -> Result<(), String> {
+        self.add_slot(name.into(), GraphSource::Path(path.into()))
+    }
+
+    /// Registers an already-loaded graph under `name`. Resident graphs
+    /// are pinned: they never count toward `max_loaded` eviction.
+    ///
+    /// Validates the label map here, at registration — a mismatch must
+    /// fail fast at startup, not panic inside a worker thread on the
+    /// first query (which would poison the slot for every later session).
+    pub fn add_resident(
+        &mut self,
+        name: impl Into<String>,
+        graph: impl Into<Arc<Graph>>,
+        labels: impl Into<Arc<LabelMap>>,
+    ) -> Result<(), String> {
+        let name = name.into();
+        let graph: Arc<Graph> = graph.into();
+        let labels: Arc<LabelMap> = labels.into();
+        if labels.len() != graph.n() {
+            return Err(format!(
+                "graph '{name}': label map covers {} nodes but the graph has {}",
+                labels.len(),
+                graph.n()
+            ));
+        }
+        self.add_slot(name, GraphSource::Resident(graph, labels))
+    }
+
+    /// The serving defaults every graph answers under.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Number of named graphs (loaded or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no graphs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True when `name` is in the catalog (loaded or not). Never loads.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// All graph names, sorted — the deterministic `graphs` answer.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.slots.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of graphs currently loaded.
+    pub fn loaded_count(&self) -> usize {
+        self.lru.lock().expect(POISONED).last_used.len()
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CatalogStats {
+        self.lru.lock().expect(POISONED).stats
+    }
+
+    /// The state for `name`, loading the graph if needed. Loading holds
+    /// only this graph's slot lock, so cold loads of different graphs
+    /// proceed in parallel and a popular loaded graph is never blocked.
+    pub fn get(&self, name: &str) -> Result<Arc<GraphState<M>>, String> {
+        let &idx = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| format!("unknown graph '{name}'"))?;
+        let slot = &self.slots[idx];
+        let state = {
+            let mut guard = slot.loaded.lock().expect(SLOT_POISONED);
+            match &*guard {
+                Some(state) => Arc::clone(state),
+                None => {
+                    let state = Arc::new(self.load_slot(slot)?);
+                    *guard = Some(Arc::clone(&state));
+                    self.lru.lock().expect(POISONED).stats.loads += 1;
+                    state
+                }
+            }
+        };
+        self.touch_and_evict(idx);
+        Ok(state)
+    }
+
+    fn load_slot(&self, slot: &Slot<M>) -> Result<GraphState<M>, String> {
+        let (graph, labels) = match &slot.source {
+            GraphSource::Resident(graph, labels) => (Arc::clone(graph), Arc::clone(labels)),
+            GraphSource::Path(path) => {
+                let mut loaded = io::load_graph(path, self.config.undirected).map_err(|e| {
+                    format!("graph '{}': loading {}: {e}", slot.name, path.display())
+                })?;
+                weights::apply_spec(&mut loaded.graph, &self.config.weights, self.config.seed)
+                    .map_err(|e| format!("graph '{}': {e}", slot.name))?;
+                (
+                    Arc::new(loaded.graph),
+                    Arc::new(LabelMap::new(loaded.labels)),
+                )
+            }
+        };
+        Ok(GraphState::new(
+            slot.name.clone(),
+            graph,
+            labels,
+            self.model.clone(),
+            self.model_name.clone(),
+            Arc::clone(&self.config),
+        ))
+    }
+
+    /// Re-bumps `name`'s LRU tick if it is currently loaded (a no-op
+    /// otherwise). Sessions answering from a cached [`GraphState`] handle
+    /// call this periodically so a busy graph never becomes the LRU
+    /// eviction victim just because its connections are long-lived.
+    pub fn touch(&self, name: &str) {
+        if let Some(&idx) = self.by_name.get(name) {
+            let mut lru = self.lru.lock().expect(POISONED);
+            if lru.last_used.contains_key(&idx) {
+                lru.tick += 1;
+                let tick = lru.tick;
+                lru.last_used.insert(idx, tick);
+            }
+        }
+    }
+
+    /// Bumps `idx`'s LRU tick and evicts the least-recently-used
+    /// path-backed graph while more than `max_loaded` of them are
+    /// resident. Only path-backed graphs count toward the budget —
+    /// pinned ([`add_resident`](Self::add_resident)) graphs can neither
+    /// be evicted nor starve the budget of the evictable ones. Victim
+    /// slots are `try_lock`ed — a slot busy loading is simply skipped
+    /// this round (the next `get` retries), so eviction can never
+    /// deadlock with a concurrent load.
+    fn touch_and_evict(&self, idx: usize) {
+        let victims: Vec<usize> = {
+            let mut lru = self.lru.lock().expect(POISONED);
+            lru.tick += 1;
+            let tick = lru.tick;
+            lru.last_used.insert(idx, tick);
+            let loaded_paths = lru
+                .last_used
+                .keys()
+                .filter(|&&i| matches!(self.slots[i].source, GraphSource::Path(_)))
+                .count();
+            let excess = loaded_paths.saturating_sub(self.config.max_loaded);
+            if excess == 0 {
+                return;
+            }
+            let mut evictable: Vec<(u64, usize)> = lru
+                .last_used
+                .iter()
+                .filter(|&(&i, _)| i != idx && matches!(self.slots[i].source, GraphSource::Path(_)))
+                .map(|(&i, &t)| (t, i))
+                .collect();
+            evictable.sort_unstable();
+            evictable.truncate(excess);
+            evictable.into_iter().map(|(_, i)| i).collect()
+        };
+        for victim in victims {
+            // try_lock: never wait on a loading slot.
+            if let Ok(mut guard) = self.slots[victim].loaded.try_lock() {
+                if guard.take().is_some() {
+                    let mut lru = self.lru.lock().expect(POISONED);
+                    lru.last_used.remove(&victim);
+                    lru.stats.evictions += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tim_diffusion::IndependentCascade;
+    use tim_graph::gen;
+
+    fn catalog(max_loaded: usize) -> GraphCatalog<IndependentCascade> {
+        GraphCatalog::new(
+            IndependentCascade,
+            "ic",
+            ServerConfig {
+                epsilon: 1.0,
+                seed: 1,
+                k_max: 2,
+                sample_threads: 1,
+                max_loaded,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    fn write_graph(dir: &std::path::Path, name: &str, seed: u64) -> std::path::PathBuf {
+        let path = dir.join(format!("{name}.txt"));
+        let g = gen::barabasi_albert(60, 3, 0.0, seed);
+        tim_graph::io::save_edge_list(&g, &path).unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("tim_srv_catalog_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn get_loads_once_and_reports_unknown_names() {
+        let dir = tmpdir("load");
+        let mut c = catalog(4);
+        c.add_path("a", write_graph(&dir, "a", 1)).unwrap();
+        assert!(c.contains("a"));
+        assert_eq!(c.loaded_count(), 0, "registration does not load");
+        let first = c.get("a").unwrap();
+        let again = c.get("a").unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "hit returns the same state");
+        assert_eq!(c.stats().loads, 1);
+        assert!(c.get("nope").unwrap_err().contains("unknown graph"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_and_invalid_names_are_rejected() {
+        let mut c = catalog(4);
+        c.add_path("a", "/tmp/x.txt").unwrap();
+        assert!(c
+            .add_path("a", "/tmp/y.txt")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(c.add_path("bad name", "/tmp/z.txt").is_err());
+        assert_eq!(c.names(), ["a"]);
+    }
+
+    #[test]
+    fn mismatched_resident_label_map_fails_at_registration() {
+        // The mismatch must surface at startup, not as a worker-thread
+        // panic (and a poisoned slot) on the first query.
+        let mut c = catalog(4);
+        let g = gen::barabasi_albert(60, 3, 0.0, 1);
+        let err = c
+            .add_resident("bad", g, LabelMap::identity(10))
+            .unwrap_err();
+        assert!(err.contains("label map covers 10 nodes"), "got: {err}");
+        assert!(!c.contains("bad"));
+    }
+
+    #[test]
+    fn resident_graphs_neither_evict_nor_consume_the_budget() {
+        let dir = tmpdir("pin");
+        let mut c = catalog(1);
+        let g = gen::barabasi_albert(60, 3, 0.0, 9);
+        let n = g.n();
+        c.add_resident("pinned", g, LabelMap::identity(n)).unwrap();
+        c.add_path("p1", write_graph(&dir, "p1", 1)).unwrap();
+        c.add_path("p2", write_graph(&dir, "p2", 2)).unwrap();
+
+        // A loaded resident graph must not shrink the path budget: with
+        // max_loaded = 1, touching pinned + p1 repeatedly evicts nothing.
+        c.get("pinned").unwrap();
+        c.get("p1").unwrap();
+        c.get("pinned").unwrap();
+        c.get("p1").unwrap();
+        assert_eq!(c.stats().evictions, 0, "p1 fits the path budget of 1");
+        assert_eq!(c.loaded_count(), 2);
+
+        // A second path graph exceeds the budget: p1 (LRU) is evicted,
+        // the pinned resident never is.
+        c.get("p2").unwrap();
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.loaded_count(), 2, "pinned + p2");
+        // Evicted graphs reload on return (a fresh load, same answers).
+        let loads_before = c.stats().loads;
+        c.get("p1").unwrap();
+        assert_eq!(c.stats().loads, loads_before + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn touch_protects_a_graph_from_eviction() {
+        let dir = tmpdir("touch");
+        let mut c = catalog(2);
+        for (name, seed) in [("hot", 1u64), ("a", 2), ("b", 3)] {
+            c.add_path(name, write_graph(&dir, name, seed)).unwrap();
+        }
+        c.get("hot").unwrap();
+        c.get("a").unwrap(); // LRU order: hot, then a
+        c.touch("hot"); // a session re-touches hot: order is now a, hot
+        c.get("b").unwrap(); // budget 2 exceeded: victim must be a, not hot
+        assert_eq!(c.stats().evictions, 1);
+        let loads_before = c.stats().loads;
+        c.get("hot").unwrap();
+        assert_eq!(c.stats().loads, loads_before, "hot stayed loaded");
+        c.get("a").unwrap();
+        assert_eq!(c.stats().loads, loads_before + 1, "a was the victim");
+        // Touching an unloaded or unknown name is a harmless no-op.
+        c.touch("nope");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,31 +1,41 @@
-//! **`tim_server`** — a concurrent influence-query server over shared,
-//! immutable RR-set pools.
+//! **`tim_server`** — a concurrent, multi-graph influence-query server
+//! over shared, immutable RR-set pools.
 //!
 //! TIM/TIM+ (Tang, Xiao, Shi; SIGMOD 2014) splits influence maximization
 //! into an expensive sampling phase and a cheap greedy phase; `tim_engine`
 //! already makes the sampled pool a persistent, provenance-pinned asset.
 //! This crate adds the deployment shape that split makes practical: **one
-//! long-lived process answering many simultaneous queries** against pools
-//! it builds once and shares read-only.
+//! long-lived process answering many simultaneous queries against many
+//! named graphs** from pools it builds once and shares read-only.
 //!
-//! Three layers, each usable on its own:
+//! Five layers, each usable on its own:
 //!
-//! - [`protocol`] — the newline-delimited query protocol shared verbatim
-//!   with `tim query` (normative spec: `docs/PROTOCOL.md`). Parsing
-//!   ([`protocol::parse_query`]) is split from execution
-//!   ([`protocol::execute`]) so a server can route a parsed query to the
-//!   right pool before running it; [`protocol::QueryBackend`] abstracts
-//!   over an exclusive [`tim_engine::QueryEngine`] and a shared
-//!   [`tim_engine::SharedEngine`], which is what keeps `tim query` and
-//!   `tim serve` byte-identical by construction.
+//! - [`protocol`] — the newline-delimited query protocol (`tim/2`, a
+//!   strict superset of `tim/1`; normative spec: `docs/PROTOCOL.md`),
+//!   shared verbatim with `tim query`. Parsing
+//!   ([`protocol::parse_request`] / [`protocol::parse_query`]) is split
+//!   from execution ([`protocol::execute`]) so a server can route a
+//!   parsed query to the right graph and pool before running it;
+//!   [`protocol::QueryBackend`] abstracts over an exclusive
+//!   [`tim_engine::QueryEngine`], a shared [`tim_engine::SharedEngine`],
+//!   and the batch read-guard backend. The module also owns the 1 MiB
+//!   line framing ([`protocol::CappedLineReader`]) both transports share.
 //! - [`cache`] — [`cache::PoolCache`], an LRU cache of
 //!   [`tim_engine::SharedEngine`]s keyed by pool provenance
 //!   `(graph checksum, model, seed, ε, ℓ)`. Distinct query mixes reuse or
 //!   lazily build pools; a cold build never holds the cache lock, so it
 //!   never blocks readers of other pools.
+//! - [`catalog`] — [`catalog::GraphCatalog`], named graphs loaded lazily
+//!   behind per-graph locks, each with its own [`cache::PoolCache`]
+//!   budget, plus LRU eviction of idle graphs; [`catalog::GraphState`] is
+//!   one graph's serving state.
+//! - [`session`] — [`session::Session`], the per-connection `tim/2` state
+//!   machine: current graph (`use`), cached default-engine handle, and
+//!   `batch` execution that amortizes lock acquisition and IO without
+//!   changing a single answer byte.
 //! - [`server`] — [`server::Server`], a multi-threaded TCP server:
-//!   [`server::ServerState`] (graph + label map + pool cache) shared via
-//!   `Arc` across worker threads that each accept and serve connections.
+//!   [`server::ServerState`] (catalog + defaults) shared via `Arc` across
+//!   worker threads that each accept and serve connections.
 //!
 //! # Determinism under concurrency
 //!
@@ -35,14 +45,25 @@
 //! `marginal`, and `select … fast` answers are pure functions of the
 //! provenance, the query, *and the pool's current θ*; θ only changes when
 //! a query demands growth, so sessions whose queries stay within the
-//! warmed pool are interleaving-independent too. See ARCHITECTURE.md
-//! §"Concurrency guarantees" and the `concurrent_determinism` integration
-//! test.
+//! warmed pool are interleaving-independent too. Graphs are isolated by
+//! construction (separate pools, separate caches), so multi-tenant
+//! traffic cannot perturb another graph's answers; batching is a pure
+//! transport/locking optimization. See ARCHITECTURE.md §"Concurrency
+//! guarantees" and the `concurrent_determinism` / `multi_graph`
+//! integration tests.
 
 pub mod cache;
+pub mod catalog;
 pub mod protocol;
 pub mod server;
+pub mod session;
 
 pub use cache::{CacheStats, PoolCache, PoolKey};
-pub use protocol::{execute, parse_query, LabelMap, ParsedLine, Query, QueryBackend, Reply};
-pub use server::{Server, ServerConfig, ServerHandle, ServerState};
+pub use catalog::{CatalogStats, GraphCatalog, GraphState};
+pub use protocol::{
+    execute, parse_query, parse_request, CappedLine, CappedLineReader, LabelMap, ParsedLine,
+    ParsedRequest, Query, QueryBackend, Reply, Request, MAX_BATCH, MAX_BATCH_BYTES, MAX_LINE_BYTES,
+    OVERSIZED_BATCH_REPLY, OVERSIZED_LINE_REPLY, PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig, ServerHandle, ServerState, DEFAULT_GRAPH_NAME};
+pub use session::Session;

@@ -1,5 +1,5 @@
-//! The line-delimited influence-query protocol shared by `tim query` and
-//! `tim serve`.
+//! The line-delimited influence-query protocol (`tim/2`) shared by
+//! `tim query` and `tim serve`.
 //!
 //! One request per line, one answer line per request; blank lines and `#`
 //! comments are ignored (no answer). Malformed requests answer
@@ -7,22 +7,58 @@
 //! and versioning rules live in `docs/PROTOCOL.md`; this module is the
 //! single implementation both front ends use, so they cannot drift apart.
 //!
-//! Parsing ([`parse_query`]) is deliberately separate from execution
-//! ([`execute`]): a concurrent server must inspect a query's ε/ℓ
-//! overrides to route it to the right pool *before* running it, while the
-//! CLI simply executes against its one engine. [`QueryBackend`] abstracts
-//! the engine access so the same `execute` serves an exclusive
-//! [`QueryEngine`] (`tim query`) and a lock-sharded [`SharedEngine`]
-//! (`tim serve`).
+//! The grammar has two strata:
+//!
+//! - **Engine-scoped queries** ([`Query`], parsed by [`parse_query`],
+//!   executed by [`execute`]) — `select` / `eval` / `marginal` / `ping`,
+//!   unchanged from `tim/1`. [`QueryBackend`] abstracts the engine access
+//!   so the same `execute` serves an exclusive [`QueryEngine`]
+//!   (`tim query`), a lock-sharded [`SharedEngine`] (`tim serve`), and the
+//!   batch read-guard backend.
+//! - **Session-scoped requests** ([`Request`], parsed by
+//!   [`parse_request`]) — the `tim/2` additions `use` / `graphs` /
+//!   `stats` / `batch`, which manipulate per-connection state (current
+//!   graph, pending batch) and are executed by
+//!   [`Session`](crate::session::Session), not by an engine.
+//!
+//! Parsing is deliberately separate from execution: a concurrent server
+//! must inspect a query's ε/ℓ overrides to route it to the right pool
+//! *before* running it, and must see a `use` before deciding which graph
+//! that pool belongs to.
+//!
+//! This module also owns the wire framing shared by TCP connections and
+//! the `tim query` stdin path: [`CappedLineReader`] enforces the
+//! [`MAX_LINE_BYTES`] request-line cap identically on both transports.
 
 use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
 use tim_diffusion::DiffusionModel;
 use tim_engine::{QueryEngine, QueryOutcome, SharedEngine};
 use tim_graph::NodeId;
 
 /// Protocol version implemented by this module (see `docs/PROTOCOL.md`).
-/// Reported by the `ping` reply as `pong tim/1`.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Reported by the `ping` reply as `pong tim/2`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Largest accepted `batch <n>`: bounds the lines a session buffers.
+pub const MAX_BATCH: usize = 4096;
+
+/// Most bytes one batch may buffer across its collected lines. `MAX_BATCH`
+/// bounds the line *count*; without a byte bound, 4096 lines of 1 MiB
+/// each would let a single connection pin ~4 GiB. Exceeding this answers
+/// `error: …` and ends the session (like an oversized line).
+pub const MAX_BATCH_BYTES: usize = 8 << 20;
+
+/// The answer line sent when a batch buffers more than [`MAX_BATCH_BYTES`].
+pub const OVERSIZED_BATCH_REPLY: &str = "error: batch exceeds the 8 MiB buffer limit";
+
+/// Longest accepted request line (bytes, excluding the newline). Longer
+/// lines answer [`OVERSIZED_LINE_REPLY`] and end the session
+/// (`docs/PROTOCOL.md` §Framing).
+pub const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// The answer line sent for a request line over [`MAX_LINE_BYTES`].
+pub const OVERSIZED_LINE_REPLY: &str = "error: request line exceeds the 1 MiB limit";
 
 /// Parses a comma-separated list of node labels (`17,4,99`). Empty items
 /// are skipped, so trailing commas are harmless.
@@ -125,7 +161,7 @@ pub enum Query {
         /// Candidate label list (validated to a single id at execution).
         cand: Vec<u64>,
     },
-    /// `ping` — liveness/version probe; answers `pong tim/1`.
+    /// `ping` — liveness/version probe; answers `pong tim/2`.
     Ping,
 }
 
@@ -218,6 +254,181 @@ pub fn parse_query(line: &str) -> ParsedLine {
     match parsed {
         Ok(q) => ParsedLine::Query(q),
         Err(e) => ParsedLine::Malformed(e),
+    }
+}
+
+/// A parsed `tim/2` request: an engine-scoped [`Query`] or one of the
+/// session-scoped verbs. Session verbs are executed by
+/// [`Session`](crate::session::Session); handing them to the engine-level
+/// [`handle_line`] answers `error: …` instead (no session to act on).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// An engine-scoped query (the `tim/1` subset plus `ping`).
+    Query(Query),
+    /// `use <graph>` — switch the session to the named catalog graph.
+    Use(
+        /// The requested graph name (validated shape, unvalidated existence).
+        String,
+    ),
+    /// `graphs` — list the catalog's graph names.
+    Graphs,
+    /// `stats` — static facts about the session's current graph.
+    Stats,
+    /// `batch <n>` — answer the next `n` lines as one unit.
+    Batch(
+        /// Number of request lines in the batch (1 ..= [`MAX_BATCH`]).
+        usize,
+    ),
+}
+
+/// Result of parsing one input line at the session stratum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedRequest {
+    /// Blank line or `#` comment: produces no answer line.
+    Empty,
+    /// A well-formed request.
+    Request(Request),
+    /// A malformed request; answer `error: <reason>` and continue.
+    Malformed(String),
+}
+
+/// Parses one protocol line at the full `tim/2` grammar: session verbs
+/// plus every engine-scoped query [`parse_query`] accepts. Never fails
+/// hard — malformed input becomes [`ParsedRequest::Malformed`].
+pub fn parse_request(line: &str) -> ParsedRequest {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return ParsedRequest::Empty;
+    }
+    let mut tokens = trimmed.split_whitespace();
+    let parsed: Option<Result<Request, String>> = match tokens.next() {
+        Some("use") => Some((|| {
+            let name = tokens.next().ok_or("use: missing graph name")?;
+            if tokens.next().is_some() {
+                return Err("use: trailing tokens".into());
+            }
+            tim_graph::catalog::validate_graph_name(name).map_err(|e| format!("use: {e}"))?;
+            Ok(Request::Use(name.to_string()))
+        })()),
+        Some("graphs") => Some((|| {
+            if tokens.next().is_some() {
+                return Err("graphs: trailing tokens".into());
+            }
+            Ok(Request::Graphs)
+        })()),
+        Some("stats") => Some((|| {
+            if tokens.next().is_some() {
+                return Err("stats: trailing tokens".into());
+            }
+            Ok(Request::Stats)
+        })()),
+        Some("batch") => Some((|| {
+            let n: usize = tokens
+                .next()
+                .ok_or("batch: missing line count")?
+                .parse()
+                .map_err(|_| "batch: bad line count".to_string())?;
+            if tokens.next().is_some() {
+                return Err("batch: trailing tokens".into());
+            }
+            if n == 0 {
+                return Err("batch: line count must be positive".into());
+            }
+            if n > MAX_BATCH {
+                return Err(format!("batch: line count must be at most {MAX_BATCH}"));
+            }
+            Ok(Request::Batch(n))
+        })()),
+        _ => None,
+    };
+    match parsed {
+        Some(Ok(r)) => ParsedRequest::Request(r),
+        Some(Err(e)) => ParsedRequest::Malformed(e),
+        None => match parse_query(line) {
+            ParsedLine::Empty => ParsedRequest::Empty,
+            ParsedLine::Query(q) => ParsedRequest::Request(Request::Query(q)),
+            ParsedLine::Malformed(e) => ParsedRequest::Malformed(e),
+        },
+    }
+}
+
+/// The `ping` answer line — shared by [`execute`] and sessions so the
+/// version string cannot drift.
+pub fn ping_reply() -> String {
+    format!("pong tim/{PROTOCOL_VERSION}")
+}
+
+/// Outcome of one [`CappedLineReader::read_line`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CappedLine {
+    /// The input is exhausted.
+    Eof,
+    /// A line within the cap was read into the buffer.
+    Line,
+    /// The line exceeds [`MAX_LINE_BYTES`]; the buffer holds a truncated
+    /// prefix and the rest of the line is still unread. Answer
+    /// [`OVERSIZED_LINE_REPLY`] and end the session.
+    Oversized,
+}
+
+/// A buffered line reader enforcing the [`MAX_LINE_BYTES`] request-line
+/// cap — the one framing implementation shared by `tim serve` TCP
+/// connections and the `tim query` stdin path, so the two transports
+/// cannot drift (`docs/PROTOCOL.md` §Framing).
+#[derive(Debug)]
+pub struct CappedLineReader<R> {
+    inner: std::io::Take<BufReader<R>>,
+}
+
+impl<R: Read> CappedLineReader<R> {
+    /// Wraps a raw byte stream.
+    pub fn new(inner: R) -> Self {
+        // Limit covers content + newline, so content of exactly
+        // MAX_LINE_BYTES is still accepted (the cap is on the line
+        // *excluding* its terminator).
+        CappedLineReader {
+            inner: BufReader::new(inner).take(MAX_LINE_BYTES + 2),
+        }
+    }
+
+    /// Reads the next line (terminator stripped) into `buf`.
+    pub fn read_line(&mut self, buf: &mut String) -> std::io::Result<CappedLine> {
+        buf.clear();
+        self.inner.set_limit(MAX_LINE_BYTES + 2);
+        let n = self.inner.read_line(buf)?;
+        if n == 0 {
+            return Ok(CappedLine::Eof);
+        }
+        // The cap excludes the terminator — either `\n` or `\r\n`, so a
+        // CRLF client gets the same MAX_LINE_BYTES of content as an LF
+        // one.
+        let terminator = if buf.ends_with("\r\n") {
+            2
+        } else {
+            usize::from(buf.ends_with('\n'))
+        };
+        let content_len = n - terminator;
+        if content_len as u64 > MAX_LINE_BYTES {
+            return Ok(CappedLine::Oversized);
+        }
+        buf.truncate(content_len);
+        Ok(CappedLine::Line)
+    }
+
+    /// Reads and discards up to `max_bytes` of remaining input. A TCP
+    /// server calls this before closing an over-limit connection: closing
+    /// with unread bytes in the receive buffer would RST the connection
+    /// and may discard the error line before the client reads it.
+    pub fn drain(&mut self, max_bytes: u64) {
+        let raw = self.inner.get_mut();
+        let mut sink = [0u8; 8192];
+        let mut drained: u64 = 0;
+        while drained < max_bytes {
+            match raw.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => drained += n as u64,
+            }
+        }
     }
 }
 
@@ -339,7 +550,7 @@ pub fn execute<B: QueryBackend>(backend: &mut B, labels: &LabelMap, query: &Quer
                 Err(e) => Reply::error(e),
             }
         }
-        Query::Ping => Reply::answer(format!("pong tim/{PROTOCOL_VERSION}")),
+        Query::Ping => Reply::answer(ping_reply()),
     }
 }
 
@@ -463,7 +674,7 @@ mod tests {
 
         assert_eq!(
             handle_line(&mut e, &labels, "ping").unwrap().line,
-            "pong tim/1"
+            "pong tim/2"
         );
         assert!(handle_line(&mut e, &labels, "# skip").is_none());
         assert!(handle_line(&mut e, &labels, "eval 99999")
@@ -493,6 +704,115 @@ mod tests {
             let b = handle_line(&mut shared_ref, &labels, line).unwrap();
             assert_eq!(a.line, b.line, "{line}");
         }
+    }
+
+    #[test]
+    fn parse_request_covers_session_verbs_and_delegates_queries() {
+        assert_eq!(parse_request("  "), ParsedRequest::Empty);
+        assert_eq!(parse_request("# note"), ParsedRequest::Empty);
+        assert_eq!(
+            parse_request("use net-hept"),
+            ParsedRequest::Request(Request::Use("net-hept".into()))
+        );
+        assert_eq!(
+            parse_request("graphs"),
+            ParsedRequest::Request(Request::Graphs)
+        );
+        assert_eq!(
+            parse_request("stats"),
+            ParsedRequest::Request(Request::Stats)
+        );
+        assert_eq!(
+            parse_request("batch 3"),
+            ParsedRequest::Request(Request::Batch(3))
+        );
+        // Every tim/1 line parses to the same Query through both entry
+        // points — the compatibility guarantee.
+        for line in ["select 5 fast", "eval 1,2", "marginal 1 2", "ping"] {
+            let ParsedLine::Query(q) = parse_query(line) else {
+                panic!("{line}: not a query");
+            };
+            assert_eq!(
+                parse_request(line),
+                ParsedRequest::Request(Request::Query(q)),
+                "{line}"
+            );
+        }
+        for (line, needle) in [
+            ("use", "missing graph name"),
+            ("use a b", "trailing tokens"),
+            ("use -flag", "must start with"),
+            ("use a/b", "invalid character"),
+            ("graphs now", "trailing tokens"),
+            ("stats now", "trailing tokens"),
+            ("batch", "missing line count"),
+            ("batch x", "bad line count"),
+            ("batch 0", "must be positive"),
+            ("batch 5000", "at most 4096"),
+            ("batch 2 3", "trailing tokens"),
+            ("frobnicate", "unknown query"),
+        ] {
+            match parse_request(line) {
+                ParsedRequest::Malformed(e) => {
+                    assert!(e.contains(needle), "{line:?}: {e:?} missing {needle:?}")
+                }
+                other => panic!("{line:?}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn capped_reader_frames_lines_and_flags_oversized() {
+        let input = format!(
+            "ping\r\n{}\nselect 2\nno newline at eof",
+            "#".repeat(1 << 20)
+        );
+        let mut r = CappedLineReader::new(input.as_bytes());
+        let mut buf = String::new();
+        assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Line);
+        assert_eq!(buf, "ping", "CRLF stripped");
+        // Exactly MAX_LINE_BYTES of content passes.
+        assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Line);
+        assert_eq!(buf.len() as u64, MAX_LINE_BYTES);
+        assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Line);
+        assert_eq!(buf, "select 2");
+        assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Line);
+        assert_eq!(buf, "no newline at eof");
+        assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Eof);
+    }
+
+    #[test]
+    fn capped_reader_rejects_over_limit_lines() {
+        let long = "a".repeat((1 << 20) + 5);
+        let mut r = CappedLineReader::new(long.as_bytes());
+        let mut buf = String::new();
+        assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Oversized);
+        // The remainder can be drained without blocking.
+        r.drain(1 << 22);
+        assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Eof);
+    }
+
+    #[test]
+    fn crlf_terminator_is_excluded_from_the_cap() {
+        // Exactly MAX_LINE_BYTES of content + CRLF must pass — the cap
+        // excludes the terminator for CRLF clients just like LF ones.
+        let input = format!("{}\r\nping\r\n", "#".repeat(1 << 20));
+        let mut r = CappedLineReader::new(input.as_bytes());
+        let mut buf = String::new();
+        assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Line);
+        assert_eq!(buf.len() as u64, MAX_LINE_BYTES);
+        assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Line);
+        assert_eq!(buf, "ping");
+        // One byte over the cap is still rejected under CRLF.
+        let over = format!("{}\r\n", "a".repeat((1 << 20) + 1));
+        let mut r = CappedLineReader::new(over.as_bytes());
+        assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Oversized);
+    }
+
+    #[test]
+    fn ping_reply_reports_the_protocol_version() {
+        assert_eq!(ping_reply(), "pong tim/2");
+        assert_eq!(PROTOCOL_VERSION, 2);
     }
 
     #[test]

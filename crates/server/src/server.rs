@@ -3,35 +3,41 @@
 //! The design is deliberately boring: `N` worker threads share one
 //! [`TcpListener`] (kernel-balanced `accept`) and one immutable
 //! [`ServerState`] behind an `Arc`. Each connection is served to
-//! completion by the worker that accepted it — the protocol is
-//! line-oriented and stateless per line, so per-connection concurrency
-//! comes from running many connections on many workers, all answering
-//! from the same shared pools. Query concurrency *within* a pool is the
-//! [`SharedEngine`] read-fast-path; pool *diversity* across query mixes
-//! is the [`PoolCache`].
+//! completion by the worker that accepted it, through its own
+//! [`Session`] (current graph, pending batch) — per-connection state
+//! lives in the session, everything heavy (graphs, pools) is shared.
+//! Query concurrency *within* a pool is the [`SharedEngine`]
+//! read-fast-path; pool *diversity* across query mixes is the per-graph
+//! [`PoolCache`](crate::cache::PoolCache); graph *diversity* across
+//! tenants is the [`GraphCatalog`].
+//!
+//! [`SharedEngine`]: tim_engine::SharedEngine
 
-use crate::cache::{CacheStats, PoolCache, PoolKey};
-use crate::protocol::{execute, parse_query, LabelMap, ParsedLine, Query, Reply};
-use std::io::{BufRead, BufReader, Read, Write};
+use crate::cache::{CacheStats, PoolKey};
+use crate::catalog::{CatalogStats, GraphCatalog, GraphState};
+use crate::protocol::{CappedLine, CappedLineReader, LabelMap, OVERSIZED_LINE_REPLY};
+use crate::session::Session;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use tim_diffusion::DiffusionModel;
 use tim_engine::{QueryEngine, SharedEngine};
-use tim_graph::snapshot::graph_checksum;
 use tim_graph::Graph;
 
-/// Longest accepted request line (bytes, excluding the newline). Longer
-/// lines answer `error: …` and close the connection (`docs/PROTOCOL.md`).
-pub const MAX_LINE_BYTES: u64 = 1 << 20;
+pub use crate::protocol::MAX_LINE_BYTES;
+
+/// The catalog name a single-graph server registers its graph under.
+pub const DEFAULT_GRAPH_NAME: &str = "default";
 
 /// Server tuning knobs; every field has a serving-friendly default.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads, i.e. connections served concurrently (default 4).
     pub threads: usize,
-    /// Pool-cache capacity: distinct `(ε, ℓ)` mixes kept warm (default 4).
+    /// Per-graph pool-cache capacity: distinct `(ε, ℓ)` mixes kept warm
+    /// per graph (default 4).
     pub pool_cache: usize,
     /// Default approximation slack ε (default 0.1).
     pub epsilon: f64,
@@ -45,6 +51,15 @@ pub struct ServerConfig {
     pub sample_threads: usize,
     /// Log per-query progress notes to stderr (default false).
     pub verbose: bool,
+    /// Weight-model spec applied to lazily loaded catalog graphs
+    /// (`tim_graph::weights::apply_spec`; default `"wc"`).
+    pub weights: String,
+    /// Load lazily loaded catalog graphs as undirected (default false).
+    pub undirected: bool,
+    /// Most *path-backed* graphs kept loaded at once; the
+    /// least-recently-used one is evicted beyond this (default 8).
+    /// Resident graphs are pinned and do not consume the budget.
+    pub max_loaded: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,32 +73,36 @@ impl Default for ServerConfig {
             k_max: 50,
             sample_threads: 0,
             verbose: false,
+            weights: "wc".to_string(),
+            undirected: false,
+            max_loaded: 8,
         }
     }
 }
 
-/// Everything a connection needs, shared immutably across workers: the
-/// graph, its label map, the model, the defaults, and the pool cache.
+/// Everything connections share: the graph catalog plus the name of the
+/// graph sessions start on. Per-connection state (current graph, pending
+/// batch) lives in each [`Session`].
+///
+/// The single-graph constructor ([`new`](Self::new)) covers the common
+/// deployment and the whole `tim/1` surface;
+/// [`from_catalog`](Self::from_catalog) is the multi-tenant form.
 #[derive(Debug)]
 pub struct ServerState<M> {
-    graph: Arc<Graph>,
-    labels: Arc<LabelMap>,
-    model: M,
-    model_name: String,
-    config: ServerConfig,
-    graph_checksum: u64,
-    cache: PoolCache<M>,
+    catalog: GraphCatalog<M>,
+    default_graph: String,
 }
 
 impl<M: DiffusionModel + Send + Sync + Clone + 'static> ServerState<M> {
-    /// Builds the shared state. Pools are built lazily on first use; call
-    /// [`warm_default`](Self::warm_default) to pay the default pool's
-    /// sampling cost at startup instead of on the first query.
+    /// Builds a single-graph state: `graph` is registered resident (never
+    /// evicted) under [`DEFAULT_GRAPH_NAME`]. Pools are built lazily on
+    /// first use; call [`warm_default`](Self::warm_default) to pay the
+    /// default pool's sampling cost at startup instead.
     ///
     /// # Panics
     /// Panics if `labels` does not cover the graph's nodes, or a config
     /// parameter is out of range (non-positive ε/ℓ, zero `k_max`, zero
-    /// `threads`, zero `pool_cache`).
+    /// `threads`, zero `pool_cache`, zero `max_loaded`).
     pub fn new(
         graph: impl Into<Arc<Graph>>,
         labels: LabelMap,
@@ -91,174 +110,131 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> ServerState<M> {
         model_name: impl Into<String>,
         config: ServerConfig,
     ) -> Self {
-        let graph: Arc<Graph> = graph.into();
-        assert_eq!(
-            labels.len(),
-            graph.n(),
-            "label map must cover every graph node"
-        );
         assert!(config.threads >= 1, "threads must be at least 1");
-        assert!(config.epsilon > 0.0, "epsilon must be positive");
-        assert!(config.ell > 0.0, "ell must be positive");
-        assert!(config.k_max >= 1, "k_max must be at least 1");
-        let checksum = graph_checksum(&graph);
-        ServerState {
-            graph,
-            labels: Arc::new(labels),
-            model,
-            model_name: model_name.into(),
-            cache: PoolCache::new(config.pool_cache),
-            config,
-            graph_checksum: checksum,
+        let mut catalog = GraphCatalog::new(model, model_name, config);
+        // add_resident only fails on a graph/label-map mismatch here (the
+        // name is fixed and the catalog empty); that must panic now, at
+        // construction, never later inside a worker thread.
+        if let Err(e) = catalog.add_resident(DEFAULT_GRAPH_NAME, graph, labels) {
+            panic!("{e}");
         }
+        Self::from_catalog(catalog, DEFAULT_GRAPH_NAME).expect("default graph just registered")
     }
 
-    /// The label map connections answer through.
-    pub fn labels(&self) -> &LabelMap {
-        &self.labels
+    /// Builds a multi-graph state over `catalog`; sessions start on
+    /// `default_graph`, which must be registered.
+    pub fn from_catalog(
+        catalog: GraphCatalog<M>,
+        default_graph: impl Into<String>,
+    ) -> Result<Self, String> {
+        let default_graph = default_graph.into();
+        assert!(catalog.config().threads >= 1, "threads must be at least 1");
+        if !catalog.contains(&default_graph) {
+            return Err(format!(
+                "default graph '{default_graph}' is not in the catalog"
+            ));
+        }
+        Ok(ServerState {
+            catalog,
+            default_graph,
+        })
+    }
+
+    /// The graph catalog connections route through.
+    pub fn catalog(&self) -> &GraphCatalog<M> {
+        &self.catalog
+    }
+
+    /// The graph sessions start on.
+    pub fn default_graph(&self) -> &str {
+        &self.default_graph
     }
 
     /// The server's configuration.
     pub fn config(&self) -> &ServerConfig {
-        &self.config
+        self.catalog.config()
     }
 
-    /// Content checksum of the served graph.
+    /// Catalog effectiveness counters (loads, evictions).
+    pub fn catalog_stats(&self) -> CatalogStats {
+        self.catalog.stats()
+    }
+
+    /// Opens a new protocol session (one per connection).
+    pub fn session(&self) -> Session<'_, M> {
+        Session::new(self)
+    }
+
+    /// The state of the default graph, loading it if needed.
+    ///
+    /// # Panics
+    /// Panics if the default graph fails to load (it cannot: resident
+    /// graphs are always loadable, and `from_catalog` checked presence —
+    /// a path-backed default with a bad file panics here, which
+    /// [`warm_default`](Self::warm_default) surfaces at startup).
+    pub fn default_state(&self) -> Arc<GraphState<M>> {
+        self.catalog
+            .get(&self.default_graph)
+            .expect("default graph loads")
+    }
+
+    /// Content checksum of the default graph.
     pub fn graph_checksum(&self) -> u64 {
-        self.graph_checksum
+        self.default_state().graph_checksum()
     }
 
-    /// Pool-cache effectiveness counters.
+    /// Pool-cache effectiveness counters of the default graph.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.default_state().cache_stats()
     }
 
-    /// Number of pools currently cached.
+    /// Number of pools currently cached for the default graph.
     pub fn cached_pools(&self) -> usize {
-        self.cache.len()
+        self.default_state().cached_pools()
     }
 
-    /// The provenance key for a query at the given ε/ℓ (defaults applied).
+    /// The default graph's provenance key at the given ε/ℓ.
     pub fn key_for(&self, eps: Option<f64>, ell: Option<f64>) -> PoolKey {
-        PoolKey::new(
-            self.graph_checksum,
-            self.model_name.clone(),
-            self.config.seed,
-            eps.unwrap_or(self.config.epsilon),
-            ell.unwrap_or(self.config.ell),
-        )
+        self.default_state().key_for(eps, ell)
     }
 
-    fn build_engine(&self, eps: f64, ell: f64) -> SharedEngine<M> {
-        let mut engine = QueryEngine::new(
-            Arc::clone(&self.graph),
-            self.model.clone(),
-            self.model_name.clone(),
-        )
-        .epsilon(eps)
-        .ell(ell)
-        .seed(self.config.seed)
-        .k_max(self.config.k_max);
-        if self.config.sample_threads > 0 {
-            engine = engine.threads(self.config.sample_threads);
-        }
-        engine.warm();
-        SharedEngine::new(engine)
-    }
-
-    /// The engine for a query at the given ε/ℓ: a cache hit reuses the
-    /// warm pool, a cold miss builds (and warms) one without blocking
-    /// readers of other pools.
+    /// The default graph's engine for a query at the given ε/ℓ.
     pub fn engine_for(&self, eps: Option<f64>, ell: Option<f64>) -> Arc<SharedEngine<M>> {
-        let eps = eps.unwrap_or(self.config.epsilon);
-        let ell = ell.unwrap_or(self.config.ell);
-        let key = self.key_for(Some(eps), Some(ell));
-        self.cache
-            .get_or_build(&key, || self.build_engine(eps, ell))
+        self.default_state().engine_for(eps, ell)
     }
 
-    /// The engine serving default-configuration queries.
+    /// The engine serving default-configuration queries on the default
+    /// graph.
     pub fn default_engine(&self) -> Arc<SharedEngine<M>> {
-        self.engine_for(None, None)
+        self.default_state().default_engine()
     }
 
-    /// Builds (or reuses) the default pool now, returning its θ — lets a
-    /// server pay the sampling cost before accepting connections.
+    /// Builds (or reuses) the default graph's default pool now, returning
+    /// its θ — lets a server pay the sampling cost before accepting
+    /// connections.
     pub fn warm_default(&self) -> u64 {
-        self.default_engine().pool_theta()
+        self.default_state().warm_default()
     }
 
-    /// Pre-seeds the cache with an engine restored from persistent state
-    /// (e.g. a `.timp` pool file), keyed by its own provenance.
+    /// Pre-seeds the default graph's cache with an engine restored from
+    /// persistent state (e.g. a `.timp` pool file), keyed by its own
+    /// provenance.
     pub fn preload(&self, engine: QueryEngine<M>) -> Arc<SharedEngine<M>> {
-        let meta = engine.pool_meta();
-        let key = PoolKey::new(
-            meta.graph_checksum,
-            meta.model.clone(),
-            meta.seed,
-            meta.epsilon,
-            meta.ell,
-        );
-        self.cache.insert(key, SharedEngine::new(engine))
+        self.default_state().preload(engine)
     }
 
-    /// Handles one protocol line end-to-end: parse, route to the right
-    /// pool, execute. `None` for blank/comment lines, otherwise the
-    /// answer line. This is the entire per-line behavior of a connection
-    /// (and directly testable without a socket).
+    /// Handles one protocol line in a throwaway session — the one-line
+    /// convenience used by tests and simple embeddings. `None` for
+    /// blank/comment lines (and for a `batch` header, whose answers
+    /// belong to the lines that never follow), otherwise the answer line.
+    /// Session state (`use`) does not persist across calls; use
+    /// [`session`](Self::session) for stateful interactions.
     pub fn handle(&self, line: &str) -> Option<String> {
-        let query = match parse_query(line) {
-            ParsedLine::Empty => return None,
-            ParsedLine::Malformed(e) => return Some(format!("error: {e}")),
-            ParsedLine::Query(q) => q,
-        };
-        // Route by provenance: an exact-replay select with ε/ℓ overrides
-        // runs against its own pool; everything else (including fast
-        // selects, which the parser already pins to pool defaults) runs
-        // against the default pool.
-        let engine = match &query {
-            Query::Select {
-                fast: false,
-                eps,
-                ell,
-                ..
-            } if eps.is_some() || ell.is_some() => self.engine_for(*eps, *ell),
-            Query::Ping => {
-                // Liveness must not trigger a pool build.
-                return Some(execute(&mut NoBackend, &self.labels, &query).line);
-            }
-            _ => self.default_engine(),
-        };
-        let Reply { line, note } = execute(&mut &*engine, &self.labels, &query);
-        if self.config.verbose {
-            if let Some(note) = note {
-                eprintln!("{note}");
-            }
-        }
-        Some(line)
-    }
-}
-
-/// Backend for queries that never touch an engine (`ping`).
-struct NoBackend;
-
-impl crate::protocol::QueryBackend for NoBackend {
-    fn select_with(
-        &mut self,
-        _k: usize,
-        _eps: Option<f64>,
-        _ell: Option<f64>,
-    ) -> tim_engine::QueryOutcome {
-        unreachable!("ping never selects")
-    }
-    fn select_fast(&mut self, _k: usize) -> tim_engine::QueryOutcome {
-        unreachable!("ping never selects")
-    }
-    fn spread(&mut self, _seeds: &[tim_graph::NodeId]) -> f64 {
-        unreachable!("ping never evaluates")
-    }
-    fn marginal_gain(&mut self, _base: &[tim_graph::NodeId], _candidate: tim_graph::NodeId) -> f64 {
-        unreachable!("ping never evaluates")
+        let mut session = self.session();
+        let mut answers = session.push_line(line);
+        answers.extend(session.finish());
+        debug_assert!(answers.len() <= 1, "one line answers at most once");
+        answers.into_iter().next()
     }
 }
 
@@ -291,7 +267,7 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> Server<M> {
     /// Spawns the worker threads and starts accepting connections.
     pub fn start(self) -> ServerHandle {
         let stop = Arc::new(AtomicBool::new(false));
-        let workers = (0..self.state.config.threads)
+        let workers = (0..self.state.config().threads)
             .map(|i| {
                 let state = Arc::clone(&self.state);
                 let listener = Arc::clone(&self.listener);
@@ -380,56 +356,65 @@ impl ServerHandle {
     }
 }
 
-/// Serves one connection: one answer line per request line, until EOF.
+/// Writes a group of answer lines with one flush — the transport half of
+/// batch amortization (and a syscall saving for every multi-line answer).
+fn write_answers(writer: &mut TcpStream, answers: &[String]) -> std::io::Result<()> {
+    if answers.is_empty() {
+        return Ok(());
+    }
+    let mut out = String::with_capacity(answers.iter().map(|a| a.len() + 1).sum());
+    for a in answers {
+        out.push_str(a);
+        out.push('\n');
+    }
+    writer.write_all(out.as_bytes())?;
+    writer.flush()
+}
+
+/// Serves one connection: one session, one answer line per request line,
+/// until EOF (a pending batch flushes at EOF).
 fn serve_connection<M: DiffusionModel + Send + Sync + Clone + 'static>(
     state: &ServerState<M>,
     stream: TcpStream,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
-    // Limit covers content + newline, so content of exactly
-    // MAX_LINE_BYTES is still accepted (the limit is on the line
-    // *excluding* its terminator — see docs/PROTOCOL.md).
-    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_LINE_BYTES + 2);
+    let mut reader = CappedLineReader::new(stream.try_clone()?);
     let mut writer = stream;
+    let mut session = state.session();
     let mut line = String::new();
     loop {
-        line.clear();
-        reader.set_limit(MAX_LINE_BYTES + 2);
-        let n = reader.read_line(&mut line)?;
-        if n == 0 {
-            break; // EOF: client is done.
-        }
-        let content_len = n - usize::from(line.ends_with('\n'));
-        if content_len as u64 > MAX_LINE_BYTES {
-            writer.write_all(b"error: request line exceeds the 1 MiB limit\n")?;
-            writer.flush()?;
-            // Closing with unread bytes in the receive buffer would RST
-            // the connection and may discard the error line before the
-            // client reads it. Drain (bounded) so the close is graceful.
-            let _ = writer.shutdown(std::net::Shutdown::Write);
-            let mut raw = reader.into_inner();
-            let mut sink = [0u8; 8192];
-            let mut drained: u64 = 0;
-            while drained < 64 * MAX_LINE_BYTES {
-                match raw.read(&mut sink) {
-                    Ok(0) | Err(_) => break,
-                    Ok(n) => drained += n as u64,
+        match reader.read_line(&mut line)? {
+            CappedLine::Eof => break,
+            CappedLine::Oversized => {
+                writer.write_all(OVERSIZED_LINE_REPLY.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                // Half-close, then drain (bounded) so the close is
+                // graceful and the client reliably reads the error line.
+                let _ = writer.shutdown(std::net::Shutdown::Write);
+                reader.drain(64 * MAX_LINE_BYTES);
+                return Ok(());
+            }
+            CappedLine::Line => {
+                write_answers(&mut writer, &session.push_line(&line))?;
+                if session.closed() {
+                    // Same close discipline as an oversized line: the
+                    // error answer is out; half-close and drain so the
+                    // client reliably reads it.
+                    let _ = writer.shutdown(std::net::Shutdown::Write);
+                    reader.drain(64 * MAX_LINE_BYTES);
+                    return Ok(());
                 }
             }
-            return Ok(());
-        }
-        if let Some(answer) = state.handle(&line) {
-            writer.write_all(answer.as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
         }
     }
-    Ok(())
+    write_answers(&mut writer, &session.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead, BufReader};
     use tim_diffusion::IndependentCascade;
     use tim_graph::{gen, weights};
 
@@ -450,7 +435,7 @@ mod tests {
                 seed: 3,
                 k_max: 4,
                 sample_threads: 1,
-                verbose: false,
+                ..ServerConfig::default()
             },
         )
     }
@@ -476,12 +461,27 @@ mod tests {
     #[test]
     fn handle_answers_ping_without_building_a_pool() {
         let s = state(1);
-        assert_eq!(s.handle("ping").unwrap(), "pong tim/1");
+        assert_eq!(s.handle("ping").unwrap(), "pong tim/2");
         assert_eq!(s.cached_pools(), 0);
         assert_eq!(s.handle("# comment"), None);
         assert_eq!(s.handle(""), None);
         assert!(s.handle("nonsense").unwrap().starts_with("error: "));
         assert_eq!(s.cached_pools(), 0);
+    }
+
+    #[test]
+    fn handle_answers_session_verbs_on_the_default_graph() {
+        let s = state(1);
+        assert_eq!(s.handle("graphs").unwrap(), "graphs: default");
+        assert_eq!(s.handle("use default").unwrap(), "using default");
+        assert!(s
+            .handle("use nope")
+            .unwrap()
+            .starts_with("error: use: unknown graph"));
+        assert!(s
+            .handle("stats")
+            .unwrap()
+            .starts_with("stats: graph=default n=150 "));
     }
 
     #[test]
@@ -492,6 +492,20 @@ mod tests {
         s.handle("select 2 eps=1.0").unwrap();
         assert_eq!(s.cached_pools(), 1);
         assert_eq!(s.cache_stats().misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label map covers")]
+    fn mismatched_label_map_panics_at_construction() {
+        let mut g = gen::barabasi_albert(150, 3, 0.0, 1);
+        weights::assign_weighted_cascade(&mut g);
+        let _ = ServerState::new(
+            g,
+            LabelMap::identity(10),
+            IndependentCascade,
+            "ic",
+            ServerConfig::default(),
+        );
     }
 
     #[test]
@@ -506,7 +520,7 @@ mod tests {
         conn.shutdown(std::net::Shutdown::Write).unwrap();
         let mut buf = String::new();
         BufReader::new(&mut conn).read_line(&mut buf).unwrap();
-        assert_eq!(buf.trim_end(), "pong tim/1");
+        assert_eq!(buf.trim_end(), "pong tim/2");
         handle.stop();
     }
 }

@@ -1,0 +1,522 @@
+//! Per-connection protocol sessions: the `tim/2` state machine.
+//!
+//! `tim/1` was stateless per line; `tim/2` gives every connection a
+//! [`Session`] holding the *current graph* (switched with `use`), a
+//! cached handle to that graph's default engine (so steady-state queries
+//! skip the pool-cache mutex entirely), and an optional pending `batch`.
+//! One `Session` drives one `tim serve` TCP connection and one
+//! `tim query` stdin session — the same code path, which is what keeps
+//! the two front ends byte-identical by construction.
+//!
+//! # Batching
+//!
+//! `batch <n>` announces that the next `n` lines form one unit. The
+//! session buffers them, then executes them in order and returns all
+//! answer lines at once — the transport writes them with a single flush.
+//! Execution amortizes dispatch: engine routing is resolved per line
+//! first, then each *run of consecutive same-engine queries* executes
+//! under **one** read-lock acquisition ([`SharedEngine::read_handle`])
+//! instead of one per line. Answers are byte-identical to sending the
+//! same lines unbatched: per-line parsing, routing, and execution order
+//! are unchanged — only locking and IO are amortized (enforced by the
+//! `multi_graph` integration test).
+
+use crate::catalog::GraphState;
+use crate::protocol::{
+    execute, parse_request, ping_reply, ParsedRequest, Query, QueryBackend, Reply, Request,
+    MAX_BATCH_BYTES, OVERSIZED_BATCH_REPLY,
+};
+use crate::server::ServerState;
+use std::sync::Arc;
+use tim_diffusion::DiffusionModel;
+use tim_engine::{EngineReadGuard, QueryOutcome, SharedEngine};
+use tim_graph::NodeId;
+
+/// A pending `batch <n>`: lines collected so far, with their byte total
+/// (bounded by [`MAX_BATCH_BYTES`]).
+#[derive(Debug)]
+struct BatchCollect {
+    expect: usize,
+    lines: Vec<String>,
+    bytes: usize,
+}
+
+/// Cached queries between catalog-LRU re-touches: a session that answers
+/// thousands of lines from its cached graph handle still periodically
+/// tells the catalog the graph is hot, so a busy tenant is not evicted
+/// as "idle" just because its sessions are long-lived.
+const TOUCH_EVERY: u32 = 64;
+
+/// One protocol session: current graph, cached default engine, pending
+/// batch. Create one per connection ([`ServerState::session`]) and feed
+/// it request lines; every returned `Vec` holds the answer lines ready
+/// to write (often one, empty for comments, a whole batch at once).
+#[derive(Debug)]
+pub struct Session<'s, M> {
+    state: &'s ServerState<M>,
+    current_name: String,
+    current: Option<Arc<GraphState<M>>>,
+    default_engine: Option<Arc<SharedEngine<M>>>,
+    batch: Option<BatchCollect>,
+    since_touch: u32,
+    closed: bool,
+}
+
+impl<'s, M: DiffusionModel + Send + Sync + Clone + 'static> Session<'s, M> {
+    /// Opens a session on the server's default graph.
+    pub fn new(state: &'s ServerState<M>) -> Self {
+        Session {
+            state,
+            current_name: state.default_graph().to_string(),
+            current: None,
+            default_engine: None,
+            batch: None,
+            since_touch: 0,
+            closed: false,
+        }
+    }
+
+    /// The name of the session's current graph.
+    pub fn current_graph(&self) -> &str {
+        &self.current_name
+    }
+
+    /// True after a protocol violation (a batch over [`MAX_BATCH_BYTES`])
+    /// whose error line has been emitted: the transport must stop reading
+    /// and close, exactly as for an oversized request line.
+    pub fn closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Feeds one request line; returns the answer lines that are ready.
+    ///
+    /// Blank/comment lines and lines buffered into a pending batch return
+    /// an empty `Vec`; a completed batch returns all of its answers at
+    /// once. Callers must write the returned lines in order.
+    pub fn push_line(&mut self, line: &str) -> Vec<String> {
+        if self.closed {
+            return Vec::new();
+        }
+        if let Some(batch) = &mut self.batch {
+            batch.bytes += line.len();
+            if batch.bytes > MAX_BATCH_BYTES {
+                // A buffer-bomb batch is a framing violation like an
+                // oversized line: answer once and end the session rather
+                // than buffer without bound.
+                self.batch = None;
+                self.closed = true;
+                return vec![OVERSIZED_BATCH_REPLY.to_string()];
+            }
+            batch.lines.push(line.to_string());
+            if batch.lines.len() == batch.expect {
+                let batch = self.batch.take().expect("batch just checked");
+                return self.run_batch(&batch.lines);
+            }
+            return Vec::new();
+        }
+        match parse_request(line) {
+            ParsedRequest::Empty => Vec::new(),
+            ParsedRequest::Malformed(e) => vec![format!("error: {e}")],
+            ParsedRequest::Request(Request::Batch(n)) => {
+                self.batch = Some(BatchCollect {
+                    expect: n,
+                    lines: Vec::with_capacity(n.min(1024)),
+                    bytes: 0,
+                });
+                Vec::new()
+            }
+            ParsedRequest::Request(req) => vec![self.answer(&req)],
+        }
+    }
+
+    /// Ends the session: a batch still pending at EOF executes with the
+    /// lines received so far (so a truncated batch answers exactly like
+    /// the same lines sent unbatched). Returns the final answer lines.
+    pub fn finish(&mut self) -> Vec<String> {
+        match self.batch.take() {
+            Some(batch) => self.run_batch(&batch.lines),
+            None => Vec::new(),
+        }
+    }
+
+    /// Answers one non-batch request.
+    fn answer(&mut self, req: &Request) -> String {
+        match req {
+            // Liveness must not load graphs or build pools.
+            Request::Query(Query::Ping) => ping_reply(),
+            Request::Query(query) => match self.route(query) {
+                Ok((graph, engine)) => {
+                    self.reply_line(execute(&mut &*engine, graph.labels(), query))
+                }
+                Err(e) => format!("error: {e}"),
+            },
+            Request::Use(name) => {
+                if self.state.catalog().contains(name) {
+                    if *name != self.current_name {
+                        self.current_name = name.clone();
+                        self.current = None;
+                        self.default_engine = None;
+                    }
+                    format!("using {name}")
+                } else {
+                    format!("error: use: unknown graph '{name}'")
+                }
+            }
+            Request::Graphs => format!("graphs: {}", self.state.catalog().names().join(" ")),
+            Request::Stats => match self.graph_state() {
+                Ok(graph) => graph.stats_line(),
+                Err(e) => format!("error: {e}"),
+            },
+            Request::Batch(_) => "error: batch: batches cannot nest".to_string(),
+        }
+    }
+
+    /// The session's current graph state, loading it on first touch. The
+    /// cached handle skips the catalog lock on the hot path; every
+    /// [`TOUCH_EVERY`] uses the catalog's LRU is re-bumped so a busy
+    /// graph behind long-lived sessions is never the eviction victim.
+    fn graph_state(&mut self) -> Result<Arc<GraphState<M>>, String> {
+        if let Some(graph) = &self.current {
+            self.since_touch += 1;
+            if self.since_touch >= TOUCH_EVERY {
+                self.since_touch = 0;
+                self.state.catalog().touch(&self.current_name);
+            }
+            return Ok(Arc::clone(graph));
+        }
+        let graph = self.state.catalog().get(&self.current_name)?;
+        self.current = Some(Arc::clone(&graph));
+        Ok(graph)
+    }
+
+    /// Routes a query to its engine: exact-replay selects with ε/ℓ
+    /// overrides get their own provenance pool; everything else answers
+    /// from the current graph's default pool, whose handle the session
+    /// caches (skipping the pool-cache lock on every later line).
+    #[allow(clippy::type_complexity)] // the pair is the routing result
+    fn route(
+        &mut self,
+        query: &Query,
+    ) -> Result<(Arc<GraphState<M>>, Arc<SharedEngine<M>>), String> {
+        let graph = self.graph_state()?;
+        let engine = match query {
+            Query::Select {
+                fast: false,
+                eps,
+                ell,
+                ..
+            } if eps.is_some() || ell.is_some() => graph.engine_for(*eps, *ell),
+            _ => {
+                if self.default_engine.is_none() {
+                    self.default_engine = Some(graph.default_engine());
+                }
+                Arc::clone(self.default_engine.as_ref().expect("engine just cached"))
+            }
+        };
+        Ok((graph, engine))
+    }
+
+    fn reply_line(&self, reply: Reply) -> String {
+        if self.state.catalog().config().verbose {
+            if let Some(note) = &reply.note {
+                eprintln!("{note}");
+            }
+        }
+        reply.line
+    }
+
+    /// Executes a completed batch: resolve routing per line in order
+    /// (session verbs apply immediately, so a `use` mid-batch routes the
+    /// lines after it), then run each maximal run of consecutive
+    /// same-engine queries under a single read-lock acquisition.
+    fn run_batch(&mut self, lines: &[String]) -> Vec<String> {
+        enum Step<M> {
+            Ready(String),
+            Query {
+                graph: Arc<GraphState<M>>,
+                engine: Arc<SharedEngine<M>>,
+                query: Query,
+            },
+        }
+        let mut steps: Vec<Step<M>> = Vec::with_capacity(lines.len());
+        for line in lines {
+            match parse_request(line) {
+                ParsedRequest::Empty => {}
+                ParsedRequest::Malformed(e) => steps.push(Step::Ready(format!("error: {e}"))),
+                ParsedRequest::Request(Request::Query(query)) => {
+                    if matches!(query, Query::Ping) {
+                        steps.push(Step::Ready(ping_reply()));
+                        continue;
+                    }
+                    match self.route(&query) {
+                        Ok((graph, engine)) => steps.push(Step::Query {
+                            graph,
+                            engine,
+                            query,
+                        }),
+                        Err(e) => steps.push(Step::Ready(format!("error: {e}"))),
+                    }
+                }
+                ParsedRequest::Request(req) => steps.push(Step::Ready(self.answer(&req))),
+            }
+        }
+
+        let mut answers = Vec::with_capacity(steps.len());
+        let mut i = 0;
+        while i < steps.len() {
+            match &steps[i] {
+                Step::Ready(line) => {
+                    answers.push(line.clone());
+                    i += 1;
+                }
+                Step::Query { engine, .. } => {
+                    let run_engine = Arc::clone(engine);
+                    let mut j = i;
+                    while j < steps.len() {
+                        match &steps[j] {
+                            Step::Query { engine, .. } if Arc::ptr_eq(engine, &run_engine) => {
+                                j += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let mut backend = BatchBackend::new(&run_engine);
+                    for step in &steps[i..j] {
+                        let Step::Query { graph, query, .. } = step else {
+                            unreachable!("run contains only queries");
+                        };
+                        answers.push(self.reply_line(execute(&mut backend, graph.labels(), query)));
+                    }
+                    i = j;
+                }
+            }
+        }
+        answers
+    }
+}
+
+/// A [`QueryBackend`] that answers a run of batch queries under one held
+/// read lock, falling back to (and re-acquiring after) the blocking
+/// write path only when a query misses the read-only fast path. Answers
+/// are identical either way — only lock traffic is amortized.
+struct BatchBackend<'e, M> {
+    engine: &'e SharedEngine<M>,
+    guard: Option<EngineReadGuard<'e, M>>,
+}
+
+impl<'e, M: DiffusionModel + Sync + Clone> BatchBackend<'e, M> {
+    fn new(engine: &'e SharedEngine<M>) -> Self {
+        BatchBackend {
+            engine,
+            guard: Some(engine.read_handle()),
+        }
+    }
+
+    fn guard(&mut self) -> &EngineReadGuard<'e, M> {
+        if self.guard.is_none() {
+            self.guard = Some(self.engine.read_handle());
+        }
+        self.guard.as_ref().expect("guard just acquired")
+    }
+}
+
+impl<M: DiffusionModel + Sync + Clone> QueryBackend for BatchBackend<'_, M> {
+    fn select_with(&mut self, k: usize, eps: Option<f64>, ell: Option<f64>) -> QueryOutcome {
+        if let Some(out) = self.guard().try_select_with(k, eps, ell) {
+            return out;
+        }
+        // Must not hold the read lock across the blocking (write) path.
+        self.guard = None;
+        self.engine.select_with(k, eps, ell)
+    }
+
+    fn select_fast(&mut self, k: usize) -> QueryOutcome {
+        if let Some(out) = self.guard().try_select_fast(k) {
+            return out;
+        }
+        self.guard = None;
+        self.engine.select_fast(k)
+    }
+
+    fn spread(&mut self, seeds: &[NodeId]) -> f64 {
+        if let Some(s) = self.guard().try_spread(seeds) {
+            return s;
+        }
+        self.guard = None;
+        self.engine.spread(seeds)
+    }
+
+    fn marginal_gain(&mut self, base: &[NodeId], candidate: NodeId) -> f64 {
+        if let Some(m) = self.guard().try_marginal_gain(base, candidate) {
+            return m;
+        }
+        self.guard = None;
+        self.engine.marginal_gain(base, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use crate::{GraphCatalog, LabelMap};
+    use tim_diffusion::IndependentCascade;
+    use tim_graph::{gen, weights};
+
+    fn two_graph_state() -> ServerState<IndependentCascade> {
+        let config = ServerConfig {
+            epsilon: 1.0,
+            seed: 3,
+            k_max: 4,
+            sample_threads: 1,
+            ..ServerConfig::default()
+        };
+        let mut catalog = GraphCatalog::new(IndependentCascade, "ic", config);
+        for (name, seed) in [("alpha", 1u64), ("beta", 2u64)] {
+            let mut g = gen::barabasi_albert(120, 3, 0.0, seed);
+            weights::assign_weighted_cascade(&mut g);
+            let n = g.n();
+            catalog
+                .add_resident(name, g, LabelMap::identity(n))
+                .unwrap();
+        }
+        ServerState::from_catalog(catalog, "alpha").unwrap()
+    }
+
+    fn one(session: &mut Session<'_, IndependentCascade>, line: &str) -> String {
+        let mut got = session.push_line(line);
+        assert_eq!(got.len(), 1, "{line:?} answered {got:?}");
+        got.remove(0)
+    }
+
+    #[test]
+    fn session_verbs_switch_list_and_report() {
+        let state = two_graph_state();
+        let mut s = state.session();
+        assert_eq!(s.current_graph(), "alpha");
+        assert_eq!(one(&mut s, "graphs"), "graphs: alpha beta");
+        assert_eq!(one(&mut s, "ping"), "pong tim/2");
+        assert!(one(&mut s, "stats").starts_with("stats: graph=alpha n=120 m="));
+        assert_eq!(one(&mut s, "use beta"), "using beta");
+        assert_eq!(s.current_graph(), "beta");
+        assert!(one(&mut s, "stats").starts_with("stats: graph=beta "));
+        assert_eq!(
+            one(&mut s, "use gamma"),
+            "error: use: unknown graph 'gamma'"
+        );
+        assert_eq!(s.current_graph(), "beta", "failed use keeps the graph");
+        assert!(s.push_line("# comment").is_empty());
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn queries_route_to_the_current_graph() {
+        let state = two_graph_state();
+        let mut s = state.session();
+        let on_alpha = one(&mut s, "select 2");
+        one(&mut s, "use beta");
+        let on_beta = one(&mut s, "select 2");
+        assert_ne!(on_alpha, on_beta, "different graphs, different seeds");
+        // Fresh sessions replay the same answers (provenance-determined).
+        let mut s2 = state.session();
+        assert_eq!(one(&mut s2, "select 2"), on_alpha);
+        one(&mut s2, "use beta");
+        assert_eq!(one(&mut s2, "select 2"), on_beta);
+    }
+
+    #[test]
+    fn batch_answers_match_unbatched_lines() {
+        let state = two_graph_state();
+        let lines = [
+            "select 2",
+            "eval 0,1",
+            "# comment inside batch",
+            "use beta",
+            "select 2",
+            "marginal 0 1",
+            "bogus",
+            "ping",
+        ];
+        let mut unbatched = state.session();
+        let mut want: Vec<String> = Vec::new();
+        for l in &lines {
+            want.extend(unbatched.push_line(l));
+        }
+        want.extend(unbatched.finish());
+
+        let mut batched = state.session();
+        assert!(batched
+            .push_line(&format!("batch {}", lines.len()))
+            .is_empty());
+        let mut got: Vec<String> = Vec::new();
+        for l in &lines {
+            got.extend(batched.push_line(l));
+        }
+        got.extend(batched.finish());
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 7, "comment answers nothing");
+    }
+
+    #[test]
+    fn partial_batch_flushes_at_eof_and_nesting_is_rejected() {
+        let state = two_graph_state();
+        let mut s = state.session();
+        assert!(s.push_line("batch 5").is_empty());
+        assert!(s.push_line("ping").is_empty());
+        assert!(s.push_line("batch 2").is_empty(), "buffered, not started");
+        let got = s.finish();
+        assert_eq!(
+            got,
+            vec![
+                "pong tim/2".to_string(),
+                "error: batch: batches cannot nest".to_string()
+            ]
+        );
+        // The session survives and keeps answering.
+        assert_eq!(one(&mut s, "ping"), "pong tim/2");
+    }
+
+    #[test]
+    fn batch_over_the_byte_budget_errors_and_closes_the_session() {
+        let state = two_graph_state();
+        let mut s = state.session();
+        assert!(!s.closed());
+        assert!(s.push_line("batch 4096").is_empty());
+        // ~1 MiB comment lines: the 9th crosses the 8 MiB buffer cap.
+        let big = format!("# {}", "x".repeat((1 << 20) - 2));
+        let mut answers = Vec::new();
+        for _ in 0..9 {
+            answers.extend(s.push_line(&big));
+        }
+        assert_eq!(answers, vec![OVERSIZED_BATCH_REPLY.to_string()]);
+        assert!(s.closed(), "buffer-bomb batches end the session");
+        assert!(s.push_line("ping").is_empty(), "closed sessions are mute");
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn batch_grouping_amortizes_without_changing_answers() {
+        let state = two_graph_state();
+        // Mixed engines: defaults and an eps override, interleaved so the
+        // grouping logic sees several runs.
+        let lines = [
+            "select 2",
+            "select 3",
+            "select 2 eps=0.9",
+            "select 2",
+            "eval 0,1,2",
+        ];
+        let mut plain = state.session();
+        let mut want: Vec<String> = Vec::new();
+        for l in &lines {
+            want.extend(plain.push_line(l));
+        }
+        let mut batched = state.session();
+        batched.push_line("batch 5");
+        let mut got: Vec<String> = Vec::new();
+        for l in &lines {
+            got.extend(batched.push_line(l));
+        }
+        assert_eq!(got, want);
+    }
+}

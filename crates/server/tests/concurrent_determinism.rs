@@ -25,7 +25,7 @@ fn config() -> ServerConfig {
         seed: 7,
         k_max: 8,
         sample_threads: 2,
-        verbose: false,
+        ..ServerConfig::default()
     }
 }
 

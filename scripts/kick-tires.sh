@@ -86,6 +86,55 @@ diff out/kick-tires/serve_answers.txt out/kick-tires/serve_answers2.txt
 diff out/kick-tires/serve_answers.txt out/kick-tires/serve_answers3.txt \
     && echo "concurrent client sessions byte-identical: OK"
 
+echo "== multi-graph serve: two-graph use/batch session == two single-graph replays =="
+GRAPH2=out/kick-tires/ws_small.txt
+"$TIM" generate ws --out "$GRAPH2" --n 1500 --param 6 --seed 2
+# Per-graph query scripts (labels 0..n-1 exist in both graphs).
+QA=out/kick-tires/mg_queries_a.txt
+QB=out/kick-tires/mg_queries_b.txt
+printf 'select 5\nselect 8\neval 0,1,2\nmarginal 0,1 2\nselect 4 fast\nping\n' > "$QA"
+printf 'select 6\nselect 3\neval 0,1,2\nmarginal 0,1 2\nselect 2 fast\nping\n' > "$QB"
+# One server, two named graphs; the second half of the session is batched.
+MGSESSION=out/kick-tires/mg_session.txt
+{
+    echo "use ba"
+    cat "$QA"
+    echo "use ws"
+    echo "batch $(wc -l < "$QB")"
+    cat "$QB"
+} > "$MGSESSION"
+"$TIM" serve --graph ba="$SNAP" --graph ws="$GRAPH2" --addr 127.0.0.1:0 \
+    -k 10 --eps 0.3 --seed 7 \
+    > out/kick-tires/mg_serve.addr 2> out/kick-tires/mg_serve.log &
+MG_PID=$!
+trap 'kill $MG_PID 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' out/kick-tires/mg_serve.addr 2>/dev/null && break
+    sleep 0.1
+done
+MG_ADDR=$(sed -n 's/^listening on //p' out/kick-tires/mg_serve.addr)
+echo "multi-graph server at $MG_ADDR (pid $MG_PID)"
+"$TIM" client --addr "$MG_ADDR" < "$MGSESSION" | tee out/kick-tires/mg_answers.txt
+# A scripted session with an error response must make tim client fail.
+if printf 'bogus\n' | "$TIM" client --addr "$MG_ADDR" > /dev/null 2>&1; then
+    echo "tim client ignored an error response" >&2
+    exit 1
+fi
+echo "tim client exits nonzero on error responses: OK"
+kill $MG_PID 2>/dev/null || true
+wait $MG_PID 2>/dev/null || true
+trap - EXIT
+# Ground truth: each graph replayed alone through tim query (one engine,
+# no catalog switching, no batching) — the session must match exactly.
+{
+    echo "using ba"
+    "$TIM" query "$SNAP"  -k 10 --eps 0.3 --seed 7 --quiet < "$QA"
+    echo "using ws"
+    "$TIM" query "$GRAPH2" -k 10 --eps 0.3 --seed 7 --quiet < "$QB"
+} > out/kick-tires/mg_expected.txt
+diff out/kick-tires/mg_expected.txt out/kick-tires/mg_answers.txt \
+    && echo "two-graph use/batch session byte-identical to single-graph replays: OK"
+
 echo "== experiment driver (quick): Figure 4 phase breakdown =="
 cargo run --release -p tim_bench --bin experiments -- fig4 --quick --scale 0.2 \
     | tee out/kick-tires/fig4_quick.txt

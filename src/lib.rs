@@ -64,5 +64,7 @@ pub mod prelude {
     pub use tim_engine::{QueryEngine, QueryOutcome, RrPool, SharedEngine};
     pub use tim_graph::{gen, io, snapshot, weights, Graph, GraphBuilder, NodeId};
     pub use tim_rng::{RandomSource, Rng};
-    pub use tim_server::{LabelMap, PoolCache, Server, ServerConfig, ServerState};
+    pub use tim_server::{
+        GraphCatalog, LabelMap, PoolCache, Server, ServerConfig, ServerState, Session,
+    };
 }
