@@ -41,7 +41,7 @@ fn config() -> ServerConfig {
 
 /// A warmed server over `graphs` kick-tires-shaped BA graphs.
 fn start_server(graphs: usize) -> (Arc<ServerState<IndependentCascade>>, ServerHandle) {
-    let mut catalog = GraphCatalog::new(IndependentCascade, "ic", config());
+    let catalog = GraphCatalog::new(IndependentCascade, "ic", config());
     for i in 0..graphs {
         let mut g = gen::barabasi_albert(2_000, 4, 0.1, i as u64 + 1);
         weights::assign_weighted_cascade(&mut g);

@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["undirected", "quiet"];
+const SWITCHES: &[&str] = &["undirected", "quiet", "admin", "persist-pools"];
 
 impl Args {
     /// Parses argv (without the subcommand name).

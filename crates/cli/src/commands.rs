@@ -9,7 +9,9 @@ use tim_baselines::{
     pagerank::PageRank, ris::Ris, simpath::SimPath, SeedSelector,
 };
 use tim_core::{Imm, Tim, TimPlus};
-use tim_diffusion::{DiffusionModel, IndependentCascade, LinearThreshold, SpreadEstimator};
+use tim_diffusion::{
+    DiffusionModel, IndependentCascade, LinearThreshold, ModelKind, SpreadEstimator,
+};
 use tim_engine::{QueryEngine, RrPool};
 use tim_eval::Dataset;
 use tim_graph::io::LoadedGraph;
@@ -31,31 +33,41 @@ usage:
   tim generate <ba|gnm|ws|powerlaw|nethept|epinions|dblp|livejournal|twitter>
                --out <path> [--n 10000] [--param 4] [--scale 1.0] [--seed 0]
   tim snapshot <graph> --out <path.timg> [--weights keep|wc|lt|const:<p>|tri] [--seed 0] [--undirected]
-  tim query    [<graph>] [--graph <name>=<path>]... [--graphs <dir>]
+  tim query    [<graph>] [--graph <name>=<path>[::<k=v,...>]]... [--graphs <dir>]
                [--default-graph <name>] [--max-loaded 8] [--pool <path.timp>]
+               [--pool-dir <dir>] [--persist-pools] [--admin]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
                [--seed 0] [--pool-cache 4] [--undirected] [--quiet]
-               (reads line-delimited tim/2 queries from stdin:
+               (reads line-delimited tim/3 queries from stdin:
                   select <k> [fast] [eps=<v>] [ell=<v>]
                   eval <id,id,...>
                   marginal <id,id,...> <cand-id>
-                  use <graph> | graphs | stats | batch <n> | ping)
-  tim serve    [<graph>] [--graph <name>=<path>]... [--graphs <dir>]
+                  use <graph> | graphs | stats | batch <n> | ping
+                  attach <name>=<path>[::<k=v,...>] | detach <name>
+                  persist | stats pools         [admin verbs; need --admin])
+  tim serve    [<graph>] [--graph <name>=<path>[::<k=v,...>]]... [--graphs <dir>]
                [--default-graph <name>] [--max-loaded 8]
+               [--pool-dir <dir>] [--persist-pools] [--admin]
                [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
                [--seed 0] [--pool <path.timp>] [--undirected] [--quiet]
-               (serves the tim/2 query protocol over TCP; prints
+               (serves the tim/3 query protocol over TCP; prints
                 `listening on <addr>` on stdout when bound — see docs/PROTOCOL.md)
-  tim client   --addr <host:port>
+  tim client   --addr <host:port> [--timeout <secs>]
                (pipes line-delimited queries from stdin to a running server,
-                answers to stdout; exits nonzero if any response is `error: …`)
+                answers to stdout; exits nonzero if any response is `error: …`;
+                --timeout bounds connect and reads instead of hanging forever)
 
   <graph> is a SNAP-style text edge list or a binary .timg snapshot
   (auto-detected by content, not extension). `query` and `serve` host a
   multi-graph catalog: the positional graph (if given) is named `default`,
   each --graph adds a lazily loaded named graph, and --graphs scans a
-  directory of .timg/.txt/.edges files (stems become names).";
+  directory of .timg/.txt/.edges files (stems become names). A --graph
+  spec may carry per-graph overrides after `::` (model=ic|lt, eps=, ell=,
+  seed=, k=, weights=), replacing the global defaults for that graph.
+  With --pool-dir every graph keeps its RR-set pools in <dir>/<name>/
+  (read on start — a warm restart skips the pool builds); --persist-pools
+  additionally writes newly built or grown pools back automatically.";
 
 /// Entry point: dispatches on the subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -376,6 +388,9 @@ fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
         weights: args.get("weights").unwrap_or("wc").to_string(),
         undirected: args.switch("undirected"),
         max_loaded: args.get_parsed("max-loaded", 8usize)?,
+        pool_dir: args.get("pool-dir").map(std::path::PathBuf::from),
+        persist_pools: args.switch("persist-pools"),
+        admin: args.switch("admin"),
     };
     if config.threads == 0 {
         return Err("--threads must be positive".into());
@@ -386,29 +401,40 @@ fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
     if config.max_loaded == 0 {
         return Err("--max-loaded must be positive".into());
     }
+    if config.persist_pools && config.pool_dir.is_none() {
+        return Err("--persist-pools requires --pool-dir <dir>".into());
+    }
     Ok(config)
 }
 
 /// Builds the multi-graph catalog state `query` and `serve` share: the
 /// positional graph (if given) is loaded eagerly and registered resident
-/// as `default`; every `--graph name=path` and every file a `--graphs`
-/// directory scan finds is registered for lazy loading. Sessions start on
-/// `--default-graph`, defaulting to `default` when present, else the
-/// first catalog name in sorted order.
-fn build_state<M: DiffusionModel + Send + Sync + Clone + 'static>(
-    model: M,
+/// as `default`; every `--graph name=path[::overrides]` and every file a
+/// `--graphs` directory scan finds is registered for lazy loading.
+/// Sessions start on `--default-graph`, defaulting to `default` when
+/// present, else the first catalog name in sorted order. Both canonical
+/// models are registered, so per-graph `model=` overrides can pick either
+/// regardless of the global `--model`.
+fn build_state(
+    model: ModelKind,
     model_name: &str,
     args: &Args,
     config: ServerConfig,
-) -> Result<ServerState<M>, String> {
+) -> Result<ServerState<ModelKind>, String> {
     let mut catalog = GraphCatalog::new(model, model_name, config);
+    for kind in [ModelKind::IndependentCascade, ModelKind::LinearThreshold] {
+        if kind.tag() != model_name {
+            catalog.register_model(kind.tag(), kind);
+        }
+    }
     if !args.positional.is_empty() {
         let LoadedGraph { graph, labels } = load(args)?;
         catalog.add_resident(DEFAULT_GRAPH_NAME, graph, LabelMap::new(labels))?;
     }
     for spec in args.get_all("graph") {
-        let (name, path) = tim_graph::catalog::parse_graph_spec(spec).map_err(|e| e.to_string())?;
-        catalog.add_path(name, path)?;
+        let (name, path, overrides) =
+            tim_graph::catalog::parse_graph_spec_full(spec).map_err(|e| e.to_string())?;
+        catalog.add_path_with(name, path, overrides)?;
     }
     if let Some(dir) = args.get("graphs") {
         for (name, path) in tim_graph::catalog::scan_graph_dir(dir).map_err(|e| e.to_string())? {
@@ -429,18 +455,12 @@ fn build_state<M: DiffusionModel + Send + Sync + Clone + 'static>(
 }
 
 fn query(args: &Args) -> Result<(), String> {
-    match args.get("model").unwrap_or("ic").to_lowercase().as_str() {
-        "ic" => query_with(IndependentCascade, "ic", args),
-        "lt" => query_with(LinearThreshold, "lt", args),
-        other => Err(format!("unknown --model '{other}'")),
-    }
+    let tag = args.get("model").unwrap_or("ic").to_lowercase();
+    let model = ModelKind::from_tag(&tag).ok_or_else(|| format!("unknown --model '{tag}'"))?;
+    query_with(model, &tag, args)
 }
 
-fn query_with<M: DiffusionModel + Send + Sync + Clone + 'static>(
-    model: M,
-    model_name: &str,
-    args: &Args,
-) -> Result<(), String> {
+fn query_with(model: ModelKind, model_name: &str, args: &Args) -> Result<(), String> {
     let quiet = args.switch("quiet");
     let mut config = server_config(args, quiet)?;
     let pool_path = args.get("pool");
@@ -497,7 +517,7 @@ fn query_with<M: DiffusionModel + Send + Sync + Clone + 'static>(
         _ => None,
     };
 
-    let state = build_state(model.clone(), model_name, args, config)?;
+    let state = build_state(model, model_name, args, config)?;
 
     // Attach or build-and-save the persistent pool on the default graph —
     // the only case that loads the default graph eagerly; without --pool
@@ -614,22 +634,16 @@ fn catalog_query_session<M: DiffusionModel + Send + Sync + Clone + 'static>(
 }
 
 fn serve(args: &Args) -> Result<(), String> {
-    match args.get("model").unwrap_or("ic").to_lowercase().as_str() {
-        "ic" => serve_with(IndependentCascade, "ic", args),
-        "lt" => serve_with(LinearThreshold, "lt", args),
-        other => Err(format!("unknown --model '{other}'")),
-    }
+    let tag = args.get("model").unwrap_or("ic").to_lowercase();
+    let model = ModelKind::from_tag(&tag).ok_or_else(|| format!("unknown --model '{tag}'"))?;
+    serve_with(model, &tag, args)
 }
 
-fn serve_with<M: DiffusionModel + Send + Sync + Clone + 'static>(
-    model: M,
-    model_name: &str,
-    args: &Args,
-) -> Result<(), String> {
+fn serve_with(model: ModelKind, model_name: &str, args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7171");
     let quiet = args.switch("quiet");
     let config = server_config(args, quiet).map_err(|e| format!("serve: {e}"))?;
-    let state = Arc::new(build_state(model.clone(), model_name, args, config)?);
+    let state = Arc::new(build_state(model, model_name, args, config)?);
 
     // Pre-seed the default graph's pool cache from a persisted `.timp`
     // pool (keyed by the pool's own provenance, which need not match the
@@ -695,6 +709,18 @@ fn serve_with<M: DiffusionModel + Send + Sync + Clone + 'static>(
             config.pool_cache,
             config.max_loaded
         );
+        if let Some(dir) = &config.pool_dir {
+            eprintln!(
+                "warm state in {} ({}); admin verbs {}",
+                dir.display(),
+                if config.persist_pools {
+                    "read-through + write-back"
+                } else {
+                    "read-through only"
+                },
+                if config.admin { "enabled" } else { "disabled" }
+            );
+        }
     }
     server.start().wait();
     Ok(())
@@ -747,14 +773,73 @@ fn client_session<I: Read + Send, O: Write>(
     })
 }
 
+/// Connects to `addr`, bounded by `timeout` when given: a dead or
+/// unreachable server fails with a clear error instead of hanging in the
+/// kernel's (minutes-long) connect retry.
+fn client_connect(
+    addr: &str,
+    timeout: Option<std::time::Duration>,
+) -> Result<std::net::TcpStream, String> {
+    use std::net::{TcpStream, ToSocketAddrs};
+    let Some(timeout) = timeout else {
+        return TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"));
+    };
+    let resolved: Vec<_> = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving {addr}: {e}"))?
+        .collect();
+    let mut last_err = None;
+    for a in &resolved {
+        match TcpStream::connect_timeout(a, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(match last_err {
+        Some(e) if e.kind() == std::io::ErrorKind::TimedOut => format!(
+            "connecting to {addr}: timed out after {:.1}s (server down or unreachable?)",
+            timeout.as_secs_f64()
+        ),
+        Some(e) => format!("connecting to {addr}: {e}"),
+        None => format!("resolving {addr}: no addresses"),
+    })
+}
+
 fn client(args: &Args) -> Result<(), String> {
     let addr = args
         .get("addr")
         .ok_or_else(|| "client: --addr <host:port> is required".to_string())?;
-    let stream =
-        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let timeout = match args.get("timeout") {
+        None => None,
+        Some(v) => {
+            // try_from_secs_f64 also rejects NaN and values too large for
+            // a Duration — from_secs_f64 would panic on those.
+            let dur = v
+                .parse::<f64>()
+                .ok()
+                .filter(|s| *s > 0.0)
+                .and_then(|s| std::time::Duration::try_from_secs_f64(s).ok())
+                .ok_or_else(|| format!("client: --timeout '{v}' must be a positive number"))?;
+            Some(dur)
+        }
+    };
+    let stream = client_connect(addr, timeout)?;
+    if timeout.is_some() {
+        // Bound every read the same way: a server that accepts but never
+        // answers must not hang a scripted session forever.
+        stream
+            .set_read_timeout(timeout)
+            .map_err(|e| format!("setting read timeout: {e}"))?;
+    }
     let mut stdout = std::io::stdout();
-    let errors = client_session(stream, std::io::stdin(), &mut stdout)?;
+    let errors =
+        client_session(stream, std::io::stdin(), &mut stdout).map_err(|e| match timeout {
+            Some(t) if e.contains("reading answers") => format!(
+                "{e} (no response within {:.1}s — server hung or gone?)",
+                t.as_secs_f64()
+            ),
+            _ => e,
+        })?;
     if errors > 0 {
         // Scripted sessions (kick-tires, CI) must be able to assert clean
         // runs: any `error: …` response line fails the whole session.
@@ -932,7 +1017,10 @@ mod tests {
         )
     }
 
-    fn run_session(state: &ServerState<IndependentCascade>, input: &str) -> Vec<String> {
+    fn run_session<M: DiffusionModel + Send + Sync + Clone + 'static>(
+        state: &ServerState<M>,
+        input: &str,
+    ) -> Vec<String> {
         let mut out = Vec::new();
         catalog_query_session(state, input.as_bytes(), &mut out).unwrap();
         String::from_utf8(out)
@@ -1003,12 +1091,12 @@ mod tests {
         let lines = run_session(&state, &input);
         assert_eq!(
             lines,
-            vec!["pong tim/2".to_string(), OVERSIZED_LINE_REPLY.to_string()]
+            vec!["pong tim/3".to_string(), OVERSIZED_LINE_REPLY.to_string()]
         );
         // A line of exactly the cap still answers.
         let comment = format!("#{}", "c".repeat((1 << 20) - 1));
         let lines = run_session(&state, &format!("{comment}\nping\n"));
-        assert_eq!(lines, vec!["pong tim/2".to_string()]);
+        assert_eq!(lines, vec!["pong tim/3".to_string()]);
     }
 
     #[test]
@@ -1096,7 +1184,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(errors, 2, "two error responses counted");
-        assert!(String::from_utf8(out).unwrap().starts_with("pong tim/2\n"));
+        assert!(String::from_utf8(out).unwrap().starts_with("pong tim/3\n"));
 
         let mut out = Vec::new();
         let errors = client_session(connect(), "ping\nselect 1\n".as_bytes(), &mut out).unwrap();
@@ -1140,7 +1228,7 @@ mod tests {
         let state = session_state(loaded, 1.0, 0, 2);
         assert_eq!(
             run_session(&state, "ping\n"),
-            vec!["pong tim/2".to_string()]
+            vec!["pong tim/3".to_string()]
         );
     }
 
@@ -1157,7 +1245,7 @@ mod tests {
         )))
         .unwrap();
         let config = server_config(&args, true).unwrap();
-        let state = build_state(IndependentCascade, "ic", &args, config).unwrap();
+        let state = build_state(ModelKind::IndependentCascade, "ic", &args, config).unwrap();
         assert_eq!(state.default_graph(), "a");
         let lines = run_session(&state, "graphs\nstats\nuse b\nstats\nuse nope\n");
         assert_eq!(lines[0], "graphs: a b");
@@ -1173,12 +1261,127 @@ mod tests {
         )))
         .unwrap();
         let config = server_config(&dup, true).unwrap();
-        assert!(build_state(IndependentCascade, "ic", &dup, config).is_err());
+        assert!(build_state(ModelKind::IndependentCascade, "ic", &dup, config).is_err());
         let none = Args::parse(&argv("--eps 1.0")).unwrap();
         let config = server_config(&none, true).unwrap();
-        assert!(build_state(IndependentCascade, "ic", &none, config).is_err());
+        assert!(build_state(ModelKind::IndependentCascade, "ic", &none, config).is_err());
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn pool_dir_flags_wire_into_the_config() {
+        let args = Args::parse(&argv("g.txt --pool-dir /tmp/pd --persist-pools --admin")).unwrap();
+        let config = server_config(&args, true).unwrap();
+        assert_eq!(
+            config.pool_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/pd"))
+        );
+        assert!(config.persist_pools);
+        assert!(config.admin);
+        let plain = Args::parse(&argv("g.txt")).unwrap();
+        let config = server_config(&plain, true).unwrap();
+        assert!(config.pool_dir.is_none() && !config.persist_pools && !config.admin);
+        // Write-back without a store location is a config error.
+        let bad = Args::parse(&argv("g.txt --persist-pools")).unwrap();
+        assert!(server_config(&bad, true)
+            .unwrap_err()
+            .contains("requires --pool-dir"));
+    }
+
+    #[test]
+    fn warm_restart_session_reuses_spilled_pools() {
+        let dir = tmpdir();
+        let graph = dir.join("warm_cli.txt");
+        std::fs::write(
+            &graph,
+            (0..40u32)
+                .flat_map(|i| {
+                    [
+                        format!("{} {}\n", i, (i + 1) % 40),
+                        format!("{} {}\n", i, (i + 7) % 40),
+                    ]
+                })
+                .collect::<String>(),
+        )
+        .unwrap();
+        let pool_dir = dir.join("warm_cli_pools");
+        std::fs::remove_dir_all(&pool_dir).ok();
+        let flags = format!(
+            "{} --eps 1.0 --seed 4 -k 3 --pool-dir {}",
+            graph.display(),
+            pool_dir.display()
+        );
+        let session = "select 3\nselect 2\neval 0,1\nselect 2 fast\n";
+
+        // Cold run with write-back: builds and spills the default pool.
+        let args = Args::parse(&argv(&format!("{flags} --persist-pools"))).unwrap();
+        let config = server_config(&args, true).unwrap();
+        let cold_state = build_state(ModelKind::IndependentCascade, "ic", &args, config).unwrap();
+        let cold = run_session(&cold_state, session);
+        let s = cold_state.default_state().cache_stats();
+        assert_eq!((s.builds, s.loads), (1, 0), "cold run samples");
+        assert!(s.spills >= 1, "cold run spills");
+        drop(cold_state);
+
+        // Warm restart (fresh state, same store): zero pool builds,
+        // byte-identical answers.
+        let args = Args::parse(&argv(&flags)).unwrap();
+        let config = server_config(&args, true).unwrap();
+        let warm_state = build_state(ModelKind::IndependentCascade, "ic", &args, config).unwrap();
+        let warm = run_session(&warm_state, session);
+        assert_eq!(warm, cold, "restart answers byte-identical");
+        let s = warm_state.default_state().cache_stats();
+        assert_eq!((s.builds, s.loads), (0, 1), "warm run loads, never builds");
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_dir_all(&pool_dir).ok();
+    }
+
+    #[test]
+    fn graph_override_specs_flow_from_the_flag() {
+        let dir = tmpdir();
+        let path = dir.join("ovr.txt");
+        std::fs::write(&path, "0 1\n1 2\n2 0\n").unwrap();
+        let args = Args::parse(&argv(&format!(
+            "--graph tuned={}::model=lt,eps=0.9,seed=6 --eps 1.0",
+            path.display()
+        )))
+        .unwrap();
+        let config = server_config(&args, true).unwrap();
+        let state = build_state(ModelKind::IndependentCascade, "ic", &args, config).unwrap();
+        let lines = run_session(&state, "stats\n");
+        assert!(
+            lines[0].contains("model=lt eps=0.9 ell=1 seed=6"),
+            "got {}",
+            lines[0]
+        );
+        // A bad override fails at startup, not at first query.
+        let bad = Args::parse(&argv(&format!(
+            "--graph tuned={}::model=bogus",
+            path.display()
+        )))
+        .unwrap();
+        let config = server_config(&bad, true).unwrap();
+        assert!(
+            build_state(ModelKind::IndependentCascade, "ic", &bad, config)
+                .unwrap_err()
+                .contains("unknown model 'bogus'")
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn client_timeout_flag_is_validated_and_bounds_connects() {
+        // Bad values are rejected up front.
+        assert!(dispatch(&argv("client --addr 127.0.0.1:1 --timeout abc"))
+            .unwrap_err()
+            .contains("--timeout"));
+        assert!(dispatch(&argv("client --addr 127.0.0.1:1 --timeout 0"))
+            .unwrap_err()
+            .contains("--timeout"));
+        // A dead port errors out promptly with the timeout set (the
+        // refused connect is immediate on loopback either way).
+        assert!(dispatch(&argv("client --addr 127.0.0.1:1 --timeout 0.5")).is_err());
     }
 
     #[test]

@@ -188,6 +188,91 @@ impl DiffusionModel for LinearThreshold {
     }
 }
 
+/// Either canonical model, selected at runtime.
+///
+/// Generic code (algorithms, serving catalogs) is parameterized over one
+/// `M: DiffusionModel`; a multi-tenant server that hosts IC graphs *and*
+/// LT graphs in the same process needs a single type covering both.
+/// `ModelKind` delegates every operation to the wrapped model — results
+/// are bit-identical to using [`IndependentCascade`] /
+/// [`LinearThreshold`] directly, at the cost of one enum dispatch per
+/// sampled node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The Independent Cascade model (tag `"ic"`).
+    IndependentCascade,
+    /// The Linear Threshold model (tag `"lt"`).
+    LinearThreshold,
+}
+
+impl ModelKind {
+    /// Resolves a wire/CLI model tag (`"ic"` / `"lt"`, case-insensitive).
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag.to_ascii_lowercase().as_str() {
+            "ic" => Some(ModelKind::IndependentCascade),
+            "lt" => Some(ModelKind::LinearThreshold),
+            _ => None,
+        }
+    }
+
+    /// The canonical tag (`"ic"` / `"lt"`) — what pool provenance and
+    /// graph specs use.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ModelKind::IndependentCascade => "ic",
+            ModelKind::LinearThreshold => "lt",
+        }
+    }
+}
+
+impl DiffusionModel for ModelKind {
+    #[inline]
+    fn sample_triggering_set(
+        &self,
+        graph: &Graph,
+        node: NodeId,
+        rng: &mut Rng,
+        out: &mut Vec<NodeId>,
+    ) {
+        match self {
+            ModelKind::IndependentCascade => {
+                IndependentCascade.sample_triggering_set(graph, node, rng, out)
+            }
+            ModelKind::LinearThreshold => {
+                LinearThreshold.sample_triggering_set(graph, node, rng, out)
+            }
+        }
+    }
+
+    #[inline]
+    fn draws_per_node(&self, graph: &Graph, node: NodeId) -> u64 {
+        match self {
+            ModelKind::IndependentCascade => IndependentCascade.draws_per_node(graph, node),
+            ModelKind::LinearThreshold => LinearThreshold.draws_per_node(graph, node),
+        }
+    }
+
+    fn simulate(
+        &self,
+        ws: &mut crate::forward::SimWorkspace,
+        graph: &Graph,
+        seeds: &[NodeId],
+        rng: &mut Rng,
+    ) -> u32 {
+        match self {
+            ModelKind::IndependentCascade => IndependentCascade.simulate(ws, graph, seeds, rng),
+            ModelKind::LinearThreshold => LinearThreshold.simulate(ws, graph, seeds, rng),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ModelKind::IndependentCascade => IndependentCascade.name(),
+            ModelKind::LinearThreshold => LinearThreshold.name(),
+        }
+    }
+}
+
 /// Wraps a closure as a triggering distribution, for custom models.
 ///
 /// The closure receives `(graph, node, rng, out)` and must append a subset
@@ -366,5 +451,47 @@ mod tests {
     fn model_names() {
         assert_eq!(IndependentCascade.name(), "IC");
         assert_eq!(LinearThreshold.name(), "LT");
+    }
+
+    #[test]
+    fn model_kind_resolves_tags_and_matches_the_wrapped_models() {
+        assert_eq!(
+            ModelKind::from_tag("ic"),
+            Some(ModelKind::IndependentCascade)
+        );
+        assert_eq!(ModelKind::from_tag("LT"), Some(ModelKind::LinearThreshold));
+        assert_eq!(ModelKind::from_tag("bogus"), None);
+        assert_eq!(ModelKind::IndependentCascade.tag(), "ic");
+        assert_eq!(ModelKind::LinearThreshold.tag(), "lt");
+        assert_eq!(ModelKind::IndependentCascade.name(), "IC");
+
+        // Bit-identical sampling: the enum and the concrete model consume
+        // the same randomness and produce the same triggering sets.
+        let mut g = in_star(8, 0.0);
+        weights::assign_lt_normalized(&mut g, 3);
+        for (kind, seed) in [
+            (ModelKind::IndependentCascade, 11u64),
+            (ModelKind::LinearThreshold, 12),
+        ] {
+            let mut rng_a = Rng::seed_from_u64(seed);
+            let mut rng_b = Rng::seed_from_u64(seed);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for _ in 0..50 {
+                a.clear();
+                b.clear();
+                kind.sample_triggering_set(&g, 0, &mut rng_a, &mut a);
+                match kind {
+                    ModelKind::IndependentCascade => {
+                        IndependentCascade.sample_triggering_set(&g, 0, &mut rng_b, &mut b)
+                    }
+                    ModelKind::LinearThreshold => {
+                        LinearThreshold.sample_triggering_set(&g, 0, &mut rng_b, &mut b)
+                    }
+                }
+                assert_eq!(a, b, "{kind:?}");
+            }
+        }
+        assert_eq!(ModelKind::LinearThreshold.draws_per_node(&g, 0), 1);
+        assert_eq!(ModelKind::IndependentCascade.draws_per_node(&g, 0), 8);
     }
 }

@@ -23,6 +23,11 @@
 //! that a serving process starts without touching a text parser: load
 //! snapshot, load pool, answer queries.
 //!
+//! [`PoolStore`] scales the single-file story to a serving fleet's warm
+//! state: a per-tenant directory of provenance-keyed `.timp` files with
+//! atomic write-then-rename spills and quarantine of corrupt or foreign
+//! files, so every pool a process builds outlives the process.
+//!
 //! For concurrent serving, [`SharedEngine`] wraps a [`QueryEngine`] in an
 //! `RwLock` with a read-mostly fast path: queries answerable from the warm
 //! pool (the engine's `try_*` methods) run under a shared read guard, and
@@ -33,8 +38,10 @@ mod engine;
 mod error;
 mod pool;
 mod shared;
+mod store;
 
 pub use engine::{QueryEngine, QueryOutcome};
 pub use error::EngineError;
 pub use pool::{PoolMeta, RrPool, POOL_MAGIC, POOL_VERSION};
 pub use shared::{EngineReadGuard, SharedEngine};
+pub use store::{PoolId, PoolStore, StoreStats, INDEX_FILE, POOL_EXTENSION, QUARANTINE_DIR};

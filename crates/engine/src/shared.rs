@@ -17,6 +17,7 @@
 
 use crate::engine::{QueryEngine, QueryOutcome};
 use crate::pool::RrPool;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 use tim_diffusion::DiffusionModel;
 use tim_graph::NodeId;
@@ -57,6 +58,11 @@ use tim_graph::NodeId;
 #[derive(Debug)]
 pub struct SharedEngine<M> {
     inner: RwLock<QueryEngine<M>>,
+    /// Bumped every time the pool grows through this wrapper — the
+    /// growth hook persistence layers ([`crate::PoolStore`] callers)
+    /// compare against their last-spilled epoch to decide whether a
+    /// pool has new work worth writing back to disk.
+    growth: AtomicU64,
 }
 
 /// Panic message used when a previous writer panicked mid-update.
@@ -69,7 +75,30 @@ impl<M: DiffusionModel + Sync + Clone> SharedEngine<M> {
     pub fn new(engine: QueryEngine<M>) -> Self {
         SharedEngine {
             inner: RwLock::new(engine),
+            growth: AtomicU64::new(0),
         }
+    }
+
+    /// Runs a blocking (write-lock) engine call and bumps the growth
+    /// epoch if the pool grew under it — the single funnel every mutable
+    /// query path goes through.
+    fn with_growth<T>(&self, f: impl FnOnce(&mut QueryEngine<M>) -> T) -> T {
+        let mut guard = self.inner.write().expect(POISONED);
+        let before = guard.pool_theta();
+        let out = f(&mut guard);
+        if guard.pool_theta() > before {
+            self.growth.fetch_add(1, Ordering::Release);
+        }
+        out
+    }
+
+    /// How many times the pool has grown (resampled) through this
+    /// wrapper since construction. Persistence layers record the epoch
+    /// at spill time; a later, larger epoch means the stored file is
+    /// stale and the pool is worth spilling again. Monotone; `0` means
+    /// the pool is exactly what the engine was constructed with.
+    pub fn growth_epoch(&self) -> u64 {
+        self.growth.load(Ordering::Acquire)
     }
 
     /// [`QueryEngine::select`] — read lock when the plan is cached and the
@@ -95,7 +124,7 @@ impl<M: DiffusionModel + Sync + Clone> SharedEngine<M> {
         // Upgrade. Another writer may have satisfied the query in between;
         // the mutable path re-checks and is deterministic, so recomputing
         // is correct either way.
-        self.inner.write().expect(POISONED).select_with(k, eps, ell)
+        self.with_growth(|e| e.select_with(k, eps, ell))
     }
 
     /// [`QueryEngine::select_fast`] with the read-fast-path split.
@@ -106,7 +135,7 @@ impl<M: DiffusionModel + Sync + Clone> SharedEngine<M> {
         if let Some(out) = self.inner.read().expect(POISONED).try_select_fast(k) {
             return out;
         }
-        self.inner.write().expect(POISONED).select_fast(k)
+        self.with_growth(|e| e.select_fast(k))
     }
 
     /// [`QueryEngine::spread`] — read lock on a warm pool, write lock
@@ -118,7 +147,7 @@ impl<M: DiffusionModel + Sync + Clone> SharedEngine<M> {
         if let Some(s) = self.inner.read().expect(POISONED).try_spread(seeds) {
             return s;
         }
-        self.inner.write().expect(POISONED).spread(seeds)
+        self.with_growth(|e| e.spread(seeds))
     }
 
     /// [`QueryEngine::marginal_gain`] with the read-fast-path split.
@@ -131,10 +160,7 @@ impl<M: DiffusionModel + Sync + Clone> SharedEngine<M> {
         {
             return m;
         }
-        self.inner
-            .write()
-            .expect(POISONED)
-            .marginal_gain(base, candidate)
+        self.with_growth(|e| e.marginal_gain(base, candidate))
     }
 
     /// Current pool size θ (0 when cold).
@@ -155,7 +181,7 @@ impl<M: DiffusionModel + Sync + Clone> SharedEngine<M> {
     /// Warms the pool ([`QueryEngine::warm`]) under the write lock and
     /// returns the resulting θ.
     pub fn warm(&self) -> u64 {
-        self.inner.write().expect(POISONED).warm()
+        self.with_growth(|e| e.warm())
     }
 
     /// The engine's current provenance header
@@ -339,6 +365,26 @@ mod tests {
         // A miss (k beyond the warmed pool) reports None instead of
         // blocking — the caller is expected to drop the handle and retry.
         assert!(handle.try_select_with(64, None, None).is_none());
+    }
+
+    #[test]
+    fn growth_epoch_tracks_pool_growth_only() {
+        let s = shared(6); // warmed before wrapping: epoch starts at 0
+        assert_eq!(s.growth_epoch(), 0);
+        // Warm-pool queries (reads and write-path plan caching) never
+        // bump the epoch.
+        s.select(3);
+        s.select_fast(2);
+        s.spread(&[0, 1]);
+        s.marginal_gain(&[0], 5);
+        assert_eq!(s.growth_epoch(), 0, "no growth, no epoch bump");
+        // A tighter ε forces a resample through the write path.
+        let out = s.select_with(3, Some(0.1), None);
+        assert!(out.resampled);
+        assert_eq!(s.growth_epoch(), 1);
+        // The same query again answers from the grown pool.
+        s.select_with(3, Some(0.1), None);
+        assert_eq!(s.growth_epoch(), 1);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!
 //! - [`validate_graph_name`] — the normative name grammar;
 //! - [`parse_graph_spec`] — `--graph name=path` flag parsing;
+//! - [`GraphOverrides`] / [`parse_graph_spec_full`] — per-graph serving
+//!   overrides (`name=path::model=lt,eps=0.2,…`), the one grammar shared
+//!   by the CLI `--graph` flag and the protocol's `attach` admin verb;
 //! - [`scan_graph_dir`] — `--graphs <dir>` scans, deterministic
 //!   (name-sorted) and snapshot-preferring.
 
@@ -92,6 +95,144 @@ pub fn parse_graph_spec(spec: &str) -> Result<(String, PathBuf), GraphError> {
         });
     }
     Ok((name.to_string(), PathBuf::from(path)))
+}
+
+/// Per-graph serving overrides, carried by a graph spec. Every field is
+/// optional; `None` means "inherit the catalog's global default". The
+/// semantics live in the serving layer (`tim_server`); this type owns
+/// only the *grammar*, so the CLI flag and the wire-protocol `attach`
+/// verb cannot drift apart.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphOverrides {
+    /// Diffusion-model tag override (`model=lt`).
+    pub model: Option<String>,
+    /// Approximation-slack override (`eps=0.2`; must be positive).
+    pub epsilon: Option<f64>,
+    /// Failure-exponent override (`ell=2`; must be positive).
+    pub ell: Option<f64>,
+    /// Run-seed override (`seed=9`).
+    pub seed: Option<u64>,
+    /// Warmed seed-set-size override (`k=20`; must be at least 1).
+    pub k_max: Option<usize>,
+    /// Weight-spec override (`weights=lt`; validated when the graph
+    /// loads, like the global `--weights`).
+    pub weights: Option<String>,
+}
+
+impl GraphOverrides {
+    /// True when no field is overridden.
+    pub fn is_empty(&self) -> bool {
+        *self == GraphOverrides::default()
+    }
+
+    /// Applies one `key=value` item. Unknown keys, bad values, and
+    /// duplicate keys are errors — a typo'd override must not silently
+    /// serve the global default.
+    pub fn apply_item(&mut self, item: &str) -> Result<(), GraphError> {
+        let bad = |message: String| GraphError::Catalog { message };
+        let (key, value) = item.split_once('=').ok_or_else(|| {
+            bad(format!(
+                "graph override '{item}' must have the form key=value"
+            ))
+        })?;
+        if value.is_empty() {
+            return Err(bad(format!("graph override '{item}' has an empty value")));
+        }
+        let dup = |key: &str| bad(format!("graph override '{key}' given twice"));
+        match key {
+            "model" => {
+                if self.model.replace(value.to_string()).is_some() {
+                    return Err(dup(key));
+                }
+            }
+            "eps" => {
+                let v: f64 = value
+                    .parse()
+                    .ok()
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .ok_or_else(|| bad(format!("eps override '{value}' must be positive")))?;
+                if self.epsilon.replace(v).is_some() {
+                    return Err(dup(key));
+                }
+            }
+            "ell" => {
+                let v: f64 = value
+                    .parse()
+                    .ok()
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .ok_or_else(|| bad(format!("ell override '{value}' must be positive")))?;
+                if self.ell.replace(v).is_some() {
+                    return Err(dup(key));
+                }
+            }
+            "seed" => {
+                let v: u64 = value
+                    .parse()
+                    .map_err(|_| bad(format!("seed override '{value}' must be a u64")))?;
+                if self.seed.replace(v).is_some() {
+                    return Err(dup(key));
+                }
+            }
+            "k" => {
+                let v: usize = value
+                    .parse()
+                    .ok()
+                    .filter(|&v| v >= 1)
+                    .ok_or_else(|| bad(format!("k override '{value}' must be at least 1")))?;
+                if self.k_max.replace(v).is_some() {
+                    return Err(dup(key));
+                }
+            }
+            "weights" => {
+                // Validate the spec grammar here, at parse time — a bad
+                // override must fail the attach, not the tenant's first
+                // query.
+                crate::weights::validate_spec(value)?;
+                if self.weights.replace(value.to_string()).is_some() {
+                    return Err(dup(key));
+                }
+            }
+            other => {
+                return Err(bad(format!(
+                    "unknown graph override '{other}' (known: model, eps, ell, seed, k, weights)"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a comma-separated override list (`model=lt,eps=0.2`).
+    pub fn parse(items: &str) -> Result<Self, GraphError> {
+        let mut overrides = GraphOverrides::default();
+        for item in items.split(',').filter(|i| !i.is_empty()) {
+            overrides.apply_item(item)?;
+        }
+        Ok(overrides)
+    }
+}
+
+/// Parses a full graph spec `name=path[::overrides]`, where `overrides`
+/// is a comma-separated `key=value` list ([`GraphOverrides::parse`]).
+/// The `::` separator keeps paths unrestricted (a path may contain `=`
+/// and `,`; a double colon in a path is not supported).
+///
+/// ```
+/// use tim_graph::catalog::parse_graph_spec_full;
+///
+/// let (name, path, o) = parse_graph_spec_full("ws=data/ws.timg::model=lt,eps=0.2").unwrap();
+/// assert_eq!(name, "ws");
+/// assert_eq!(path.to_str(), Some("data/ws.timg"));
+/// assert_eq!(o.model.as_deref(), Some("lt"));
+/// assert_eq!(o.epsilon, Some(0.2));
+/// assert!(parse_graph_spec_full("ws=g.txt::eps=-1").is_err());
+/// ```
+pub fn parse_graph_spec_full(spec: &str) -> Result<(String, PathBuf, GraphOverrides), GraphError> {
+    let (base, overrides) = match spec.split_once("::") {
+        Some((base, items)) => (base, GraphOverrides::parse(items)?),
+        None => (spec, GraphOverrides::default()),
+    };
+    let (name, path) = parse_graph_spec(base)?;
+    Ok((name, path, overrides))
 }
 
 /// Scans a directory for graph files and returns `(name, path)` pairs,
@@ -180,6 +321,49 @@ mod tests {
         for bad in ["nopath", "=path", "bad name=x", "g="] {
             assert!(parse_graph_spec(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn overrides_parse_validate_and_reject() {
+        let o = GraphOverrides::parse("model=lt,eps=0.2,ell=2,seed=9,k=20,weights=lt").unwrap();
+        assert_eq!(o.model.as_deref(), Some("lt"));
+        assert_eq!(o.epsilon, Some(0.2));
+        assert_eq!(o.ell, Some(2.0));
+        assert_eq!(o.seed, Some(9));
+        assert_eq!(o.k_max, Some(20));
+        assert_eq!(o.weights.as_deref(), Some("lt"));
+        assert!(!o.is_empty());
+        assert!(GraphOverrides::parse("").unwrap().is_empty());
+        for bad in [
+            "nope=1",
+            "eps=0",
+            "eps=-1",
+            "eps=NaN",
+            "ell=0",
+            "seed=x",
+            "k=0",
+            "model=",
+            "justakey",
+            "eps=0.1,eps=0.2",
+            "weights=bogus",
+            "weights=const:x",
+        ] {
+            assert!(GraphOverrides::parse(bad).is_err(), "{bad:?} accepted");
+        }
+        // The weights grammar accepts what apply_spec accepts.
+        assert!(GraphOverrides::parse("weights=const:0.05").is_ok());
+    }
+
+    #[test]
+    fn full_spec_parses_with_and_without_overrides() {
+        let (n, p, o) = parse_graph_spec_full("g=/tmp/a=b.txt").unwrap();
+        assert_eq!((n.as_str(), p.to_str().unwrap()), ("g", "/tmp/a=b.txt"));
+        assert!(o.is_empty());
+        let (n, p, o) = parse_graph_spec_full("g=/tmp/x.timg::eps=0.5,seed=3").unwrap();
+        assert_eq!((n.as_str(), p.to_str().unwrap()), ("g", "/tmp/x.timg"));
+        assert_eq!((o.epsilon, o.seed), (Some(0.5), Some(3)));
+        assert!(parse_graph_spec_full("g=::eps=0.5").is_err(), "empty path");
+        assert!(parse_graph_spec_full("g=/tmp/x::bogus=1").is_err());
     }
 
     #[test]

@@ -162,25 +162,54 @@ pub fn assign_lt_normalized(g: &mut Graph, seed: u64) {
 /// assert!(weights::apply_spec(&mut g, "bogus", 0).is_err());
 /// ```
 pub fn apply_spec(g: &mut Graph, spec: &str, seed: u64) -> Result<(), crate::GraphError> {
+    validate_spec(spec)?;
     match spec {
         "wc" => assign_weighted_cascade(g),
         "lt" => assign_lt_normalized(g, seed ^ 0x17),
         "tri" => assign_trivalency(g, seed ^ 0x3),
         "keep" => {} // probabilities from the source file
         other => {
-            if let Some(p) = other.strip_prefix("const:") {
-                let p: f32 = p.parse().map_err(|_| crate::GraphError::Catalog {
-                    message: format!("--weights const: bad probability '{p}'"),
-                })?;
-                assign_constant(g, p);
-            } else {
-                return Err(crate::GraphError::Catalog {
-                    message: format!("unknown --weights '{other}'"),
-                });
-            }
+            let p: f32 = other
+                .strip_prefix("const:")
+                .expect("spec shape just validated")
+                .parse()
+                .expect("probability just validated");
+            assign_constant(g, p);
         }
     }
     Ok(())
+}
+
+/// Checks a weight-model spec against the grammar without touching a
+/// graph — the validation half of [`apply_spec`], split out so catalogs
+/// can reject a bad per-graph `weights=` override at attach time instead
+/// of on the tenant's first query.
+///
+/// ```
+/// use tim_graph::weights::validate_spec;
+///
+/// assert!(validate_spec("wc").is_ok());
+/// assert!(validate_spec("const:0.05").is_ok());
+/// assert!(validate_spec("bogus").is_err());
+/// assert!(validate_spec("const:x").is_err());
+/// ```
+pub fn validate_spec(spec: &str) -> Result<(), crate::GraphError> {
+    match spec {
+        "wc" | "lt" | "tri" | "keep" => Ok(()),
+        other => {
+            if let Some(p) = other.strip_prefix("const:") {
+                p.parse::<f32>()
+                    .map(|_| ())
+                    .map_err(|_| crate::GraphError::Catalog {
+                        message: format!("--weights const: bad probability '{p}'"),
+                    })
+            } else {
+                Err(crate::GraphError::Catalog {
+                    message: format!("unknown --weights '{other}'"),
+                })
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! The multi-graph catalog: named graphs, lazy loading, per-graph pool
-//! caches, and LRU eviction of idle graphs.
+//! caches and stores, runtime attach/detach, and LRU eviction of idle
+//! graphs.
 //!
 //! A production deployment serves *several* social networks from one
 //! process (the paper evaluates across datasets from 16K to 1.4B edges);
@@ -7,36 +8,52 @@
 //! clients to know the topology of the fleet. [`GraphCatalog`] maps wire
 //! names (`use <graph>`, validated by
 //! [`tim_graph::catalog::validate_graph_name`]) to [`GraphState`]s — a
-//! graph, its label map, and its *own* [`PoolCache`] budget — loaded
-//! lazily from disk on first use.
+//! graph, its label map, its effective (per-graph) configuration, and its
+//! *own* [`PoolCache`] budget — loaded lazily from disk on first use.
+//!
+//! Since protocol `tim/3` the catalog is **mutable at runtime**:
+//! [`attach_path`](GraphCatalog::attach_path) registers a new tenant in a
+//! live process and [`detach`](GraphCatalog::detach) removes one with a
+//! graceful drain — the name disappears immediately (new `use` is
+//! rejected), while sessions already answering from the graph's
+//! [`GraphState`] keep their `Arc` and finish undisturbed. Each graph may
+//! carry [`GraphOverrides`] (model / ε / ℓ / seed / k / weights) that
+//! replace the corresponding global defaults, and with a pool directory
+//! configured each graph owns a persistent [`PoolStore`] under
+//! `<pool-dir>/<name>/` so its warm pools survive eviction and restarts.
 //!
 //! Locking follows the same discipline as [`PoolCache`]:
 //!
 //! - Each slot has its **own** mutex, held while loading that graph:
 //!   concurrent sessions asking for the same cold graph load it once,
 //!   and loads of *different* graphs never block each other.
-//! - The catalog-level LRU mutex is held only for bookkeeping (ticks,
-//!   victim choice) — never across a load or an eviction's slot lock.
+//! - The catalog-level maps (name → slot, LRU marks) are behind their own
+//!   short-lived locks — never held across a load, a spill, or an
+//!   eviction's slot lock.
 //! - Eviction drops the catalog's reference; sessions holding the
 //!   `Arc<GraphState>` keep answering against it until they finish, and
 //!   the graph reloads deterministically on return (answers are
 //!   provenance-determined, so eviction can never change a response).
+//!   With persistence on, eviction first spills dirty pools — evicting a
+//!   tenant no longer destroys its warm state.
 
 use crate::cache::{CacheStats, PoolCache, PoolKey};
 use crate::protocol::LabelMap;
 use crate::server::ServerConfig;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use tim_diffusion::DiffusionModel;
-use tim_engine::{QueryEngine, SharedEngine};
+use tim_engine::{PoolStore, QueryEngine, RrPool, SharedEngine};
+use tim_graph::catalog::GraphOverrides;
 use tim_graph::snapshot::graph_checksum;
 use tim_graph::{io, weights, Graph};
 
 /// Everything one served graph needs, shared immutably across sessions:
-/// the graph, its label map, the model, the defaults, and the graph's own
-/// pool cache. (One `GraphState` is exactly what a single-graph `tim/1`
-/// server used to hold as its whole state.)
+/// the graph, its label map, the model, the effective configuration, and
+/// the graph's own pool cache (optionally backed by a persistent
+/// [`PoolStore`]). (One `GraphState` is exactly what a single-graph
+/// `tim/1` server used to hold as its whole state.)
 #[derive(Debug)]
 pub struct GraphState<M> {
     name: String,
@@ -50,9 +67,13 @@ pub struct GraphState<M> {
 }
 
 impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
-    /// Builds the per-graph state. Pools are built lazily on first use;
-    /// call [`warm_default`](Self::warm_default) to pay the default
-    /// pool's sampling cost up front instead of on the first query.
+    /// Builds the per-graph state. `config` is the graph's *effective*
+    /// configuration (global defaults with any per-graph overrides
+    /// already applied); `store`, when given, makes the pool cache
+    /// read-through/write-through over that persistent store. Pools are
+    /// built lazily on first use; call [`warm_default`](Self::warm_default)
+    /// to pay the default pool's sampling cost up front instead of on the
+    /// first query.
     ///
     /// # Panics
     /// Panics if `labels` does not cover the graph's nodes, or a config
@@ -65,6 +86,7 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
         model: M,
         model_name: impl Into<String>,
         config: Arc<ServerConfig>,
+        store: Option<Arc<PoolStore>>,
     ) -> Self {
         let graph: Arc<Graph> = graph.into();
         let labels: Arc<LabelMap> = labels.into();
@@ -77,13 +99,17 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
         assert!(config.ell > 0.0, "ell must be positive");
         assert!(config.k_max >= 1, "k_max must be at least 1");
         let checksum = graph_checksum(&graph);
+        let cache = match store {
+            Some(store) => PoolCache::with_store(config.pool_cache, store, config.persist_pools),
+            None => PoolCache::new(config.pool_cache),
+        };
         GraphState {
             name: name.into(),
             graph,
             labels,
             model,
             model_name: model_name.into(),
-            cache: PoolCache::new(config.pool_cache),
+            cache,
             config,
             graph_checksum: checksum,
         }
@@ -104,7 +130,7 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
         &self.labels
     }
 
-    /// The serving defaults this graph answers under.
+    /// The effective serving configuration this graph answers under.
     pub fn config(&self) -> &ServerConfig {
         &self.config
     }
@@ -122,6 +148,11 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
     /// Number of pools currently cached for this graph.
     pub fn cached_pools(&self) -> usize {
         self.cache.len()
+    }
+
+    /// The persistent pool store behind this graph's cache, if any.
+    pub fn pool_store(&self) -> Option<&Arc<PoolStore>> {
+        self.cache.store()
     }
 
     /// The provenance key for a query at the given ε/ℓ (defaults applied).
@@ -152,15 +183,37 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
         SharedEngine::new(engine)
     }
 
+    /// Attaches a pool loaded from this graph's store to the graph —
+    /// the read-through path. A failure (the file matched its name but
+    /// not the served graph) is reported to the cache, which quarantines
+    /// the file and falls back to a build.
+    fn restore_engine(&self, pool: RrPool) -> Result<SharedEngine<M>, String> {
+        let mut engine = QueryEngine::from_pool(
+            Arc::clone(&self.graph),
+            self.model.clone(),
+            self.model_name.clone(),
+            pool,
+        )
+        .map_err(|e| e.to_string())?;
+        if self.config.sample_threads > 0 {
+            engine = engine.threads(self.config.sample_threads);
+        }
+        Ok(SharedEngine::new(engine))
+    }
+
     /// The engine for a query at the given ε/ℓ: a cache hit reuses the
-    /// warm pool, a cold miss builds (and warms) one without blocking
-    /// readers of other pools.
+    /// warm pool; a miss probes the graph's pool store (when configured)
+    /// and samples from scratch only on a true miss — all without
+    /// blocking readers of other pools.
     pub fn engine_for(&self, eps: Option<f64>, ell: Option<f64>) -> Arc<SharedEngine<M>> {
         let eps = eps.unwrap_or(self.config.epsilon);
         let ell = ell.unwrap_or(self.config.ell);
         let key = self.key_for(Some(eps), Some(ell));
-        self.cache
-            .get_or_build(&key, || self.build_engine(eps, ell))
+        self.cache.get_or_load(
+            &key,
+            |pool| self.restore_engine(pool),
+            || self.build_engine(eps, ell),
+        )
     }
 
     /// The engine serving default-configuration queries.
@@ -189,6 +242,14 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
         self.cache.insert(key, SharedEngine::new(engine))
     }
 
+    /// Spills every cached pool whose on-disk copy is absent or stale
+    /// into this graph's store (the `persist` admin verb, periodic
+    /// session sync, and the pre-eviction flush). Returns how many pools
+    /// were written; 0 without a store.
+    pub fn sync_pools(&self) -> usize {
+        self.cache.spill_dirty()
+    }
+
     /// One deterministic `stats` answer line: static facts only (name,
     /// sizes, checksum, defaults) — never counters or pool sizes, so the
     /// reply is byte-identical under any interleaving.
@@ -206,13 +267,38 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
             self.config.k_max,
         )
     }
+
+    /// One `stats pools` answer line: this graph's pool-cache counters
+    /// (hit/miss/build/load/spill/evict) plus the store's quarantine
+    /// count. Deliberately **not** deterministic across interleavings —
+    /// it reports live effectiveness, which is the point: the warm-path
+    /// claim (`builds=0` after a warm restart) is observable, not
+    /// inferred.
+    pub fn pools_line(&self) -> String {
+        let s = self.cache.stats();
+        let quarantined = self
+            .pool_store()
+            .map_or(0, |store| store.stats().quarantined);
+        format!(
+            "pools: graph={} cached={} hits={} misses={} builds={} loads={} spills={} evictions={} quarantined={}",
+            self.name,
+            self.cache.len(),
+            s.hits,
+            s.misses,
+            s.builds,
+            s.loads,
+            s.spills,
+            s.evictions,
+            quarantined,
+        )
+    }
 }
 
 /// Where a catalog slot's graph comes from.
 #[derive(Debug)]
 enum GraphSource {
     /// Load lazily from disk (text edge list or `.timg`, sniffed by
-    /// content), applying the config's weight spec. Evictable.
+    /// content), applying the effective config's weight spec. Evictable.
     Path(PathBuf),
     /// Registered in memory (single-graph servers, tests). Pinned: never
     /// evicted, because there is no path to reload it from.
@@ -221,8 +307,10 @@ enum GraphSource {
 
 #[derive(Debug)]
 struct Slot<M> {
+    id: u64,
     name: String,
     source: GraphSource,
+    overrides: GraphOverrides,
     loaded: Mutex<Option<Arc<GraphState<M>>>>,
 }
 
@@ -233,33 +321,56 @@ pub struct CatalogStats {
     pub loads: u64,
     /// Loaded graphs dropped to respect `max_loaded`.
     pub evictions: u64,
+    /// Graphs attached after construction (runtime `attach`).
+    pub attaches: u64,
+    /// Graphs detached at runtime.
+    pub detaches: u64,
 }
 
-#[derive(Debug, Default)]
-struct LruInner {
+/// LRU bookkeeping for one loaded slot. The weak reference keeps the
+/// mark from pinning a detached slot alive; dead marks are pruned
+/// opportunistically.
+#[derive(Debug)]
+struct LoadedMark<M> {
     tick: u64,
-    /// Slot index → last-used tick, for every currently loaded slot.
-    last_used: HashMap<usize, u64>,
+    slot: Weak<Slot<M>>,
+    evictable: bool,
+}
+
+#[derive(Debug)]
+struct LruInner<M> {
+    tick: u64,
+    /// Slot id → mark, for every currently loaded slot.
+    loaded: HashMap<u64, LoadedMark<M>>,
     stats: CatalogStats,
 }
 
-/// A named-graph catalog with lazy loading and LRU eviction; see the
-/// module docs for the locking contract.
+#[derive(Debug)]
+struct CatalogInner<M> {
+    slots: HashMap<String, Arc<Slot<M>>>,
+    next_id: u64,
+}
+
+/// A named-graph catalog with lazy loading, runtime attach/detach, and
+/// LRU eviction; see the module docs for the locking contract.
 #[derive(Debug)]
 pub struct GraphCatalog<M> {
-    model: M,
+    /// Registered diffusion models by tag; per-graph `model=` overrides
+    /// resolve here. The default tag is `model_name`.
+    models: HashMap<String, M>,
     model_name: String,
     config: Arc<ServerConfig>,
-    slots: Vec<Slot<M>>,
-    by_name: HashMap<String, usize>,
-    lru: Mutex<LruInner>,
+    inner: RwLock<CatalogInner<M>>,
+    lru: Mutex<LruInner<M>>,
 }
 
 const POISONED: &str = "catalog lru mutex poisoned";
+const MAP_POISONED: &str = "catalog map lock poisoned";
 const SLOT_POISONED: &str = "catalog slot mutex poisoned";
 
 impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
-    /// Creates an empty catalog serving under `config`'s defaults.
+    /// Creates an empty catalog serving under `config`'s defaults, with
+    /// `model` registered under the tag `model_name`.
     ///
     /// # Panics
     /// Panics if a config parameter is out of range (non-positive ε/ℓ,
@@ -270,39 +381,123 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
         assert!(config.k_max >= 1, "k_max must be at least 1");
         assert!(config.pool_cache >= 1, "pool_cache must be at least 1");
         assert!(config.max_loaded >= 1, "max_loaded must be at least 1");
+        let model_name = model_name.into();
+        let mut models = HashMap::new();
+        models.insert(model_name.clone(), model);
         GraphCatalog {
-            model,
-            model_name: model_name.into(),
+            models,
+            model_name,
             config: Arc::new(config),
-            slots: Vec::new(),
-            by_name: HashMap::new(),
-            lru: Mutex::new(LruInner::default()),
+            inner: RwLock::new(CatalogInner {
+                slots: HashMap::new(),
+                next_id: 0,
+            }),
+            lru: Mutex::new(LruInner {
+                tick: 0,
+                loaded: HashMap::new(),
+                stats: CatalogStats::default(),
+            }),
         }
     }
 
-    fn add_slot(&mut self, name: String, source: GraphSource) -> Result<(), String> {
+    /// Registers an additional diffusion model under `tag`, making
+    /// `model=<tag>` a valid per-graph override. The CLI registers both
+    /// `ic` and `lt` so one catalog can serve graphs under either model.
+    pub fn register_model(&mut self, tag: impl Into<String>, model: M) {
+        self.models.insert(tag.into(), model);
+    }
+
+    /// The registered model tags, sorted.
+    pub fn model_tags(&self) -> Vec<&str> {
+        let mut tags: Vec<&str> = self.models.keys().map(String::as_str).collect();
+        tags.sort_unstable();
+        tags
+    }
+
+    fn add_slot(
+        &self,
+        name: String,
+        source: GraphSource,
+        overrides: GraphOverrides,
+        runtime: bool,
+    ) -> Result<(), String> {
         tim_graph::catalog::validate_graph_name(&name).map_err(|e| e.to_string())?;
-        if self.by_name.contains_key(&name) {
+        if let Some(tag) = &overrides.model {
+            if !self.models.contains_key(tag) {
+                return Err(format!(
+                    "graph '{name}': unknown model '{tag}' (registered: {})",
+                    self.model_tags().join(", ")
+                ));
+            }
+        }
+        let mut inner = self.inner.write().expect(MAP_POISONED);
+        if inner.slots.contains_key(&name) {
             return Err(format!("duplicate graph name '{name}'"));
         }
-        self.by_name.insert(name.clone(), self.slots.len());
-        self.slots.push(Slot {
-            name,
-            source,
-            loaded: Mutex::new(None),
-        });
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.slots.insert(
+            name.clone(),
+            Arc::new(Slot {
+                id,
+                name,
+                source,
+                overrides,
+                loaded: Mutex::new(None),
+            }),
+        );
+        drop(inner);
+        if runtime {
+            self.lru.lock().expect(POISONED).stats.attaches += 1;
+        }
         Ok(())
     }
 
     /// Registers a graph to be loaded lazily from `path` on first use
     /// (text edge list or `.timg` snapshot, sniffed by content; the
-    /// config's weight spec is applied after loading).
+    /// effective config's weight spec is applied after loading).
     pub fn add_path(
-        &mut self,
+        &self,
         name: impl Into<String>,
         path: impl Into<PathBuf>,
     ) -> Result<(), String> {
-        self.add_slot(name.into(), GraphSource::Path(path.into()))
+        self.add_slot(
+            name.into(),
+            GraphSource::Path(path.into()),
+            GraphOverrides::default(),
+            false,
+        )
+    }
+
+    /// Registers a path-backed graph with per-graph overrides
+    /// (model / ε / ℓ / seed / k / weights replacing the global
+    /// defaults). Override model tags must be registered
+    /// ([`register_model`](Self::register_model)).
+    pub fn add_path_with(
+        &self,
+        name: impl Into<String>,
+        path: impl Into<PathBuf>,
+        overrides: GraphOverrides,
+    ) -> Result<(), String> {
+        self.add_slot(
+            name.into(),
+            GraphSource::Path(path.into()),
+            overrides,
+            false,
+        )
+    }
+
+    /// Attaches a path-backed graph to a **live** catalog (the `attach`
+    /// admin verb): identical to [`add_path_with`](Self::add_path_with),
+    /// counted separately in [`stats`](Self::stats). The graph loads
+    /// lazily on its first query, so attach itself is O(1).
+    pub fn attach_path(
+        &self,
+        name: impl Into<String>,
+        path: impl Into<PathBuf>,
+        overrides: GraphOverrides,
+    ) -> Result<(), String> {
+        self.add_slot(name.into(), GraphSource::Path(path.into()), overrides, true)
     }
 
     /// Registers an already-loaded graph under `name`. Resident graphs
@@ -312,7 +507,7 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
     /// fail fast at startup, not panic inside a worker thread on the
     /// first query (which would poison the slot for every later session).
     pub fn add_resident(
-        &mut self,
+        &self,
         name: impl Into<String>,
         graph: impl Into<Arc<Graph>>,
         labels: impl Into<Arc<LabelMap>>,
@@ -327,39 +522,87 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
                 graph.n()
             ));
         }
-        self.add_slot(name, GraphSource::Resident(graph, labels))
+        self.add_slot(
+            name,
+            GraphSource::Resident(graph, labels),
+            GraphOverrides::default(),
+            false,
+        )
     }
 
-    /// The serving defaults every graph answers under.
+    /// Detaches `name` from the catalog with a graceful drain: the name
+    /// disappears immediately (new `use` and fresh loads are rejected),
+    /// while sessions already holding the graph's [`GraphState`] keep
+    /// answering against it until they finish — answers are
+    /// provenance-determined, so the drain can never change a response.
+    /// With persistence on, dirty pools are spilled to the graph's store
+    /// first, so a detach destroys no warm state.
+    pub fn detach(&self, name: &str) -> Result<(), String> {
+        let slot = {
+            let mut inner = self.inner.write().expect(MAP_POISONED);
+            inner
+                .slots
+                .remove(name)
+                .ok_or_else(|| format!("unknown graph '{name}'"))?
+        };
+        // The name is gone; now drop the catalog's loaded reference (the
+        // drain: session-held Arcs keep the state alive) and its LRU mark.
+        let state = slot.loaded.lock().expect(SLOT_POISONED).take();
+        {
+            let mut lru = self.lru.lock().expect(POISONED);
+            lru.loaded.remove(&slot.id);
+            lru.stats.detaches += 1;
+        }
+        if let Some(state) = state {
+            if self.config.persist_pools {
+                state.sync_pools();
+            }
+        }
+        Ok(())
+    }
+
+    /// The serving defaults every graph answers under (before per-graph
+    /// overrides).
     pub fn config(&self) -> &ServerConfig {
         &self.config
     }
 
     /// Number of named graphs (loaded or not).
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.inner.read().expect(MAP_POISONED).slots.len()
     }
 
     /// True when no graphs are registered.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len() == 0
     }
 
     /// True when `name` is in the catalog (loaded or not). Never loads.
     pub fn contains(&self, name: &str) -> bool {
-        self.by_name.contains_key(name)
+        self.inner
+            .read()
+            .expect(MAP_POISONED)
+            .slots
+            .contains_key(name)
     }
 
     /// All graph names, sorted — the deterministic `graphs` answer.
-    pub fn names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.slots.iter().map(|s| s.name.as_str()).collect();
+    pub fn names(&self) -> Vec<String> {
+        let inner = self.inner.read().expect(MAP_POISONED);
+        let mut names: Vec<String> = inner.slots.keys().cloned().collect();
         names.sort_unstable();
         names
     }
 
     /// Number of graphs currently loaded.
     pub fn loaded_count(&self) -> usize {
-        self.lru.lock().expect(POISONED).last_used.len()
+        self.lru
+            .lock()
+            .expect(POISONED)
+            .loaded
+            .values()
+            .filter(|m| m.slot.strong_count() > 0)
+            .count()
     }
 
     /// Current effectiveness counters.
@@ -367,39 +610,97 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
         self.lru.lock().expect(POISONED).stats
     }
 
+    /// Every currently loaded graph state, in name order — the `persist`
+    /// admin verb's working set. Never loads anything, and never *waits*
+    /// on one either: slots are `try_lock`ed, so a slot busy with a cold
+    /// multi-second load is skipped (it has no pools to spill yet)
+    /// instead of stalling the caller for the load's duration.
+    pub fn loaded_states(&self) -> Vec<Arc<GraphState<M>>> {
+        let slots: Vec<Arc<Slot<M>>> = {
+            let inner = self.inner.read().expect(MAP_POISONED);
+            let mut slots: Vec<_> = inner.slots.values().cloned().collect();
+            slots.sort_by(|a, b| a.name.cmp(&b.name));
+            slots
+        };
+        slots
+            .iter()
+            .filter_map(|slot| slot.loaded.try_lock().ok().and_then(|guard| guard.clone()))
+            .collect()
+    }
+
     /// The state for `name`, loading the graph if needed. Loading holds
     /// only this graph's slot lock, so cold loads of different graphs
     /// proceed in parallel and a popular loaded graph is never blocked.
     pub fn get(&self, name: &str) -> Result<Arc<GraphState<M>>, String> {
-        let &idx = self
-            .by_name
+        let slot = self
+            .inner
+            .read()
+            .expect(MAP_POISONED)
+            .slots
             .get(name)
+            .cloned()
             .ok_or_else(|| format!("unknown graph '{name}'"))?;
-        let slot = &self.slots[idx];
         let state = {
             let mut guard = slot.loaded.lock().expect(SLOT_POISONED);
             match &*guard {
                 Some(state) => Arc::clone(state),
                 None => {
-                    let state = Arc::new(self.load_slot(slot)?);
+                    let state = Arc::new(self.load_slot(&slot)?);
                     *guard = Some(Arc::clone(&state));
                     self.lru.lock().expect(POISONED).stats.loads += 1;
                     state
                 }
             }
         };
-        self.touch_and_evict(idx);
+        self.touch_and_evict(&slot);
         Ok(state)
     }
 
+    /// The effective configuration for a slot: the global defaults with
+    /// the slot's overrides applied.
+    fn effective_config(&self, overrides: &GraphOverrides) -> Arc<ServerConfig> {
+        if overrides.is_empty() {
+            return Arc::clone(&self.config);
+        }
+        let mut config = (*self.config).clone();
+        if let Some(eps) = overrides.epsilon {
+            config.epsilon = eps;
+        }
+        if let Some(ell) = overrides.ell {
+            config.ell = ell;
+        }
+        if let Some(seed) = overrides.seed {
+            config.seed = seed;
+        }
+        if let Some(k) = overrides.k_max {
+            config.k_max = k;
+        }
+        if let Some(w) = &overrides.weights {
+            config.weights = w.clone();
+        }
+        Arc::new(config)
+    }
+
     fn load_slot(&self, slot: &Slot<M>) -> Result<GraphState<M>, String> {
+        let config = self.effective_config(&slot.overrides);
+        let tag = slot
+            .overrides
+            .model
+            .as_deref()
+            .unwrap_or(&self.model_name)
+            .to_string();
+        let model = self
+            .models
+            .get(&tag)
+            .cloned()
+            .ok_or_else(|| format!("graph '{}': unknown model '{tag}'", slot.name))?;
         let (graph, labels) = match &slot.source {
             GraphSource::Resident(graph, labels) => (Arc::clone(graph), Arc::clone(labels)),
             GraphSource::Path(path) => {
-                let mut loaded = io::load_graph(path, self.config.undirected).map_err(|e| {
+                let mut loaded = io::load_graph(path, config.undirected).map_err(|e| {
                     format!("graph '{}': loading {}: {e}", slot.name, path.display())
                 })?;
-                weights::apply_spec(&mut loaded.graph, &self.config.weights, self.config.seed)
+                weights::apply_spec(&mut loaded.graph, &config.weights, config.seed)
                     .map_err(|e| format!("graph '{}': {e}", slot.name))?;
                 (
                     Arc::new(loaded.graph),
@@ -407,13 +708,21 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
                 )
             }
         };
+        let store = match &config.pool_dir {
+            Some(dir) => Some(Arc::new(
+                PoolStore::open(dir.join(&slot.name))
+                    .map_err(|e| format!("graph '{}': opening pool store: {e}", slot.name))?,
+            )),
+            None => None,
+        };
         Ok(GraphState::new(
             slot.name.clone(),
             graph,
             labels,
-            self.model.clone(),
-            self.model_name.clone(),
-            Arc::clone(&self.config),
+            model,
+            tag,
+            config,
+            store,
         ))
     }
 
@@ -422,17 +731,24 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
     /// call this periodically so a busy graph never becomes the LRU
     /// eviction victim just because its connections are long-lived.
     pub fn touch(&self, name: &str) {
-        if let Some(&idx) = self.by_name.get(name) {
+        let slot = self
+            .inner
+            .read()
+            .expect(MAP_POISONED)
+            .slots
+            .get(name)
+            .cloned();
+        if let Some(slot) = slot {
             let mut lru = self.lru.lock().expect(POISONED);
-            if lru.last_used.contains_key(&idx) {
-                lru.tick += 1;
-                let tick = lru.tick;
-                lru.last_used.insert(idx, tick);
+            lru.tick += 1;
+            let tick = lru.tick;
+            if let Some(mark) = lru.loaded.get_mut(&slot.id) {
+                mark.tick = tick;
             }
         }
     }
 
-    /// Bumps `idx`'s LRU tick and evicts the least-recently-used
+    /// Bumps `slot`'s LRU tick and evicts the least-recently-used
     /// path-backed graph while more than `max_loaded` of them are
     /// resident. Only path-backed graphs count toward the budget —
     /// pinned ([`add_resident`](Self::add_resident)) graphs can neither
@@ -440,38 +756,56 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
     /// slots are `try_lock`ed — a slot busy loading is simply skipped
     /// this round (the next `get` retries), so eviction can never
     /// deadlock with a concurrent load.
-    fn touch_and_evict(&self, idx: usize) {
-        let victims: Vec<usize> = {
+    fn touch_and_evict(&self, slot: &Arc<Slot<M>>) {
+        let victims: Vec<Arc<Slot<M>>> = {
             let mut lru = self.lru.lock().expect(POISONED);
             lru.tick += 1;
             let tick = lru.tick;
-            lru.last_used.insert(idx, tick);
-            let loaded_paths = lru
-                .last_used
-                .keys()
-                .filter(|&&i| matches!(self.slots[i].source, GraphSource::Path(_)))
-                .count();
+            let evictable = matches!(slot.source, GraphSource::Path(_));
+            lru.loaded.insert(
+                slot.id,
+                LoadedMark {
+                    tick,
+                    slot: Arc::downgrade(slot),
+                    evictable,
+                },
+            );
+            // Prune marks for detached slots whose last holder is gone.
+            lru.loaded.retain(|_, m| m.slot.strong_count() > 0);
+            let loaded_paths = lru.loaded.values().filter(|m| m.evictable).count();
             let excess = loaded_paths.saturating_sub(self.config.max_loaded);
             if excess == 0 {
                 return;
             }
-            let mut evictable: Vec<(u64, usize)> = lru
-                .last_used
+            let mut candidates: Vec<(u64, u64)> = lru
+                .loaded
                 .iter()
-                .filter(|&(&i, _)| i != idx && matches!(self.slots[i].source, GraphSource::Path(_)))
-                .map(|(&i, &t)| (t, i))
+                .filter(|&(&id, m)| id != slot.id && m.evictable)
+                .map(|(&id, m)| (m.tick, id))
                 .collect();
-            evictable.sort_unstable();
-            evictable.truncate(excess);
-            evictable.into_iter().map(|(_, i)| i).collect()
+            candidates.sort_unstable();
+            candidates.truncate(excess);
+            candidates
+                .into_iter()
+                .filter_map(|(_, id)| lru.loaded.get(&id).and_then(|m| m.slot.upgrade()))
+                .collect()
         };
         for victim in victims {
             // try_lock: never wait on a loading slot.
-            if let Ok(mut guard) = self.slots[victim].loaded.try_lock() {
-                if guard.take().is_some() {
-                    let mut lru = self.lru.lock().expect(POISONED);
-                    lru.last_used.remove(&victim);
-                    lru.stats.evictions += 1;
+            if let Ok(mut guard) = victim.loaded.try_lock() {
+                if let Some(state) = guard.take() {
+                    drop(guard);
+                    {
+                        let mut lru = self.lru.lock().expect(POISONED);
+                        lru.loaded.remove(&victim.id);
+                        lru.stats.evictions += 1;
+                    }
+                    // Eviction must not destroy warm state: flush dirty
+                    // pools to the graph's store before the last catalog
+                    // reference drops (outside every catalog lock).
+                    if self.config.persist_pools {
+                        state.sync_pools();
+                    }
                 }
             }
         }
@@ -515,7 +849,7 @@ mod tests {
     #[test]
     fn get_loads_once_and_reports_unknown_names() {
         let dir = tmpdir("load");
-        let mut c = catalog(4);
+        let c = catalog(4);
         c.add_path("a", write_graph(&dir, "a", 1)).unwrap();
         assert!(c.contains("a"));
         assert_eq!(c.loaded_count(), 0, "registration does not load");
@@ -529,7 +863,7 @@ mod tests {
 
     #[test]
     fn duplicate_and_invalid_names_are_rejected() {
-        let mut c = catalog(4);
+        let c = catalog(4);
         c.add_path("a", "/tmp/x.txt").unwrap();
         assert!(c
             .add_path("a", "/tmp/y.txt")
@@ -543,7 +877,7 @@ mod tests {
     fn mismatched_resident_label_map_fails_at_registration() {
         // The mismatch must surface at startup, not as a worker-thread
         // panic (and a poisoned slot) on the first query.
-        let mut c = catalog(4);
+        let c = catalog(4);
         let g = gen::barabasi_albert(60, 3, 0.0, 1);
         let err = c
             .add_resident("bad", g, LabelMap::identity(10))
@@ -555,7 +889,7 @@ mod tests {
     #[test]
     fn resident_graphs_neither_evict_nor_consume_the_budget() {
         let dir = tmpdir("pin");
-        let mut c = catalog(1);
+        let c = catalog(1);
         let g = gen::barabasi_albert(60, 3, 0.0, 9);
         let n = g.n();
         c.add_resident("pinned", g, LabelMap::identity(n)).unwrap();
@@ -586,7 +920,7 @@ mod tests {
     #[test]
     fn touch_protects_a_graph_from_eviction() {
         let dir = tmpdir("touch");
-        let mut c = catalog(2);
+        let c = catalog(2);
         for (name, seed) in [("hot", 1u64), ("a", 2), ("b", 3)] {
             c.add_path(name, write_graph(&dir, name, seed)).unwrap();
         }
@@ -602,6 +936,78 @@ mod tests {
         assert_eq!(c.stats().loads, loads_before + 1, "a was the victim");
         // Touching an unloaded or unknown name is a harmless no-op.
         c.touch("nope");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attach_registers_live_and_detach_drains() {
+        let dir = tmpdir("attach");
+        let c = catalog(4);
+        c.add_path("a", write_graph(&dir, "a", 1)).unwrap();
+        let state_a = c.get("a").unwrap();
+
+        // Runtime attach: visible immediately, loaded lazily.
+        c.attach_path("b", write_graph(&dir, "b", 2), GraphOverrides::default())
+            .unwrap();
+        assert_eq!(c.names(), ["a", "b"]);
+        assert_eq!(c.stats().attaches, 1);
+        let state_b = c.get("b").unwrap();
+        assert!(state_b.stats_line().starts_with("stats: graph=b "));
+
+        // Detach removes the name at once; the held Arc keeps answering.
+        c.detach("b").unwrap();
+        assert!(!c.contains("b"));
+        assert_eq!(c.stats().detaches, 1);
+        assert!(c.get("b").unwrap_err().contains("unknown graph"));
+        assert!(state_b.default_engine().select(2).seeds.len() == 2);
+        // The name is reusable after the drain starts.
+        c.attach_path("b", write_graph(&dir, "b2", 3), GraphOverrides::default())
+            .unwrap();
+        assert!(c.contains("b"));
+        // Untouched graphs are unaffected throughout.
+        assert!(Arc::ptr_eq(&state_a, &c.get("a").unwrap()));
+        assert!(c.detach("nope").unwrap_err().contains("unknown graph"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn per_graph_overrides_change_the_effective_config() {
+        let dir = tmpdir("overrides");
+        let mut c = catalog(4);
+        c.register_model("ic2", IndependentCascade);
+        assert_eq!(c.model_tags(), ["ic", "ic2"]);
+        let overrides = tim_graph::catalog::GraphOverrides::parse("eps=0.5,seed=9,k=3").unwrap();
+        c.add_path_with("tuned", write_graph(&dir, "tuned", 1), overrides)
+            .unwrap();
+        c.add_path("plain", write_graph(&dir, "plain", 1)).unwrap();
+
+        let tuned = c.get("tuned").unwrap();
+        assert_eq!(tuned.config().epsilon, 0.5);
+        assert_eq!(tuned.config().seed, 9);
+        assert_eq!(tuned.config().k_max, 3);
+        assert!(tuned.stats_line().contains("eps=0.5 ell=1 seed=9 k_max=3"));
+        let plain = c.get("plain").unwrap();
+        assert_eq!(plain.config().epsilon, 1.0);
+        assert_eq!(plain.config().seed, 1);
+
+        // Same file, different seed → different pool provenance.
+        assert_ne!(
+            tuned.key_for(None, None),
+            plain.key_for(None, None),
+            "overrides are part of the provenance"
+        );
+
+        // A model override must name a registered tag.
+        let bad = tim_graph::catalog::GraphOverrides::parse("model=nope").unwrap();
+        let err = c
+            .add_path_with("x", write_graph(&dir, "x", 1), bad)
+            .unwrap_err();
+        assert!(err.contains("unknown model 'nope'"), "got: {err}");
+        // A registered override tag loads fine.
+        let ok = tim_graph::catalog::GraphOverrides::parse("model=ic2").unwrap();
+        c.add_path_with("y", write_graph(&dir, "y", 2), ok).unwrap();
+        let y = c.get("y").unwrap();
+        assert!(y.stats_line().contains("model=ic2"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,4 +1,4 @@
-//! The line-delimited influence-query protocol (`tim/2`) shared by
+//! The line-delimited influence-query protocol (`tim/3`) shared by
 //! `tim query` and `tim serve`.
 //!
 //! One request per line, one answer line per request; blank lines and `#`
@@ -7,7 +7,7 @@
 //! and versioning rules live in `docs/PROTOCOL.md`; this module is the
 //! single implementation both front ends use, so they cannot drift apart.
 //!
-//! The grammar has two strata:
+//! The grammar has three strata:
 //!
 //! - **Engine-scoped queries** ([`Query`], parsed by [`parse_query`],
 //!   executed by [`execute`]) — `select` / `eval` / `marginal` / `ping`,
@@ -20,6 +20,11 @@
 //!   `stats` / `batch`, which manipulate per-connection state (current
 //!   graph, pending batch) and are executed by
 //!   [`Session`](crate::session::Session), not by an engine.
+//! - **Admin requests** (new in `tim/3`) — `attach` / `detach` /
+//!   `persist` / `stats pools`, which mutate the server's graph catalog
+//!   or its persistent warm state. They always *parse*; whether they
+//!   *execute* is gated by the server's `--admin` switch (default off:
+//!   they answer `error: …`).
 //!
 //! Parsing is deliberately separate from execution: a concurrent server
 //! must inspect a query's ε/ℓ overrides to route it to the right pool
@@ -37,8 +42,8 @@ use tim_engine::{QueryEngine, QueryOutcome, SharedEngine};
 use tim_graph::NodeId;
 
 /// Protocol version implemented by this module (see `docs/PROTOCOL.md`).
-/// Reported by the `ping` reply as `pong tim/2`.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Reported by the `ping` reply as `pong tim/3`.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Largest accepted `batch <n>`: bounds the lines a session buffers.
 pub const MAX_BATCH: usize = 4096;
@@ -161,7 +166,7 @@ pub enum Query {
         /// Candidate label list (validated to a single id at execution).
         cand: Vec<u64>,
     },
-    /// `ping` — liveness/version probe; answers `pong tim/2`.
+    /// `ping` — liveness/version probe; answers `pong tim/3`.
     Ping,
 }
 
@@ -279,6 +284,31 @@ pub enum Request {
         /// Number of request lines in the batch (1 ..= [`MAX_BATCH`]).
         usize,
     ),
+    /// `stats pools` — the current graph's pool-cache counters
+    /// (hit/miss/build/load/spill/evict). Admin-gated; the only `stats`
+    /// form whose answer is *not* interleaving-deterministic.
+    StatsPools,
+    /// `attach <name>=<path>[::k=v,…] [k=v …]` — register a new graph in
+    /// the live catalog, with optional per-graph overrides. Admin-gated.
+    Attach {
+        /// The new graph's catalog name (shape-validated).
+        name: String,
+        /// Path the graph loads from (lazily, on first query).
+        path: String,
+        /// Per-graph overrides (model / ε / ℓ / seed / k / weights).
+        overrides: tim_graph::catalog::GraphOverrides,
+    },
+    /// `detach <name>` — remove a graph from the live catalog with a
+    /// graceful drain (in-flight sessions finish, new `use` rejected).
+    /// Admin-gated.
+    Detach(
+        /// The graph to detach (shape-validated, existence checked at
+        /// execution).
+        String,
+    ),
+    /// `persist` — spill every loaded graph's dirty pools into its pool
+    /// store now. Admin-gated; requires a configured `--pool-dir`.
+    Persist,
 }
 
 /// Result of parsing one input line at the session stratum.
@@ -317,10 +347,50 @@ pub fn parse_request(line: &str) -> ParsedRequest {
             Ok(Request::Graphs)
         })()),
         Some("stats") => Some((|| {
-            if tokens.next().is_some() {
-                return Err("stats: trailing tokens".into());
+            match tokens.next() {
+                None => {}
+                Some("pools") => {
+                    if tokens.next().is_some() {
+                        return Err("stats: trailing tokens".into());
+                    }
+                    return Ok(Request::StatsPools);
+                }
+                Some(_) => return Err("stats: trailing tokens".into()),
             }
             Ok(Request::Stats)
+        })()),
+        Some("attach") => Some((|| {
+            let spec = tokens.next().ok_or("attach: missing name=path spec")?;
+            let (name, path, mut overrides) = tim_graph::catalog::parse_graph_spec_full(spec)
+                .map_err(|e| format!("attach: {e}"))?;
+            for item in tokens {
+                overrides
+                    .apply_item(item)
+                    .map_err(|e| format!("attach: {e}"))?;
+            }
+            let path = path
+                .to_str()
+                .ok_or("attach: path is not valid UTF-8")?
+                .to_string();
+            Ok(Request::Attach {
+                name,
+                path,
+                overrides,
+            })
+        })()),
+        Some("detach") => Some((|| {
+            let name = tokens.next().ok_or("detach: missing graph name")?;
+            if tokens.next().is_some() {
+                return Err("detach: trailing tokens".into());
+            }
+            tim_graph::catalog::validate_graph_name(name).map_err(|e| format!("detach: {e}"))?;
+            Ok(Request::Detach(name.to_string()))
+        })()),
+        Some("persist") => Some((|| {
+            if tokens.next().is_some() {
+                return Err("persist: trailing tokens".into());
+            }
+            Ok(Request::Persist)
         })()),
         Some("batch") => Some((|| {
             let n: usize = tokens
@@ -674,7 +744,7 @@ mod tests {
 
         assert_eq!(
             handle_line(&mut e, &labels, "ping").unwrap().line,
-            "pong tim/2"
+            "pong tim/3"
         );
         assert!(handle_line(&mut e, &labels, "# skip").is_none());
         assert!(handle_line(&mut e, &labels, "eval 99999")
@@ -726,6 +796,35 @@ mod tests {
             parse_request("batch 3"),
             ParsedRequest::Request(Request::Batch(3))
         );
+        assert_eq!(
+            parse_request("stats pools"),
+            ParsedRequest::Request(Request::StatsPools)
+        );
+        assert_eq!(
+            parse_request("detach old"),
+            ParsedRequest::Request(Request::Detach("old".into()))
+        );
+        assert_eq!(
+            parse_request("persist"),
+            ParsedRequest::Request(Request::Persist)
+        );
+        // attach accepts overrides both inline (::k=v,…) and as tokens.
+        let want_overrides = tim_graph::catalog::GraphOverrides::parse("model=lt,eps=0.2").unwrap();
+        for line in [
+            "attach ws=data/ws.timg::model=lt,eps=0.2",
+            "attach ws=data/ws.timg model=lt eps=0.2",
+            "attach ws=data/ws.timg::model=lt eps=0.2",
+        ] {
+            assert_eq!(
+                parse_request(line),
+                ParsedRequest::Request(Request::Attach {
+                    name: "ws".into(),
+                    path: "data/ws.timg".into(),
+                    overrides: want_overrides.clone(),
+                }),
+                "{line}"
+            );
+        }
         // Every tim/1 line parses to the same Query through both entry
         // points — the compatibility guarantee.
         for line in ["select 5 fast", "eval 1,2", "marginal 1 2", "ping"] {
@@ -745,11 +844,22 @@ mod tests {
             ("use a/b", "invalid character"),
             ("graphs now", "trailing tokens"),
             ("stats now", "trailing tokens"),
+            ("stats pools now", "trailing tokens"),
             ("batch", "missing line count"),
             ("batch x", "bad line count"),
             ("batch 0", "must be positive"),
             ("batch 5000", "at most 4096"),
             ("batch 2 3", "trailing tokens"),
+            ("attach", "missing name=path spec"),
+            ("attach nopath", "name=path"),
+            ("attach bad name=x", "name=path"),
+            ("attach g=p.txt bogus=1", "unknown graph override"),
+            ("attach g=p.txt::eps=0", "must be positive"),
+            ("attach g=p.txt eps=0.1 eps=0.2", "given twice"),
+            ("detach", "missing graph name"),
+            ("detach a b", "trailing tokens"),
+            ("detach -flag", "must start with"),
+            ("persist now", "trailing tokens"),
             ("frobnicate", "unknown query"),
         ] {
             match parse_request(line) {
@@ -811,8 +921,8 @@ mod tests {
 
     #[test]
     fn ping_reply_reports_the_protocol_version() {
-        assert_eq!(ping_reply(), "pong tim/2");
-        assert_eq!(PROTOCOL_VERSION, 2);
+        assert_eq!(ping_reply(), "pong tim/3");
+        assert_eq!(PROTOCOL_VERSION, 3);
     }
 
     #[test]

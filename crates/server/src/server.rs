@@ -60,6 +60,19 @@ pub struct ServerConfig {
     /// least-recently-used one is evicted beyond this (default 8).
     /// Resident graphs are pinned and do not consume the budget.
     pub max_loaded: usize,
+    /// Root of the persistent warm state: each graph keeps its pools in
+    /// a [`tim_engine::PoolStore`] under `<pool_dir>/<graph-name>/`.
+    /// `None` (the default) keeps all warm state in memory.
+    pub pool_dir: Option<std::path::PathBuf>,
+    /// Automatic write-back into the pool stores: spill pools on build,
+    /// on eviction when grown, and on periodic session sync. Without it
+    /// a configured `pool_dir` is read-through only (plus the explicit
+    /// `persist` admin verb). Default false.
+    pub persist_pools: bool,
+    /// Enable the `tim/3` admin stratum (`attach` / `detach` / `persist`
+    /// / `stats pools`). Default false: admin verbs parse but answer
+    /// `error: …`.
+    pub admin: bool,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +89,9 @@ impl Default for ServerConfig {
             weights: "wc".to_string(),
             undirected: false,
             max_loaded: 8,
+            pool_dir: None,
+            persist_pools: false,
+            admin: false,
         }
     }
 }
@@ -111,7 +127,7 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> ServerState<M> {
         config: ServerConfig,
     ) -> Self {
         assert!(config.threads >= 1, "threads must be at least 1");
-        let mut catalog = GraphCatalog::new(model, model_name, config);
+        let catalog = GraphCatalog::new(model, model_name, config);
         // add_resident only fails on a graph/label-map mismatch here (the
         // name is fixed and the catalog empty); that must panic now, at
         // construction, never later inside a worker thread.
@@ -461,7 +477,7 @@ mod tests {
     #[test]
     fn handle_answers_ping_without_building_a_pool() {
         let s = state(1);
-        assert_eq!(s.handle("ping").unwrap(), "pong tim/2");
+        assert_eq!(s.handle("ping").unwrap(), "pong tim/3");
         assert_eq!(s.cached_pools(), 0);
         assert_eq!(s.handle("# comment"), None);
         assert_eq!(s.handle(""), None);
@@ -520,7 +536,7 @@ mod tests {
         conn.shutdown(std::net::Shutdown::Write).unwrap();
         let mut buf = String::new();
         BufReader::new(&mut conn).read_line(&mut buf).unwrap();
-        assert_eq!(buf.trim_end(), "pong tim/2");
+        assert_eq!(buf.trim_end(), "pong tim/3");
         handle.stop();
     }
 }

@@ -1,12 +1,21 @@
-//! Per-connection protocol sessions: the `tim/2` state machine.
+//! Per-connection protocol sessions: the `tim/3` state machine.
 //!
 //! `tim/1` was stateless per line; `tim/2` gives every connection a
 //! [`Session`] holding the *current graph* (switched with `use`), a
 //! cached handle to that graph's default engine (so steady-state queries
 //! skip the pool-cache mutex entirely), and an optional pending `batch`.
-//! One `Session` drives one `tim serve` TCP connection and one
-//! `tim query` stdin session — the same code path, which is what keeps
-//! the two front ends byte-identical by construction.
+//! `tim/3` adds the **admin stratum** (`attach` / `detach` / `persist` /
+//! `stats pools`), executed here too but gated by the server's `--admin`
+//! switch — without it every admin verb answers `error: …`. One
+//! `Session` drives one `tim serve` TCP connection and one `tim query`
+//! stdin session — the same code path, which is what keeps the two front
+//! ends byte-identical by construction.
+//!
+//! Sessions also participate in warm-state persistence: when automatic
+//! write-back is on (`--persist-pools`), the periodic catalog re-touch
+//! doubles as a pool sync (grown pools flow back to the graph's
+//! [`PoolStore`](tim_engine::PoolStore)), and session end flushes the
+//! current graph once more.
 //!
 //! # Batching
 //!
@@ -131,12 +140,20 @@ impl<'s, M: DiffusionModel + Send + Sync + Clone + 'static> Session<'s, M> {
 
     /// Ends the session: a batch still pending at EOF executes with the
     /// lines received so far (so a truncated batch answers exactly like
-    /// the same lines sent unbatched). Returns the final answer lines.
+    /// the same lines sent unbatched). With automatic write-back on, the
+    /// current graph's grown pools are flushed to its store. Returns the
+    /// final answer lines.
     pub fn finish(&mut self) -> Vec<String> {
-        match self.batch.take() {
+        let answers = match self.batch.take() {
             Some(batch) => self.run_batch(&batch.lines),
             None => Vec::new(),
+        };
+        if self.state.config().persist_pools {
+            if let Some(graph) = &self.current {
+                graph.sync_pools();
+            }
         }
+        answers
     }
 
     /// Answers one non-batch request.
@@ -152,11 +169,13 @@ impl<'s, M: DiffusionModel + Send + Sync + Clone + 'static> Session<'s, M> {
             },
             Request::Use(name) => {
                 if self.state.catalog().contains(name) {
-                    if *name != self.current_name {
-                        self.current_name = name.clone();
-                        self.current = None;
-                        self.default_engine = None;
-                    }
+                    // Always drop the cached handles — even for the
+                    // current name. `use` is the re-resolution point: a
+                    // graph detached and re-attached under the same name
+                    // must be picked up here, not answered forever from
+                    // the drained old state.
+                    self.release_current();
+                    self.current_name = name.clone();
                     format!("using {name}")
                 } else {
                     format!("error: use: unknown graph '{name}'")
@@ -168,6 +187,86 @@ impl<'s, M: DiffusionModel + Send + Sync + Clone + 'static> Session<'s, M> {
                 Err(e) => format!("error: {e}"),
             },
             Request::Batch(_) => "error: batch: batches cannot nest".to_string(),
+            Request::StatsPools => match self.admin("stats pools") {
+                Err(e) => e,
+                Ok(()) => match self.graph_state() {
+                    Ok(graph) => graph.pools_line(),
+                    Err(e) => format!("error: {e}"),
+                },
+            },
+            Request::Attach {
+                name,
+                path,
+                overrides,
+            } => {
+                match self.admin("attach") {
+                    Err(e) => e,
+                    Ok(()) => match self.state.catalog().attach_path(
+                        name.clone(),
+                        path,
+                        overrides.clone(),
+                    ) {
+                        Ok(()) => format!("attached {name}"),
+                        Err(e) => format!("error: attach: {e}"),
+                    },
+                }
+            }
+            Request::Detach(name) => match self.admin("detach") {
+                Err(e) => e,
+                Ok(()) => {
+                    if name == self.state.default_graph() {
+                        format!("error: detach: cannot detach the default graph '{name}'")
+                    } else {
+                        match self.state.catalog().detach(name) {
+                            Ok(()) => format!("detached {name}"),
+                            Err(e) => format!("error: detach: {e}"),
+                        }
+                    }
+                }
+            },
+            Request::Persist => match self.admin("persist") {
+                Err(e) => e,
+                Ok(()) => {
+                    if self.state.config().pool_dir.is_none() {
+                        "error: persist: no --pool-dir configured".to_string()
+                    } else {
+                        let written: usize = self
+                            .state
+                            .catalog()
+                            .loaded_states()
+                            .iter()
+                            .map(|s| s.sync_pools())
+                            .sum();
+                        format!("persisted {written} pool(s)")
+                    }
+                }
+            },
+        }
+    }
+
+    /// Drops the session's cached graph handles, flushing the outgoing
+    /// graph's grown pools first (when write-back is on) — a session
+    /// switching away must not strand dirty warm state behind a handle
+    /// nobody syncs anymore.
+    fn release_current(&mut self) {
+        if let Some(graph) = self.current.take() {
+            if self.state.config().persist_pools {
+                graph.sync_pools();
+            }
+        }
+        self.default_engine = None;
+        self.since_touch = 0;
+    }
+
+    /// Gatekeeper for the `tim/3` admin stratum: `Err` carries the
+    /// ready-made error line when the server runs without `--admin`.
+    fn admin(&self, verb: &str) -> Result<(), String> {
+        if self.state.config().admin {
+            Ok(())
+        } else {
+            Err(format!(
+                "error: {verb}: admin commands disabled (start with --admin)"
+            ))
         }
     }
 
@@ -181,6 +280,12 @@ impl<'s, M: DiffusionModel + Send + Sync + Clone + 'static> Session<'s, M> {
             if self.since_touch >= TOUCH_EVERY {
                 self.since_touch = 0;
                 self.state.catalog().touch(&self.current_name);
+                // The same cadence doubles as the growth hook's flush:
+                // pools that resampled since their last spill flow back
+                // to the store without waiting for session end.
+                if self.state.config().persist_pools {
+                    graph.sync_pools();
+                }
             }
             return Ok(Arc::clone(graph));
         }
@@ -371,7 +476,7 @@ mod tests {
             sample_threads: 1,
             ..ServerConfig::default()
         };
-        let mut catalog = GraphCatalog::new(IndependentCascade, "ic", config);
+        let catalog = GraphCatalog::new(IndependentCascade, "ic", config);
         for (name, seed) in [("alpha", 1u64), ("beta", 2u64)] {
             let mut g = gen::barabasi_albert(120, 3, 0.0, seed);
             weights::assign_weighted_cascade(&mut g);
@@ -395,7 +500,7 @@ mod tests {
         let mut s = state.session();
         assert_eq!(s.current_graph(), "alpha");
         assert_eq!(one(&mut s, "graphs"), "graphs: alpha beta");
-        assert_eq!(one(&mut s, "ping"), "pong tim/2");
+        assert_eq!(one(&mut s, "ping"), "pong tim/3");
         assert!(one(&mut s, "stats").starts_with("stats: graph=alpha n=120 m="));
         assert_eq!(one(&mut s, "use beta"), "using beta");
         assert_eq!(s.current_graph(), "beta");
@@ -468,12 +573,12 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                "pong tim/2".to_string(),
+                "pong tim/3".to_string(),
                 "error: batch: batches cannot nest".to_string()
             ]
         );
         // The session survives and keeps answering.
-        assert_eq!(one(&mut s, "ping"), "pong tim/2");
+        assert_eq!(one(&mut s, "ping"), "pong tim/3");
     }
 
     #[test]
@@ -492,6 +597,96 @@ mod tests {
         assert!(s.closed(), "buffer-bomb batches end the session");
         assert!(s.push_line("ping").is_empty(), "closed sessions are mute");
         assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn admin_verbs_are_gated_and_mutate_the_catalog() {
+        let dir = std::env::temp_dir().join(format!("tim_session_admin_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("extra.txt");
+        let g = gen::barabasi_albert(80, 3, 0.0, 5);
+        tim_graph::io::save_edge_list(&g, &path).unwrap();
+        let spec = format!("extra={}", path.display());
+
+        // Default state: every admin verb answers a gating error.
+        let state = two_graph_state();
+        let mut s = state.session();
+        for verb in [
+            format!("attach {spec}"),
+            "detach beta".to_string(),
+            "persist".to_string(),
+            "stats pools".to_string(),
+        ] {
+            let got = one(&mut s, &verb);
+            assert!(got.contains("admin commands disabled"), "{verb}: got {got}");
+        }
+
+        // Admin-enabled state: attach/detach work, defaults are protected.
+        let config = ServerConfig {
+            epsilon: 1.0,
+            seed: 3,
+            k_max: 4,
+            sample_threads: 1,
+            admin: true,
+            ..ServerConfig::default()
+        };
+        let catalog = GraphCatalog::new(IndependentCascade, "ic", config);
+        let mut g0 = gen::barabasi_albert(120, 3, 0.0, 1);
+        weights::assign_weighted_cascade(&mut g0);
+        let n = g0.n();
+        catalog
+            .add_resident("alpha", g0, LabelMap::identity(n))
+            .unwrap();
+        let state = ServerState::from_catalog(catalog, "alpha").unwrap();
+        let mut s = state.session();
+        assert_eq!(
+            one(&mut s, &format!("attach {spec}::eps=1.0")),
+            "attached extra"
+        );
+        assert_eq!(one(&mut s, "graphs"), "graphs: alpha extra");
+        assert_eq!(one(&mut s, "use extra"), "using extra");
+        assert!(one(&mut s, "select 2").starts_with("seeds: "));
+        let pools = one(&mut s, "stats pools");
+        assert!(
+            pools.starts_with("pools: graph=extra cached=1 "),
+            "got {pools}"
+        );
+        assert!(pools.contains("builds=1"), "got {pools}");
+        // persist without a pool dir is an explicit error.
+        assert_eq!(
+            one(&mut s, "persist"),
+            "error: persist: no --pool-dir configured"
+        );
+        assert_eq!(
+            one(&mut s, "detach alpha"),
+            "error: detach: cannot detach the default graph 'alpha'"
+        );
+        assert_eq!(one(&mut s, "detach extra"), "detached extra");
+        // The drained session keeps answering from its held state…
+        assert!(one(&mut s, "select 2").starts_with("seeds: "));
+        // …while fresh sessions can no longer reach the name.
+        let mut s2 = state.session();
+        assert_eq!(
+            one(&mut s2, "use extra"),
+            "error: use: unknown graph 'extra'"
+        );
+
+        // Re-attach a *different* graph under the same name: `use` is the
+        // re-resolution point, so even the session still sitting on the
+        // drained old graph must pick up the replacement.
+        let path2 = dir.join("extra2.txt");
+        let g2 = gen::barabasi_albert(60, 3, 0.0, 6);
+        tim_graph::io::save_edge_list(&g2, &path2).unwrap();
+        assert_eq!(
+            one(&mut s, &format!("attach extra={}", path2.display())),
+            "attached extra"
+        );
+        assert_eq!(one(&mut s, "use extra"), "using extra");
+        assert!(
+            one(&mut s, "stats").starts_with("stats: graph=extra n=60 "),
+            "same-name use must re-resolve to the re-attached graph"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

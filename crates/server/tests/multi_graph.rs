@@ -1,4 +1,4 @@
-//! The multi-graph serving contract (`tim/2`):
+//! The multi-graph serving contract (`tim/2`, unchanged under `tim/3`):
 //!
 //! - one server instance serves several named graphs: concurrent clients
 //!   pinned to different graphs — plus one switching graphs mid-session
@@ -55,7 +55,7 @@ fn start_server(
 ) -> (Arc<ServerState<IndependentCascade>>, ServerHandle) {
     let mut cfg = config();
     cfg.max_loaded = max_loaded;
-    let mut catalog = GraphCatalog::new(IndependentCascade, "ic", cfg);
+    let catalog = GraphCatalog::new(IndependentCascade, "ic", cfg);
     let mut g0 = raw_graph(0);
     weights::assign_weighted_cascade(&mut g0);
     let n0 = g0.n();
@@ -250,7 +250,10 @@ fn every_tim1_request_line_works_verbatim() {
     .collect();
     let got = run_client(addr, &lines);
     assert_eq!(got.len(), 8, "one answer per request, none for comments");
-    assert_eq!(got[0], "pong tim/2", "ping now reports tim/2");
+    assert_eq!(
+        got[0], "pong tim/3",
+        "ping reports the current protocol version"
+    );
     for (i, prefix) in [
         (1, "seeds: "),
         (2, "seeds: "),

@@ -48,7 +48,7 @@ fn one_answer_line_per_request_line_matches_handle() {
     let want: Vec<String> = input.lines().filter_map(|l| state.handle(l)).collect();
     assert_eq!(got, want);
     assert_eq!(got.len(), 5, "comments and blanks produce no answer");
-    assert_eq!(got[0], "pong tim/2");
+    assert_eq!(got[0], "pong tim/3");
     assert!(got[4].starts_with("error: unknown query"));
     handle.stop();
 }
@@ -114,7 +114,7 @@ fn line_of_exactly_the_limit_is_served() {
     stream.write_all(b"\nping\n").unwrap();
     stream.shutdown(std::net::Shutdown::Write).unwrap();
     let lines: Vec<String> = BufReader::new(stream).lines().map(|l| l.unwrap()).collect();
-    assert_eq!(lines, vec!["pong tim/2".to_string()]);
+    assert_eq!(lines, vec!["pong tim/3".to_string()]);
     handle.stop();
 }
 

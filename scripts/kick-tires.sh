@@ -135,6 +135,62 @@ trap - EXIT
 diff out/kick-tires/mg_expected.txt out/kick-tires/mg_answers.txt \
     && echo "two-graph use/batch session byte-identical to single-graph replays: OK"
 
+echo "== warm-state tenancy: two-phase restart drill =="
+POOLDIR=out/kick-tires/pools
+rm -rf "$POOLDIR"
+# Phase 1 (cold): serve with write-back, replay the session, check the
+# counters admit the cold build, then kill the process.
+"$TIM" serve "$SNAP" --addr 127.0.0.1:0 --pool-dir "$POOLDIR" --persist-pools --admin \
+    -k 10 --eps 0.3 --seed 7 \
+    > out/kick-tires/warm1.addr 2> out/kick-tires/warm1.log &
+W1=$!
+trap 'kill $W1 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' out/kick-tires/warm1.addr 2>/dev/null && break
+    sleep 0.1
+done
+ADDR1=$(sed -n 's/^listening on //p' out/kick-tires/warm1.addr)
+echo "cold server at $ADDR1 (pid $W1), pools in $POOLDIR"
+"$TIM" client --addr "$ADDR1" --timeout 60 < "$SESSION" > out/kick-tires/restart_cold.txt
+printf 'select 10\nstats pools\n' | "$TIM" client --addr "$ADDR1" --timeout 60 \
+    | tee out/kick-tires/restart_cold_pools.txt | grep -q 'builds=1 loads=0' \
+    && echo "cold phase sampled its pool (builds=1): OK"
+kill $W1 2>/dev/null || true
+wait $W1 2>/dev/null || true
+trap - EXIT
+test -n "$(find "$POOLDIR" -name '*.timp' 2>/dev/null)" \
+    && echo "pool spilled to the store before the kill: OK"
+# Phase 2 (warm): restart against the same store, read-through only. The
+# transcript must be byte-for-byte identical with zero pool builds.
+"$TIM" serve "$SNAP" --addr 127.0.0.1:0 --pool-dir "$POOLDIR" --admin \
+    -k 10 --eps 0.3 --seed 7 \
+    > out/kick-tires/warm2.addr 2> out/kick-tires/warm2.log &
+W2=$!
+trap 'kill $W2 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' out/kick-tires/warm2.addr 2>/dev/null && break
+    sleep 0.1
+done
+ADDR2=$(sed -n 's/^listening on //p' out/kick-tires/warm2.addr)
+echo "warm server at $ADDR2 (pid $W2)"
+"$TIM" client --addr "$ADDR2" --timeout 60 < "$SESSION" > out/kick-tires/restart_warm.txt
+diff out/kick-tires/restart_cold.txt out/kick-tires/restart_warm.txt \
+    && echo "restart transcripts byte-identical: OK"
+printf 'select 10\nstats pools\n' | "$TIM" client --addr "$ADDR2" --timeout 60 \
+    | tee out/kick-tires/restart_warm_pools.txt | grep -q 'builds=0 loads=1' \
+    && echo "warm phase loaded from the store, zero rebuilds: OK"
+# Runtime tenancy: attach the ws graph live, query it, detach it again —
+# every answer must be a non-error (tim client asserts that itself).
+printf 'attach ws-live=%s\nuse ws-live\nselect 4\nstats\ndetach ws-live\nselect 2\npersist\n' "$GRAPH2" \
+    | "$TIM" client --addr "$ADDR2" --timeout 60 \
+    | tee out/kick-tires/attach_detach.txt
+grep -q '^attached ws-live$' out/kick-tires/attach_detach.txt
+grep -q '^detached ws-live$' out/kick-tires/attach_detach.txt \
+    && echo "runtime attach/detach with drain: OK"
+kill $W2 2>/dev/null || true
+wait $W2 2>/dev/null || true
+trap - EXIT
+
 echo "== experiment driver (quick): Figure 4 phase breakdown =="
 cargo run --release -p tim_bench --bin experiments -- fig4 --quick --scale 0.2 \
     | tee out/kick-tires/fig4_quick.txt
