@@ -1,0 +1,86 @@
+//! Validates a `c10k_fanin` report (`BENCH_6.json`) against the
+//! `tim-bench-fanin/1` schema.
+//!
+//! ```text
+//! cargo run -p tim_bench --bin bench_schema_check -- <report.json>
+//! ```
+//!
+//! CI runs this on the quick-mode artifact so a refactor that silently
+//! breaks the report shape (or a run whose transcripts diverged) fails
+//! the build instead of producing an unreadable trajectory point.
+
+use tim_bench::json::{parse, Value};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_schema_check: {msg}");
+    std::process::exit(1);
+}
+
+fn require_f64(mode: &Value, key: &str, what: &str) -> f64 {
+    mode.get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| fail(&format!("{what}: missing numeric '{key}'")))
+}
+
+fn check_mode(mode: &Value, name: &str) {
+    let what = format!("mode '{name}'");
+    for key in ["threads", "sessions", "max_in_flight"] {
+        let v = require_f64(mode, key, &what);
+        if v < 1.0 || v.fract() != 0.0 {
+            fail(&format!(
+                "{what}: '{key}' must be a positive integer, got {v}"
+            ));
+        }
+    }
+    for key in ["wall_ms", "sessions_per_sec"] {
+        if require_f64(mode, key, &what) <= 0.0 {
+            fail(&format!("{what}: '{key}' must be positive"));
+        }
+    }
+    let p50 = require_f64(mode, "p50_ms", &what);
+    let p99 = require_f64(mode, "p99_ms", &what);
+    if p50 < 0.0 || p99 < p50 {
+        fail(&format!(
+            "{what}: need 0 <= p50_ms <= p99_ms, got {p50}/{p99}"
+        ));
+    }
+    if mode.get("transcripts_ok").and_then(Value::as_bool) != Some(true) {
+        fail(&format!(
+            "{what}: transcripts_ok must be true — the run diverged"
+        ));
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: bench_schema_check <report.json>"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = parse(&text).unwrap_or_else(|e| fail(&format!("{path}: not valid JSON: {e}")));
+
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| fail("missing 'schema' string"));
+    if !schema.starts_with("tim-bench-fanin/") {
+        fail(&format!("unknown schema '{schema}'"));
+    }
+    let modes = doc
+        .get("modes")
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| fail("missing 'modes' array"));
+    if modes.is_empty() {
+        fail("'modes' is empty");
+    }
+    for want in ["event_loop", "thread_pool"] {
+        let Some(mode) = modes
+            .iter()
+            .find(|m| m.get("mode").and_then(Value::as_str) == Some(want))
+        else {
+            fail(&format!("missing required mode '{want}'"));
+        };
+        check_mode(mode, want);
+    }
+    println!("{path}: ok ({schema}, {} modes)", modes.len());
+}

@@ -4,6 +4,8 @@
 //! Every figure/table of the paper maps to one harness subcommand; see
 //! DESIGN.md §5 for the index and EXPERIMENTS.md for recorded runs.
 
+pub mod json;
+
 use tim_diffusion::{IndependentCascade, LinearThreshold};
 use tim_eval::Dataset;
 use tim_graph::{weights, Graph};

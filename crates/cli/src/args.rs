@@ -13,7 +13,13 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["undirected", "quiet", "admin", "persist-pools"];
+const SWITCHES: &[&str] = &[
+    "undirected",
+    "quiet",
+    "admin",
+    "persist-pools",
+    "event-loop",
+];
 
 impl Args {
     /// Parses argv (without the subcommand name).

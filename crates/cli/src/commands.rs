@@ -49,14 +49,19 @@ usage:
                [--default-graph <name>] [--max-loaded 8]
                [--pool-dir <dir>] [--persist-pools] [--admin]
                [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
+               [--event-loop] [--idle-timeout <secs>] [--max-conns <n>]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
                [--seed 0] [--pool <path.timp>] [--undirected] [--quiet]
                (serves the tim/3 query protocol over TCP; prints
-                `listening on <addr>` on stdout when bound — see docs/PROTOCOL.md)
+                `listening on <addr>` on stdout when bound — see docs/PROTOCOL.md;
+                --event-loop serves via epoll reactor shards instead of
+                thread-per-connection workers: concurrency bounded by fds,
+                with --idle-timeout reaping and --max-conns admission)
   tim client   --addr <host:port> [--timeout <secs>]
                (pipes line-delimited queries from stdin to a running server,
                 answers to stdout; exits nonzero if any response is `error: …`;
-                --timeout bounds connect and reads instead of hanging forever)
+                --timeout bounds connect, reads, and writes instead of
+                hanging forever)
 
   <graph> is a SNAP-style text edge list or a binary .timg snapshot
   (auto-detected by content, not extension). `query` and `serve` host a
@@ -391,6 +396,30 @@ fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
         pool_dir: args.get("pool-dir").map(std::path::PathBuf::from),
         persist_pools: args.switch("persist-pools"),
         admin: args.switch("admin"),
+        event_loop: args.switch("event-loop"),
+        idle_timeout: match args.get("idle-timeout") {
+            None => None,
+            Some(v) => {
+                // try_from_secs_f64 also rejects NaN and out-of-range
+                // values that from_secs_f64 would panic on.
+                let dur = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| *s > 0.0)
+                    .and_then(|s| std::time::Duration::try_from_secs_f64(s).ok())
+                    .ok_or_else(|| format!("--idle-timeout '{v}' must be a positive number"))?;
+                Some(dur)
+            }
+        },
+        max_conns: match args.get("max-conns") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("--max-conns '{v}' must be a positive integer"))?,
+            ),
+        },
     };
     if config.threads == 0 {
         return Err("--threads must be positive".into());
@@ -403,6 +432,12 @@ fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
     }
     if config.persist_pools && config.pool_dir.is_none() {
         return Err("--persist-pools requires --pool-dir <dir>".into());
+    }
+    if config.idle_timeout.is_some() && !config.event_loop {
+        return Err("--idle-timeout requires --event-loop".into());
+    }
+    if config.max_conns.is_some() && !config.event_loop {
+        return Err("--max-conns requires --event-loop".into());
     }
     Ok(config)
 }
@@ -702,13 +737,31 @@ fn serve_with(model: ModelKind, model_name: &str, args: &Args) -> Result<(), Str
             config.seed
         );
         eprintln!(
-            "serving {} graph(s) with {} workers, pool cache capacity {} per graph, \
+            "serving {} graph(s) with {} {}, pool cache capacity {} per graph, \
              up to {} graphs loaded",
             state.catalog().len(),
             config.threads,
+            if config.event_loop {
+                "event-loop shards"
+            } else {
+                "workers"
+            },
             config.pool_cache,
             config.max_loaded
         );
+        if config.event_loop {
+            eprintln!(
+                "event loop: idle timeout {}, connection cap {}",
+                match config.idle_timeout {
+                    Some(t) => format!("{:.1}s", t.as_secs_f64()),
+                    None => "off".to_string(),
+                },
+                match config.max_conns {
+                    Some(n) => n.to_string(),
+                    None => "off".to_string(),
+                }
+            );
+        }
         if let Some(dir) = &config.pool_dir {
             eprintln!(
                 "warm state in {} ({}); admin verbs {}",
@@ -830,12 +883,24 @@ fn client(args: &Args) -> Result<(), String> {
         stream
             .set_read_timeout(timeout)
             .map_err(|e| format!("setting read timeout: {e}"))?;
+        // And every write: a server that stops *reading* (wedged worker,
+        // suspended process) eventually fills the socket buffer, and an
+        // unbounded write blocks there forever. Set before the session
+        // clones the stream — timeouts live on the shared file
+        // description, so the uploader inherits them.
+        stream
+            .set_write_timeout(timeout)
+            .map_err(|e| format!("setting write timeout: {e}"))?;
     }
     let mut stdout = std::io::stdout();
     let errors =
         client_session(stream, std::io::stdin(), &mut stdout).map_err(|e| match timeout {
             Some(t) if e.contains("reading answers") => format!(
                 "{e} (no response within {:.1}s — server hung or gone?)",
+                t.as_secs_f64()
+            ),
+            Some(t) if e.contains("sending queries") => format!(
+                "{e} (write blocked for {:.1}s — server not reading?)",
                 t.as_secs_f64()
             ),
             _ => e,
@@ -1382,6 +1447,74 @@ mod tests {
         // A dead port errors out promptly with the timeout set (the
         // refused connect is immediate on loopback either way).
         assert!(dispatch(&argv("client --addr 127.0.0.1:1 --timeout 0.5")).is_err());
+    }
+
+    #[test]
+    fn client_write_timeout_bounds_blocked_writes() {
+        // Regression: a server that accepts but never *reads* eventually
+        // fills the socket buffer; without a write timeout the uploader
+        // blocks forever in write(2) and the session can never end (the
+        // scoped uploader thread pins it even after the read times out).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let holder = std::thread::spawn(move || {
+            // Accept, then hold the connection open without reading
+            // until the test finishes.
+            let conn = listener.accept().map(|(c, _)| c);
+            let _ = done_rx.recv_timeout(std::time::Duration::from_secs(60));
+            drop(conn);
+        });
+        let timeout = Some(std::time::Duration::from_millis(300));
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(timeout).unwrap();
+        stream.set_write_timeout(timeout).unwrap();
+        // Far more input than loopback buffering can absorb.
+        let input = std::io::repeat(b'#').take(64 << 20);
+        let started = std::time::Instant::now();
+        let mut out = Vec::new();
+        let err = client_session(stream, input, &mut out).unwrap_err();
+        assert!(
+            err.contains("sending queries") || err.contains("reading answers"),
+            "timed out on the stalled session: {err}"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "session ended promptly instead of hanging"
+        );
+        done_tx.send(()).ok();
+        holder.join().unwrap();
+    }
+
+    #[test]
+    fn serve_event_loop_flags_are_validated() {
+        let parse = |s: &str| server_config(&Args::parse(&argv(s)).unwrap(), true);
+        let config = parse("g.txt --event-loop --idle-timeout 2.5 --max-conns 100").unwrap();
+        assert!(config.event_loop);
+        assert_eq!(
+            config.idle_timeout,
+            Some(std::time::Duration::from_millis(2500))
+        );
+        assert_eq!(config.max_conns, Some(100));
+        let plain = parse("g.txt").unwrap();
+        assert!(!plain.event_loop && plain.idle_timeout.is_none() && plain.max_conns.is_none());
+        // The knobs are event-loop semantics: silently ignoring them on
+        // the blocking server would be worse than refusing.
+        assert!(parse("g.txt --idle-timeout 2")
+            .unwrap_err()
+            .contains("requires --event-loop"));
+        assert!(parse("g.txt --max-conns 10")
+            .unwrap_err()
+            .contains("requires --event-loop"));
+        assert!(parse("g.txt --event-loop --idle-timeout 0")
+            .unwrap_err()
+            .contains("--idle-timeout"));
+        assert!(parse("g.txt --event-loop --idle-timeout nah")
+            .unwrap_err()
+            .contains("--idle-timeout"));
+        assert!(parse("g.txt --event-loop --max-conns 0")
+            .unwrap_err()
+            .contains("--max-conns"));
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! A nonblocking fan-in client driver: runs thousands of concurrent
+//! protocol sessions against one server from a single thread.
+//!
+//! This is the measurement half of the event-loop work — the
+//! `c10k_fanin` bench and the event-loop integration tests both need to
+//! hold thousands of sessions open *simultaneously*, which a
+//! thread-per-client driver cannot do honestly on a small machine. The
+//! driver speaks the client side of the scripted-session pattern `tim
+//! client` uses: connect, send the whole script, half-close, read the
+//! answer stream to EOF. Each session's transcript comes back verbatim
+//! so callers can diff it against a serial replay (the determinism
+//! contract: answers must not depend on interleaving).
+//!
+//! `max_in_flight` bounds how many sessions are open at once — set it to
+//! the session count for a true everything-at-once fan-in, or lower to
+//! keep a thread-pool server's shallow accept backlog from drowning in
+//! SYN retries (which would measure kernel retransmit timers, not the
+//! server).
+
+use crate::reactor::{connect_nonblocking, Events, Interest, Poller};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+/// What one driven session looked like from the client side.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// Every byte the server sent, in order.
+    pub transcript: Vec<u8>,
+    /// Connect initiation to server EOF.
+    pub latency: Duration,
+}
+
+/// The result of a full fan-in run: one outcome per script, in script
+/// order.
+#[derive(Debug)]
+pub struct FaninReport {
+    /// Per-session outcomes, index-aligned with the input scripts.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Wall-clock time for the whole run (first connect to last EOF).
+    pub wall: Duration,
+}
+
+enum Client {
+    Unstarted,
+    InFlight {
+        stream: TcpStream,
+        connected: bool,
+        sent: usize,
+        shut: bool,
+        transcript: Vec<u8>,
+        started: Instant,
+    },
+    Done(SessionOutcome),
+}
+
+/// Drives one scripted session per entry of `scripts` against `addr`,
+/// keeping at most `max_in_flight` open at once, and returns every
+/// transcript. Fails if the whole run exceeds `deadline` or any
+/// connection errors (this is a measurement tool: partial success would
+/// silently skew results, so it is an error instead).
+pub fn drive_sessions(
+    addr: SocketAddr,
+    scripts: &[Vec<u8>],
+    max_in_flight: usize,
+    deadline: Duration,
+) -> io::Result<FaninReport> {
+    assert!(max_in_flight >= 1, "need at least one session in flight");
+    let poller = Poller::new()?;
+    let mut events = Events::with_capacity(1024);
+    let mut clients: Vec<Client> = (0..scripts.len()).map(|_| Client::Unstarted).collect();
+    let start = Instant::now();
+    let mut next_start = 0usize;
+    let mut open = 0usize;
+    let mut done = 0usize;
+
+    // Starts sessions until the in-flight cap (or the script list) is
+    // exhausted.
+    let start_more = |clients: &mut Vec<Client>,
+                      poller: &Poller,
+                      next_start: &mut usize,
+                      open: &mut usize|
+     -> io::Result<()> {
+        while *open < max_in_flight && *next_start < clients.len() {
+            let idx = *next_start;
+            *next_start += 1;
+            let stream = connect_nonblocking(addr)?;
+            // Writable signals connect completion; readable covers a
+            // server that answers before the whole script is out.
+            poller.add(stream.as_raw_fd(), idx as u64, Interest::BOTH)?;
+            clients[idx] = Client::InFlight {
+                stream,
+                connected: false,
+                sent: 0,
+                shut: false,
+                transcript: Vec::new(),
+                started: Instant::now(),
+            };
+            *open += 1;
+        }
+        Ok(())
+    };
+
+    start_more(&mut clients, &poller, &mut next_start, &mut open)?;
+
+    let mut buf = [0u8; 16 * 1024];
+    while done < clients.len() {
+        if start.elapsed() > deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "fan-in run exceeded {deadline:?}: {done}/{} sessions finished",
+                    clients.len()
+                ),
+            ));
+        }
+        poller.wait(&mut events, Some(Duration::from_millis(100)))?;
+        for ev in events.iter() {
+            let idx = ev.token as usize;
+            let Some(Client::InFlight {
+                stream,
+                connected,
+                sent,
+                shut,
+                transcript,
+                started,
+            }) = clients.get_mut(idx)
+            else {
+                continue;
+            };
+            let script = &scripts[idx];
+            if !*connected && (ev.writable || ev.closed) {
+                if let Some(e) = stream.take_error()? {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("session {idx}: connect failed: {e}"),
+                    ));
+                }
+                *connected = true;
+            }
+            if *connected && !*shut {
+                // Push script bytes until the socket pushes back.
+                loop {
+                    if *sent == script.len() {
+                        stream.shutdown(Shutdown::Write)?;
+                        *shut = true;
+                        // Upload finished: only EOF matters now. Without
+                        // this the always-writable socket would spin the
+                        // loop hot.
+                        poller.modify(stream.as_raw_fd(), idx as u64, Interest::READ)?;
+                        break;
+                    }
+                    match (&*stream).write(&script[*sent..]) {
+                        Ok(0) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::WriteZero,
+                                format!("session {idx}: server stopped reading"),
+                            ))
+                        }
+                        Ok(n) => *sent += n,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) => {
+                            return Err(io::Error::new(
+                                e.kind(),
+                                format!("session {idx}: sending script: {e}"),
+                            ))
+                        }
+                    }
+                }
+            }
+            let mut finished = None;
+            if ev.readable || ev.closed {
+                loop {
+                    match (&*stream).read(&mut buf) {
+                        Ok(0) => {
+                            let _ = poller.delete(stream.as_raw_fd());
+                            finished = Some(SessionOutcome {
+                                transcript: std::mem::take(transcript),
+                                latency: started.elapsed(),
+                            });
+                            break;
+                        }
+                        Ok(n) => transcript.extend_from_slice(&buf[..n]),
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) => {
+                            return Err(io::Error::new(
+                                e.kind(),
+                                format!("session {idx}: reading answers: {e}"),
+                            ))
+                        }
+                    }
+                }
+            }
+            if let Some(outcome) = finished {
+                clients[idx] = Client::Done(outcome);
+                open -= 1;
+                done += 1;
+            }
+        }
+        start_more(&mut clients, &poller, &mut next_start, &mut open)?;
+    }
+
+    let wall = start.elapsed();
+    let outcomes = clients
+        .into_iter()
+        .map(|c| match c {
+            Client::Done(outcome) => outcome,
+            _ => unreachable!("all sessions finished"),
+        })
+        .collect();
+    Ok(FaninReport { outcomes, wall })
+}

@@ -37,6 +37,23 @@
 //!   [`server::ServerState`] (catalog + defaults) shared via `Arc` across
 //!   worker threads that each accept and serve connections.
 //!
+//! Plus the event-loop serving core (Linux-only, like epoll):
+//!
+//! - [`reactor`] — the raw epoll substrate: a level-triggered
+//!   [`reactor::Poller`] over direct libc bindings (no crates.io here,
+//!   so no mio/tokio), a [`reactor::TimerWheel`] for idle deadlines, and
+//!   a nonblocking TCP connect for the fan-in driver.
+//! - [`event_loop`] — reactor shards driving many [`session::Session`]s
+//!   per thread (`ServerConfig::event_loop`): resumable line reads,
+//!   buffered writes with backpressure, pipelining, `--idle-timeout`
+//!   reaping, `--max-conns` admission, graceful drain. Same state
+//!   machine as the blocking server, so answer bytes are identical by
+//!   construction.
+//! - [`fanin`] — the client-side mirror: one thread driving thousands of
+//!   concurrent scripted sessions, used by the `c10k_fanin` bench and
+//!   the event-loop integration tests to diff fan-in transcripts against
+//!   serial replays.
+//!
 //! # Determinism under concurrency
 //!
 //! Exact-replay `select` answers are pure functions of the pool's
@@ -54,16 +71,26 @@
 
 pub mod cache;
 pub mod catalog;
+#[cfg(target_os = "linux")]
+pub mod event_loop;
+#[cfg(target_os = "linux")]
+pub mod fanin;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod session;
 
 pub use cache::{CacheStats, PoolCache, PoolKey};
 pub use catalog::{CatalogStats, GraphCatalog, GraphState};
+#[cfg(target_os = "linux")]
+pub use event_loop::{AT_CAPACITY_REPLY, IDLE_TIMEOUT_REPLY};
+#[cfg(target_os = "linux")]
+pub use fanin::{drive_sessions, FaninReport, SessionOutcome};
 pub use protocol::{
     execute, parse_query, parse_request, CappedLine, CappedLineReader, LabelMap, ParsedLine,
-    ParsedRequest, Query, QueryBackend, Reply, Request, MAX_BATCH, MAX_BATCH_BYTES, MAX_LINE_BYTES,
-    OVERSIZED_BATCH_REPLY, OVERSIZED_LINE_REPLY, PROTOCOL_VERSION,
+    ParsedRequest, PollLine, Query, QueryBackend, Reply, Request, MAX_BATCH, MAX_BATCH_BYTES,
+    MAX_LINE_BYTES, OVERSIZED_BATCH_REPLY, OVERSIZED_LINE_REPLY, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle, ServerState, DEFAULT_GRAPH_NAME};
 pub use session::Session;

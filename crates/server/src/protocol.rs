@@ -441,64 +441,213 @@ pub enum CappedLine {
     Oversized,
 }
 
+/// Outcome of one [`CappedLineReader::poll_line`] call — [`CappedLine`]
+/// plus the readiness case a nonblocking transport needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollLine {
+    /// The input is exhausted.
+    Eof,
+    /// A line within the cap was read into the buffer.
+    Line,
+    /// The line exceeds [`MAX_LINE_BYTES`]; the buffer holds a truncated
+    /// prefix and the rest of the line is still unread. Answer
+    /// [`OVERSIZED_LINE_REPLY`] and end the session.
+    Oversized,
+    /// The underlying stream has no more bytes *right now*
+    /// (`WouldBlock`). Any partial line read so far is retained
+    /// internally; call again when the stream is readable and the line
+    /// resumes where it stopped.
+    Pending,
+}
+
+/// Outcome of one [`CappedLineReader::poll_discard`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscardOutcome {
+    /// The input is exhausted; the connection can close gracefully.
+    Eof,
+    /// The stream has no more bytes right now (`WouldBlock`); call again
+    /// when readable.
+    Pending,
+    /// The discard budget ran out before EOF — stop being polite and
+    /// close anyway.
+    BudgetExhausted,
+}
+
 /// A buffered line reader enforcing the [`MAX_LINE_BYTES`] request-line
 /// cap — the one framing implementation shared by `tim serve` TCP
-/// connections and the `tim query` stdin path, so the two transports
-/// cannot drift (`docs/PROTOCOL.md` §Framing).
+/// connections (blocking *and* event-loop) and the `tim query` stdin
+/// path, so the transports cannot drift (`docs/PROTOCOL.md` §Framing).
+///
+/// Two entry points over the same state machine:
+///
+/// - [`read_line`](Self::read_line) — the blocking form: returns only
+///   complete results.
+/// - [`poll_line`](Self::poll_line) — the readiness-driven form: a read
+///   that would block returns [`PollLine::Pending`] and the partial line
+///   read so far is kept internally, so the event loop can resume the
+///   very same line when epoll reports the socket readable again. The
+///   line cap is enforced *across* resumptions: a client cannot evade it
+///   by trickling an unbounded line one chunk at a time.
 #[derive(Debug)]
 pub struct CappedLineReader<R> {
-    inner: std::io::Take<BufReader<R>>,
+    inner: BufReader<R>,
+    /// Bytes of the in-progress line accumulated across `poll_line`
+    /// calls (never holds a terminator).
+    partial: Vec<u8>,
 }
 
 impl<R: Read> CappedLineReader<R> {
     /// Wraps a raw byte stream.
     pub fn new(inner: R) -> Self {
-        // Limit covers content + newline, so content of exactly
-        // MAX_LINE_BYTES is still accepted (the cap is on the line
-        // *excluding* its terminator).
         CappedLineReader {
-            inner: BufReader::new(inner).take(MAX_LINE_BYTES + 2),
+            inner: BufReader::new(inner),
+            partial: Vec::new(),
         }
     }
 
-    /// Reads the next line (terminator stripped) into `buf`.
+    /// The underlying stream (e.g. to write answers through the same
+    /// socket the reader owns).
+    pub fn get_ref(&self) -> &R {
+        self.inner.get_ref()
+    }
+
+    /// Number of already-read bytes buffered in userspace (decoded
+    /// partial line + undecoded buffer). When this is zero, the kernel
+    /// socket buffer is the only place input can be waiting — i.e.
+    /// readiness notification is sufficient to resume.
+    pub fn buffered_len(&self) -> usize {
+        self.partial.len() + self.inner.buffer().len()
+    }
+
+    /// Reads the next line (terminator stripped) into `buf`, blocking
+    /// until it is complete. On a nonblocking stream a would-block read
+    /// surfaces as an `Err(WouldBlock)` (use
+    /// [`poll_line`](Self::poll_line) instead).
     pub fn read_line(&mut self, buf: &mut String) -> std::io::Result<CappedLine> {
-        buf.clear();
-        self.inner.set_limit(MAX_LINE_BYTES + 2);
-        let n = self.inner.read_line(buf)?;
-        if n == 0 {
-            return Ok(CappedLine::Eof);
+        match self.poll_line(buf)? {
+            PollLine::Eof => Ok(CappedLine::Eof),
+            PollLine::Line => Ok(CappedLine::Line),
+            PollLine::Oversized => Ok(CappedLine::Oversized),
+            PollLine::Pending => Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "read_line on a nonblocking stream; use poll_line",
+            )),
         }
-        // The cap excludes the terminator — either `\n` or `\r\n`, so a
-        // CRLF client gets the same MAX_LINE_BYTES of content as an LF
-        // one.
-        let terminator = if buf.ends_with("\r\n") {
-            2
-        } else {
-            usize::from(buf.ends_with('\n'))
-        };
-        let content_len = n - terminator;
-        if content_len as u64 > MAX_LINE_BYTES {
-            return Ok(CappedLine::Oversized);
-        }
-        buf.truncate(content_len);
-        Ok(CappedLine::Line)
     }
 
-    /// Reads and discards up to `max_bytes` of remaining input. A TCP
-    /// server calls this before closing an over-limit connection: closing
-    /// with unread bytes in the receive buffer would RST the connection
-    /// and may discard the error line before the client reads it.
-    pub fn drain(&mut self, max_bytes: u64) {
-        let raw = self.inner.get_mut();
-        let mut sink = [0u8; 8192];
-        let mut drained: u64 = 0;
-        while drained < max_bytes {
-            match raw.read(&mut sink) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => drained += n as u64,
+    /// Reads as much of the next line as the stream can deliver without
+    /// blocking. Complete results ([`PollLine::Line`], `Oversized`,
+    /// `Eof`) leave the reader ready for the next line;
+    /// [`PollLine::Pending`] parks the partial line internally until the
+    /// next call. The [`MAX_LINE_BYTES`] cap counts the accumulated
+    /// content (terminator excluded, CRLF and LF alike), so it holds
+    /// across any delivery schedule — byte-at-a-time included.
+    pub fn poll_line(&mut self, buf: &mut String) -> std::io::Result<PollLine> {
+        loop {
+            let available = match self.inner.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(PollLine::Pending)
+                }
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                if self.partial.is_empty() {
+                    return Ok(PollLine::Eof);
+                }
+                // Final line without a terminator: everything (including
+                // any trailing '\r') is content.
+                return self.emit(buf, false);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    self.partial.extend_from_slice(&available[..i]);
+                    self.inner.consume(i + 1);
+                    return self.emit(buf, true);
+                }
+                None => {
+                    let n = available.len();
+                    self.partial.extend_from_slice(available);
+                    self.inner.consume(n);
+                    // +1 headroom: a trailing '\r' may still become part
+                    // of a CRLF terminator, which the cap excludes. One
+                    // byte beyond that is over the cap no matter how the
+                    // line ends.
+                    if self.partial.len() as u64 > MAX_LINE_BYTES + 1 {
+                        return self.emit_oversized(buf);
+                    }
+                }
             }
         }
+    }
+
+    /// Completes the accumulated line into `buf`.
+    fn emit(&mut self, buf: &mut String, terminated: bool) -> std::io::Result<PollLine> {
+        if terminated && self.partial.last() == Some(&b'\r') {
+            self.partial.pop();
+        }
+        if self.partial.len() as u64 > MAX_LINE_BYTES {
+            return self.emit_oversized(buf);
+        }
+        match String::from_utf8(std::mem::take(&mut self.partial)) {
+            Ok(s) => {
+                *buf = s;
+                Ok(PollLine::Line)
+            }
+            Err(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request line is not valid UTF-8",
+            )),
+        }
+    }
+
+    /// Reports the over-cap line: `buf` holds a truncated prefix, the
+    /// accumulated state is discarded.
+    fn emit_oversized(&mut self, buf: &mut String) -> std::io::Result<PollLine> {
+        let prefix = (MAX_LINE_BYTES as usize).min(self.partial.len());
+        buf.clear();
+        buf.push_str(&String::from_utf8_lossy(&self.partial[..prefix]));
+        self.partial.clear();
+        Ok(PollLine::Oversized)
+    }
+
+    /// Discards buffered and readable input, up to `budget` bytes
+    /// (decremented in place), without blocking. A server calls this
+    /// after answering a framing violation: closing with unread bytes in
+    /// the receive buffer would RST the connection and may discard the
+    /// error line before the client reads it.
+    pub fn poll_discard(&mut self, budget: &mut u64) -> std::io::Result<DiscardOutcome> {
+        self.partial.clear();
+        loop {
+            if *budget == 0 {
+                return Ok(DiscardOutcome::BudgetExhausted);
+            }
+            let available = match self.inner.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Ok(DiscardOutcome::Pending)
+                }
+                // A reset mid-drain means the client is gone: nothing
+                // left to be graceful for.
+                Err(_) => return Ok(DiscardOutcome::Eof),
+            };
+            if available.is_empty() {
+                return Ok(DiscardOutcome::Eof);
+            }
+            let n = (available.len() as u64).min(*budget) as usize;
+            self.inner.consume(n);
+            *budget -= n as u64;
+        }
+    }
+
+    /// Blocking form of [`poll_discard`](Self::poll_discard): reads and
+    /// discards up to `max_bytes` of remaining input, stopping early on
+    /// EOF (or on `WouldBlock` for nonblocking streams).
+    pub fn drain(&mut self, max_bytes: u64) {
+        let mut budget = max_bytes;
+        let _ = self.poll_discard(&mut budget);
     }
 }
 
@@ -917,6 +1066,166 @@ mod tests {
         let over = format!("{}\r\n", "a".repeat((1 << 20) + 1));
         let mut r = CappedLineReader::new(over.as_bytes());
         assert_eq!(r.read_line(&mut buf).unwrap(), CappedLine::Oversized);
+    }
+
+    /// A reader that replays a fixed schedule of reads: `Ok(bytes)`
+    /// delivers a chunk, `Err(WouldBlock)` simulates a drained
+    /// nonblocking socket. Past the schedule it reports EOF.
+    struct ScriptedReader {
+        schedule: std::collections::VecDeque<std::io::Result<Vec<u8>>>,
+    }
+
+    impl ScriptedReader {
+        fn new(steps: Vec<std::io::Result<Vec<u8>>>) -> Self {
+            ScriptedReader {
+                schedule: steps.into_iter().collect(),
+            }
+        }
+
+        fn would_block() -> std::io::Result<Vec<u8>> {
+            Err(std::io::ErrorKind::WouldBlock.into())
+        }
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.schedule.pop_front() {
+                None => Ok(0),
+                Some(Err(e)) => Err(e),
+                Some(Ok(mut chunk)) => {
+                    // Chunks larger than the caller's buffer deliver in
+                    // pieces, like a real socket would.
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        self.schedule.push_front(Ok(chunk.split_off(n)));
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poll_line_survives_byte_at_a_time_delivery() {
+        let input = "ping\r\nselect 2\n";
+        let steps = input.bytes().map(|b| Ok(vec![b])).collect();
+        let mut r = CappedLineReader::new(ScriptedReader::new(steps));
+        let mut buf = String::new();
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Line);
+        assert_eq!(buf, "ping");
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Line);
+        assert_eq!(buf, "select 2");
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Eof);
+    }
+
+    #[test]
+    fn poll_line_resumes_a_line_split_across_would_block() {
+        // The line arrives in three deliveries with socket-drained gaps
+        // between them — including a CRLF split across a gap, the case
+        // where a naive implementation strips or keeps the '\r' wrongly.
+        let mut r = CappedLineReader::new(ScriptedReader::new(vec![
+            Ok(b"sel".to_vec()),
+            ScriptedReader::would_block(),
+            Ok(b"ect 5\r".to_vec()),
+            ScriptedReader::would_block(),
+            Ok(b"\nping\n".to_vec()),
+        ]));
+        let mut buf = String::new();
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Pending);
+        assert_eq!(r.buffered_len(), 3, "partial line parked internally");
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Pending);
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Line);
+        assert_eq!(buf, "select 5", "resumed line intact, CRLF stripped");
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Line);
+        assert_eq!(buf, "ping");
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Eof);
+    }
+
+    #[test]
+    fn poll_line_keeps_multibyte_chars_split_across_would_block() {
+        // 'é' is two UTF-8 bytes; the gap lands between them. A
+        // UTF-8-validating accumulator (like std's read_line) can drop
+        // the partial byte here.
+        let mut r = CappedLineReader::new(ScriptedReader::new(vec![
+            Ok(vec![b'x', 0xC3]),
+            ScriptedReader::would_block(),
+            Ok(vec![0xA9, b'\n']),
+        ]));
+        let mut buf = String::new();
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Pending);
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Line);
+        assert_eq!(buf, "xé");
+    }
+
+    #[test]
+    fn poll_line_enforces_the_cap_across_resumed_reads() {
+        // A client trickling one oversized line in chunks (with drained
+        // gaps) must still be cut off: the cap counts the *accumulated*
+        // content, not any single delivery.
+        let chunk = vec![b'a'; 300 * 1024];
+        let mut r = CappedLineReader::new(ScriptedReader::new(vec![
+            Ok(chunk.clone()),
+            ScriptedReader::would_block(),
+            Ok(chunk.clone()),
+            ScriptedReader::would_block(),
+            Ok(chunk.clone()),
+            ScriptedReader::would_block(),
+            Ok(chunk.clone()),
+            // Never a newline: the reader must not wait for one.
+        ]));
+        let mut buf = String::new();
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Pending);
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Pending);
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Pending);
+        assert_eq!(
+            r.poll_line(&mut buf).unwrap(),
+            PollLine::Oversized,
+            "cap crossed on the fourth chunk, mid-line"
+        );
+        assert_eq!(buf.len() as u64, MAX_LINE_BYTES, "truncated prefix");
+    }
+
+    #[test]
+    fn poll_line_cap_allows_exactly_max_content_delivered_in_pieces() {
+        // Exactly MAX_LINE_BYTES of content + CRLF, delivered in halves:
+        // resumption must not shrink the allowance.
+        let half = vec![b'#'; 1 << 19];
+        let mut r = CappedLineReader::new(ScriptedReader::new(vec![
+            Ok(half.clone()),
+            ScriptedReader::would_block(),
+            Ok(half.clone()),
+            ScriptedReader::would_block(),
+            Ok(b"\r\n".to_vec()),
+        ]));
+        let mut buf = String::new();
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Pending);
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Pending);
+        assert_eq!(r.poll_line(&mut buf).unwrap(), PollLine::Line);
+        assert_eq!(buf.len() as u64, MAX_LINE_BYTES);
+    }
+
+    #[test]
+    fn poll_discard_distinguishes_pending_from_eof_and_budget() {
+        let mut r = CappedLineReader::new(ScriptedReader::new(vec![
+            Ok(vec![b'x'; 100]),
+            ScriptedReader::would_block(),
+            Ok(vec![b'y'; 100]),
+        ]));
+        let mut budget = 150;
+        assert_eq!(
+            r.poll_discard(&mut budget).unwrap(),
+            DiscardOutcome::Pending
+        );
+        assert_eq!(budget, 50);
+        assert_eq!(
+            r.poll_discard(&mut budget).unwrap(),
+            DiscardOutcome::BudgetExhausted
+        );
+        assert_eq!(budget, 0);
+        let mut rest = 1000;
+        assert_eq!(r.poll_discard(&mut rest).unwrap(), DiscardOutcome::Eof);
+        assert_eq!(rest, 1000 - 50, "the leftover 50 bytes were consumed");
     }
 
     #[test]

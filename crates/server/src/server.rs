@@ -73,6 +73,21 @@ pub struct ServerConfig {
     /// / `stats pools`). Default false: admin verbs parse but answer
     /// `error: …`.
     pub admin: bool,
+    /// Serve through the epoll event loop ([`crate::event_loop`])
+    /// instead of thread-per-connection workers: `threads` becomes the
+    /// reactor shard count and concurrency is bounded by fds, not
+    /// stacks. Default false.
+    pub event_loop: bool,
+    /// Event-loop mode only: close connections with no socket activity
+    /// for this long (best-effort [`crate::event_loop::IDLE_TIMEOUT_REPLY`]
+    /// first). `None` (the default) keeps idle connections forever, like
+    /// the blocking server.
+    pub idle_timeout: Option<std::time::Duration>,
+    /// Event-loop mode only: admission cap on concurrent connections;
+    /// excess connections get a best-effort
+    /// [`crate::event_loop::AT_CAPACITY_REPLY`] and are closed. `None`
+    /// (the default) admits until fds run out.
+    pub max_conns: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +107,9 @@ impl Default for ServerConfig {
             pool_dir: None,
             persist_pools: false,
             admin: false,
+            event_loop: false,
+            idle_timeout: None,
+            max_conns: None,
         }
     }
 }
@@ -280,9 +298,25 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> Server<M> {
         self.addr
     }
 
-    /// Spawns the worker threads and starts accepting connections.
+    /// Spawns the serving threads and starts accepting connections —
+    /// thread-per-connection workers by default, epoll reactor shards
+    /// when [`ServerConfig::event_loop`] is set.
     pub fn start(self) -> ServerHandle {
         let stop = Arc::new(AtomicBool::new(false));
+        if self.state.config().event_loop {
+            #[cfg(target_os = "linux")]
+            {
+                let workers =
+                    crate::event_loop::spawn_shards(self.state, self.listener, Arc::clone(&stop));
+                return ServerHandle {
+                    stop,
+                    addr: self.addr,
+                    workers,
+                };
+            }
+            #[cfg(not(target_os = "linux"))]
+            eprintln!("event loop requires Linux (epoll); using thread-per-connection workers");
+        }
         let workers = (0..self.state.config().threads)
             .map(|i| {
                 let state = Arc::clone(&self.state);

@@ -86,6 +86,37 @@ diff out/kick-tires/serve_answers.txt out/kick-tires/serve_answers2.txt
 diff out/kick-tires/serve_answers.txt out/kick-tires/serve_answers3.txt \
     && echo "concurrent client sessions byte-identical: OK"
 
+echo "== event-loop server: epoll core answers == tim query answers =="
+# Same snapshot and session through the epoll serving core, with idle
+# reaping and admission control armed: the transcript must not change.
+"$TIM" serve "$SNAP" --addr 127.0.0.1:0 --pool "$POOL" -k 10 --eps 0.3 --seed 7 \
+    --event-loop --idle-timeout 30 --max-conns 256 \
+    > out/kick-tires/evloop.addr 2> out/kick-tires/evloop.log &
+EV_PID=$!
+trap 'kill $EV_PID 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' out/kick-tires/evloop.addr 2>/dev/null && break
+    sleep 0.1
+done
+EV_ADDR=$(sed -n 's/^listening on //p' out/kick-tires/evloop.addr)
+echo "event-loop server at $EV_ADDR (pid $EV_PID)"
+"$TIM" client --addr "$EV_ADDR" --timeout 60 < "$SESSION" \
+    > out/kick-tires/evloop_answers.txt
+# A second pair of concurrent sessions, pipelined through one core.
+"$TIM" client --addr "$EV_ADDR" --timeout 60 < "$SESSION" > out/kick-tires/evloop_answers2.txt &
+E2=$!
+"$TIM" client --addr "$EV_ADDR" --timeout 60 < "$SESSION" > out/kick-tires/evloop_answers3.txt &
+E3=$!
+wait $E2 $E3
+kill $EV_PID 2>/dev/null || true
+wait $EV_PID 2>/dev/null || true
+trap - EXIT
+diff out/kick-tires/query.txt out/kick-tires/evloop_answers.txt \
+    && echo "event-loop serve byte-identical to tim query: OK"
+diff out/kick-tires/evloop_answers.txt out/kick-tires/evloop_answers2.txt
+diff out/kick-tires/evloop_answers.txt out/kick-tires/evloop_answers3.txt \
+    && echo "concurrent event-loop sessions byte-identical: OK"
+
 echo "== multi-graph serve: two-graph use/batch session == two single-graph replays =="
 GRAPH2=out/kick-tires/ws_small.txt
 "$TIM" generate ws --out "$GRAPH2" --n 1500 --param 6 --seed 2
