@@ -1,13 +1,18 @@
-//! Validates a `c10k_fanin` report (`BENCH_6.json`) against the
-//! `tim-bench-fanin/1` schema.
+//! Validates a bench report against its schema, dispatching on the
+//! report's `schema` string: `tim-bench-fanin/1` (`BENCH_6.json`, the
+//! `c10k_fanin` bin) or `tim-bench-graph-load/1` (`BENCH_7.json`, the
+//! `graph_load` bin).
 //!
 //! ```text
 //! cargo run -p tim_bench --bin bench_schema_check -- <report.json>
 //! ```
 //!
-//! CI runs this on the quick-mode artifact so a refactor that silently
-//! breaks the report shape (or a run whose transcripts diverged) fails
-//! the build instead of producing an unreadable trajectory point.
+//! CI runs this on the quick-mode artifacts so a refactor that silently
+//! breaks a report shape (or a run whose transcripts/answers diverged)
+//! fails the build instead of producing an unreadable trajectory point.
+//! Full-mode graph-load reports additionally enforce the acceptance bar:
+//! v2 open+first-query must beat the v1 full parse by ≥ 5× at the
+//! million-arc scale.
 
 use tim_bench::json::{parse, Value};
 
@@ -51,21 +56,8 @@ fn check_mode(mode: &Value, name: &str) {
     }
 }
 
-fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| fail("usage: bench_schema_check <report.json>"));
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-    let doc = parse(&text).unwrap_or_else(|e| fail(&format!("{path}: not valid JSON: {e}")));
-
-    let schema = doc
-        .get("schema")
-        .and_then(Value::as_str)
-        .unwrap_or_else(|| fail("missing 'schema' string"));
-    if !schema.starts_with("tim-bench-fanin/") {
-        fail(&format!("unknown schema '{schema}'"));
-    }
+/// `tim-bench-fanin/…`: the c10k fan-in report shape.
+fn check_fanin(doc: &Value, path: &str, schema: &str) {
     let modes = doc
         .get("modes")
         .and_then(Value::as_arr)
@@ -83,4 +75,95 @@ fn main() {
         check_mode(mode, want);
     }
     println!("{path}: ok ({schema}, {} modes)", modes.len());
+}
+
+/// `tim-bench-graph-load/…`: the v1-parse vs v2-mmap report shape.
+fn check_graph_load(doc: &Value, path: &str, schema: &str) {
+    let quick = doc
+        .get("quick")
+        .and_then(Value::as_bool)
+        .unwrap_or_else(|| fail("missing boolean 'quick'"));
+    let scales = doc
+        .get("scales")
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| fail("missing 'scales' array"));
+    if scales.is_empty() {
+        fail("'scales' is empty");
+    }
+    for scale in scales {
+        let name = scale
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail("scale: missing 'name' string"));
+        let what = format!("scale '{name}'");
+        for key in ["nodes", "arcs", "v1_bytes", "v2_bytes"] {
+            let v = require_f64(scale, key, &what);
+            if v < 1.0 || v.fract() != 0.0 {
+                fail(&format!(
+                    "{what}: '{key}' must be a positive integer, got {v}"
+                ));
+            }
+        }
+        for key in [
+            "v1_parse_ms",
+            "v2_open_ms",
+            "v2_open_plus_query_ms",
+            "warm_query_ms",
+        ] {
+            if require_f64(scale, key, &what) <= 0.0 {
+                fail(&format!("{what}: '{key}' must be positive"));
+            }
+        }
+        if require_f64(scale, "first_query_ms", &what) < 0.0 {
+            fail(&format!("{what}: 'first_query_ms' must be non-negative"));
+        }
+        if require_f64(scale, "speedup", &what) <= 0.0 {
+            fail(&format!("{what}: 'speedup' must be positive"));
+        }
+        for key in ["answers_match", "checksums_match"] {
+            if scale.get(key).and_then(Value::as_bool) != Some(true) {
+                fail(&format!("{what}: '{key}' must be true — the run diverged"));
+            }
+        }
+    }
+    // Full-mode runs carry the acceptance bar: at the ~million-arc scale,
+    // v2 open+first-query must beat the v1 full parse by ≥ 5×.
+    if !quick {
+        let Some(big) = scales
+            .iter()
+            .find(|s| require_f64(s, "arcs", "scale") >= 1_000_000.0)
+        else {
+            fail("full-mode report has no million-arc scale");
+        };
+        let speedup = require_f64(big, "speedup", "million-arc scale");
+        if speedup < 5.0 {
+            fail(&format!(
+                "million-arc scale: v2 open+first-query is only {speedup:.1}x \
+                 faster than the v1 parse (need >= 5x)"
+            ));
+        }
+    }
+    println!("{path}: ok ({schema}, {} scales)", scales.len());
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: bench_schema_check <report.json>"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = parse(&text).unwrap_or_else(|e| fail(&format!("{path}: not valid JSON: {e}")));
+
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| fail("missing 'schema' string"))
+        .to_string();
+    if schema.starts_with("tim-bench-fanin/") {
+        check_fanin(&doc, &path, &schema);
+    } else if schema.starts_with("tim-bench-graph-load/") {
+        check_graph_load(&doc, &path, &schema);
+    } else {
+        fail(&format!("unknown schema '{schema}'"));
+    }
 }

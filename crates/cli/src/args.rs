@@ -19,6 +19,7 @@ const SWITCHES: &[&str] = &[
     "admin",
     "persist-pools",
     "event-loop",
+    "mmap",
 ];
 
 impl Args {

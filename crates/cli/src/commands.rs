@@ -10,7 +10,7 @@ use tim_baselines::{
 };
 use tim_core::{Imm, Tim, TimPlus};
 use tim_diffusion::{
-    DiffusionModel, IndependentCascade, LinearThreshold, ModelKind, SpreadEstimator,
+    BackingModel, DiffusionModel, IndependentCascade, LinearThreshold, ModelKind, SpreadEstimator,
 };
 use tim_engine::{QueryEngine, RrPool};
 use tim_eval::Dataset;
@@ -32,10 +32,14 @@ usage:
   tim stats    <graph> [--undirected]
   tim generate <ba|gnm|ws|powerlaw|nethept|epinions|dblp|livejournal|twitter>
                --out <path> [--n 10000] [--param 4] [--scale 1.0] [--seed 0]
-  tim snapshot <graph> --out <path.timg> [--weights keep|wc|lt|const:<p>|tri] [--seed 0] [--undirected]
+  tim snapshot <graph> --out <path.timg> [--format v1|v2] [--weights keep|wc|lt|const:<p>|tri]
+               [--seed 0] [--undirected]
+               (--format v2 writes the page-aligned, mmap-able layout that
+                --mmap serving requires; the input may itself be a v1
+                snapshot, so this is also the v1 -> v2 migration)
   tim query    [<graph>] [--graph <name>=<path>[::<k=v,...>]]... [--graphs <dir>]
                [--default-graph <name>] [--max-loaded 8] [--pool <path.timp>]
-               [--pool-dir <dir>] [--persist-pools] [--admin]
+               [--pool-dir <dir>] [--persist-pools] [--admin] [--mmap]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
                [--seed 0] [--pool-cache 4] [--undirected] [--quiet]
                (reads line-delimited tim/3 queries from stdin:
@@ -47,7 +51,7 @@ usage:
                   persist | stats pools         [admin verbs; need --admin])
   tim serve    [<graph>] [--graph <name>=<path>[::<k=v,...>]]... [--graphs <dir>]
                [--default-graph <name>] [--max-loaded 8]
-               [--pool-dir <dir>] [--persist-pools] [--admin]
+               [--pool-dir <dir>] [--persist-pools] [--admin] [--mmap]
                [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
                [--event-loop] [--idle-timeout <secs>] [--max-conns <n>]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
@@ -69,10 +73,17 @@ usage:
   each --graph adds a lazily loaded named graph, and --graphs scans a
   directory of .timg/.txt/.edges files (stems become names). A --graph
   spec may carry per-graph overrides after `::` (model=ic|lt, eps=, ell=,
-  seed=, k=, weights=), replacing the global defaults for that graph.
+  seed=, k=, weights=, mmap=true|false), replacing the global defaults
+  for that graph.
   With --pool-dir every graph keeps its RR-set pools in <dir>/<name>/
   (read on start — a warm restart skips the pool builds); --persist-pools
-  additionally writes newly built or grown pools back automatically.";
+  additionally writes newly built or grown pools back automatically.
+  With --mmap every path-backed graph (the positional one included) must
+  be a v2 snapshot and is served as a zero-copy mmap view instead of
+  being decoded onto the heap — answers are byte-identical to heap
+  serving. Mapped graphs serve the probabilities baked into the snapshot,
+  so --mmap implies --weights keep (an explicit contradicting --weights
+  is an error); per-graph `mmap=` overrides flip the choice per graph.";
 
 /// Entry point: dispatches on the subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -338,10 +349,17 @@ fn snapshot_cmd(args: &Args) -> Result<(), String> {
         seed,
     )?;
 
-    snapshot::save_snapshot(&loaded.graph, &loaded.labels, out)
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    let format = args.get("format").unwrap_or("v1");
+    match format {
+        "v1" => snapshot::save_snapshot(&loaded.graph, &loaded.labels, out)
+            .map_err(|e| format!("writing {out}: {e}"))?,
+        "v2" => snapshot::save_snapshot_v2(&loaded.graph, &loaded.labels, out)
+            .map_err(|e| format!("writing {out}: {e}"))?,
+        other => return Err(format!("unknown --format '{other}' (expected v1 or v2)")),
+    }
 
-    // Reload to verify the round trip and measure the binary path.
+    // Reload to verify the round trip and measure the binary path
+    // (load_snapshot is version-gated, so this covers both formats).
     let t1 = std::time::Instant::now();
     let reloaded = snapshot::load_snapshot(out).map_err(|e| format!("verifying {out}: {e}"))?;
     let load_time = t1.elapsed();
@@ -353,7 +371,7 @@ fn snapshot_cmd(args: &Args) -> Result<(), String> {
 
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     println!(
-        "wrote {out}: {} nodes / {} arcs ({bytes} bytes)",
+        "wrote {out} ({format}): {} nodes / {} arcs ({bytes} bytes)",
         reloaded.graph.n(),
         reloaded.graph.m()
     );
@@ -390,13 +408,19 @@ fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
         k_max: args.get_parsed("k", 50usize)?,
         sample_threads: 0,
         verbose: !quiet,
-        weights: args.get("weights").unwrap_or("wc").to_string(),
+        // `--mmap` flips the weights default to "keep": a mapped graph
+        // serves the probabilities baked into its v2 snapshot verbatim.
+        weights: args
+            .get("weights")
+            .unwrap_or(if args.switch("mmap") { "keep" } else { "wc" })
+            .to_string(),
         undirected: args.switch("undirected"),
         max_loaded: args.get_parsed("max-loaded", 8usize)?,
         pool_dir: args.get("pool-dir").map(std::path::PathBuf::from),
         persist_pools: args.switch("persist-pools"),
         admin: args.switch("admin"),
         event_loop: args.switch("event-loop"),
+        mmap: args.switch("mmap"),
         idle_timeout: match args.get("idle-timeout") {
             None => None,
             Some(v) => {
@@ -439,6 +463,14 @@ fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
     if config.max_conns.is_some() && !config.event_loop {
         return Err("--max-conns requires --event-loop".into());
     }
+    if config.mmap && config.weights != "keep" {
+        return Err(format!(
+            "--mmap requires --weights keep: probabilities are served verbatim \
+             from the v2 snapshot (bake them in with `tim snapshot --format v2 \
+             --weights {}` instead)",
+            config.weights
+        ));
+    }
     Ok(config)
 }
 
@@ -463,8 +495,16 @@ fn build_state(
         }
     }
     if !args.positional.is_empty() {
-        let LoadedGraph { graph, labels } = load(args)?;
-        catalog.add_resident(DEFAULT_GRAPH_NAME, graph, LabelMap::new(labels))?;
+        if args.switch("mmap") {
+            // Mapped serving: register the positional snapshot as a lazy
+            // path so the catalog attaches it as a zero-copy view instead
+            // of decoding it onto the heap here.
+            let path = args.positional(0, "input graph path")?;
+            catalog.add_path(DEFAULT_GRAPH_NAME, path)?;
+        } else {
+            let LoadedGraph { graph, labels } = load(args)?;
+            catalog.add_resident(DEFAULT_GRAPH_NAME, graph, LabelMap::new(labels))?;
+        }
     }
     for spec in args.get_all("graph") {
         let (name, path, overrides) =
@@ -565,8 +605,8 @@ fn query_with(model: ModelKind, model_name: &str, args: &Args) -> Result<(), Str
             .map_err(|e| format!("query: {e}"))?;
         match loaded_pool {
             Some(pool) => {
-                let engine = QueryEngine::from_pool(
-                    Arc::clone(default_state.graph()),
+                let engine = QueryEngine::from_pool_store(
+                    default_state.store().clone(),
                     model,
                     model_name,
                     pool,
@@ -633,7 +673,7 @@ fn query_with(model: ModelKind, model_name: &str, args: &Args) -> Result<(), Str
 /// `tim serve` connections — so the two front ends cannot drift. The
 /// 1 MiB request-line cap applies exactly as on TCP: an over-limit line
 /// answers `error: …` and ends the session.
-fn catalog_query_session<M: DiffusionModel + Send + Sync + Clone + 'static>(
+fn catalog_query_session<M: BackingModel + Send + Clone + 'static>(
     state: &ServerState<M>,
     input: impl Read,
     out: &mut impl Write,
@@ -696,7 +736,7 @@ fn serve_with(model: ModelKind, model_name: &str, args: &Args) -> Result<(), Str
             .map_err(|e| format!("serve: {e}"))?;
         let pool = RrPool::load(p).map_err(|e| format!("loading pool {p}: {e}"))?;
         let engine =
-            QueryEngine::from_pool(Arc::clone(default_state.graph()), model, model_name, pool)
+            QueryEngine::from_pool_store(default_state.store().clone(), model, model_name, pool)
                 .map_err(|e| format!("attaching pool {p}: {e}"))?;
         let shared = default_state.preload(engine);
         if !quiet {
@@ -1082,7 +1122,7 @@ mod tests {
         )
     }
 
-    fn run_session<M: DiffusionModel + Send + Sync + Clone + 'static>(
+    fn run_session<M: BackingModel + Send + Clone + 'static>(
         state: &ServerState<M>,
         input: &str,
     ) -> Vec<String> {
@@ -1515,6 +1555,97 @@ mod tests {
         assert!(parse("g.txt --event-loop --max-conns 0")
             .unwrap_err()
             .contains("--max-conns"));
+    }
+
+    #[test]
+    fn snapshot_format_v2_writes_a_servable_snapshot() {
+        let dir = tmpdir();
+        let text = dir.join("fmt_src.txt");
+        let v2 = dir.join("fmt_src_v2.timg");
+        std::fs::write(
+            &text,
+            (0..50u32)
+                .map(|i| format!("{} {}\n", i, (i + 1) % 50))
+                .collect::<String>(),
+        )
+        .unwrap();
+        dispatch(&argv(&format!(
+            "snapshot {} --out {} --format v2 --weights wc",
+            text.display(),
+            v2.display()
+        )))
+        .unwrap();
+        assert_eq!(snapshot::snapshot_version(&v2).unwrap(), Some(2));
+        // The v2 file is transparently loadable by every heap consumer.
+        dispatch(&argv(&format!("stats {}", v2.display()))).unwrap();
+        // Unknown formats are rejected.
+        assert!(dispatch(&argv(&format!(
+            "snapshot {} --out {} --format v9",
+            text.display(),
+            v2.display()
+        )))
+        .unwrap_err()
+        .contains("--format"));
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&v2).ok();
+    }
+
+    #[test]
+    fn mmap_flag_requires_keep_weights() {
+        // --mmap alone implies keep; an explicit contradiction errors.
+        let ok = Args::parse(&argv("g.timg --mmap")).unwrap();
+        assert_eq!(server_config(&ok, true).unwrap().weights, "keep");
+        assert!(server_config(&ok, true).unwrap().mmap);
+        let bad = Args::parse(&argv("g.timg --mmap --weights wc")).unwrap();
+        assert!(server_config(&bad, true)
+            .unwrap_err()
+            .contains("--mmap requires --weights keep"));
+    }
+
+    #[test]
+    fn mmap_query_session_answers_match_heap_serving() {
+        let dir = tmpdir();
+        let text = dir.join("mm_src.txt");
+        let v2 = dir.join("mm_src_v2.timg");
+        // Sparse labels so the mapped label section is exercised too.
+        std::fs::write(
+            &text,
+            (0..80u64)
+                .flat_map(|i| {
+                    [
+                        format!("{} {}\n", i * 3, ((i + 1) % 80) * 3),
+                        format!("{} {}\n", i * 3, ((i + 9) % 80) * 3),
+                    ]
+                })
+                .collect::<String>(),
+        )
+        .unwrap();
+        // Bake WC probabilities into a v2 snapshot.
+        dispatch(&argv(&format!(
+            "snapshot {} --out {} --format v2 --weights wc",
+            text.display(),
+            v2.display()
+        )))
+        .unwrap();
+
+        let session = "select 3\nselect 2 fast\neval 0,3\nmarginal 0 3\nstats\n";
+        let run = |flags: &str| {
+            let args = Args::parse(&argv(&format!(
+                "{} --eps 1.0 --seed 7 -k 4 {flags}",
+                v2.display()
+            )))
+            .unwrap();
+            let config = server_config(&args, true).unwrap();
+            let state = build_state(ModelKind::IndependentCascade, "ic", &args, config).unwrap();
+            run_session(&state, session)
+        };
+        // Heap serving decodes the v2 snapshot eagerly; --mmap serves the
+        // same file as a zero-copy view. Answers must be byte-identical.
+        let heap = run("--weights keep");
+        let mapped = run("--mmap");
+        assert_eq!(heap, mapped, "mmap serving must not change any answer");
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&v2).ok();
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::math::{kappa, kpt_iteration_samples};
 use tim_coverage::SetCollection;
 use tim_diffusion::{DiffusionModel, RrSampler};
-use tim_graph::Graph;
+use tim_graph::CsrAccess;
 use tim_rng::Rng;
 
 /// Output of [`estimate_kpt`].
@@ -50,8 +50,8 @@ impl KptEstimate {
 /// # Panics
 /// Panics if the graph has no nodes or no edges (KPT is undefined without
 /// edges; callers special-case empty graphs).
-pub fn estimate_kpt<M: DiffusionModel>(
-    graph: &Graph,
+pub fn estimate_kpt<G: CsrAccess, M: DiffusionModel<G>>(
+    graph: &G,
     model: &M,
     k: u64,
     ell: f64,
@@ -110,7 +110,7 @@ pub fn estimate_kpt<M: DiffusionModel>(
 mod tests {
     use super::*;
     use tim_diffusion::{IndependentCascade, LinearThreshold, SpreadEstimator};
-    use tim_graph::{gen, weights};
+    use tim_graph::{gen, weights, Graph};
 
     fn wc_graph(seed: u64) -> Graph {
         let mut g = gen::barabasi_albert(400, 4, 0.0, seed);

@@ -14,7 +14,7 @@ use crate::parallel::generate_rr_sets;
 use crate::tim::GreedyImpl;
 use tim_coverage::{greedy_max_cover, greedy_max_cover_bucket};
 use tim_diffusion::DiffusionModel;
-use tim_graph::Graph;
+use tim_graph::CsrAccess;
 use tim_rng::{RandomSource, Rng};
 
 /// Output of [`refine_kpt`].
@@ -36,8 +36,8 @@ pub struct Refined {
 /// (consumed for its last-iteration RR sets); `eps_prime_override` forces a
 /// specific ε′ (`None` uses `5·(ℓ·ε²/(k+ℓ))^(1/3)`).
 #[allow(clippy::too_many_arguments)]
-pub fn refine_kpt<M: DiffusionModel + Sync>(
-    graph: &Graph,
+pub fn refine_kpt<G: CsrAccess, M: DiffusionModel<G> + Sync>(
+    graph: &G,
     model: &M,
     k: usize,
     epsilon: f64,
@@ -80,7 +80,7 @@ mod tests {
     use super::*;
     use crate::kpt::estimate_kpt;
     use tim_diffusion::{IndependentCascade, SpreadEstimator};
-    use tim_graph::{gen, weights};
+    use tim_graph::{gen, weights, Graph};
 
     fn setup(seed: u64) -> Graph {
         let mut g = gen::barabasi_albert(400, 4, 0.0, seed);

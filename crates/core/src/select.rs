@@ -9,7 +9,7 @@ use crate::parallel::{generate_rr_sets, BulkStats};
 use crate::tim::GreedyImpl;
 use tim_coverage::{greedy_max_cover, greedy_max_cover_bucket, CoverResult};
 use tim_diffusion::DiffusionModel;
-use tim_graph::{Graph, NodeId};
+use tim_graph::{CsrAccess, NodeId};
 
 /// Output of [`node_selection`].
 #[derive(Debug)]
@@ -31,8 +31,8 @@ pub struct Selection {
 
 /// Runs Algorithm 1: samples `theta` RR sets under `model` and greedily
 /// selects `k` nodes.
-pub fn node_selection<M: DiffusionModel + Sync>(
-    graph: &Graph,
+pub fn node_selection<G: CsrAccess, M: DiffusionModel<G> + Sync>(
+    graph: &G,
     model: &M,
     k: usize,
     theta: u64,

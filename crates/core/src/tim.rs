@@ -17,7 +17,7 @@ use crate::refine::refine_kpt;
 use crate::select::node_selection;
 use std::time::{Duration, Instant};
 use tim_diffusion::DiffusionModel;
-use tim_graph::{Graph, NodeId};
+use tim_graph::{CsrAccess, NodeId};
 use tim_rng::{RandomSource, Rng};
 
 /// Which greedy max-coverage implementation the selection phases use.
@@ -196,7 +196,7 @@ pub struct Tim<M> {
     cfg: Config,
 }
 
-impl<M: DiffusionModel + Sync> Tim<M> {
+impl<M> Tim<M> {
     /// Creates a TIM runner for `model` with the paper's defaults
     /// (ε = 0.1, ℓ = 1).
     pub fn new(model: M) -> Self {
@@ -210,7 +210,10 @@ impl<M: DiffusionModel + Sync> Tim<M> {
 
     /// Runs the parameter-estimation phase only, returning the θ and
     /// selection-stream seed a full [`run`](Self::run) would use.
-    pub fn plan(&self, graph: &Graph, k: usize) -> SamplingPlan {
+    pub fn plan<G: CsrAccess>(&self, graph: &G, k: usize) -> SamplingPlan
+    where
+        M: DiffusionModel<G> + Sync,
+    {
         plan_impl(&self.model, &self.cfg, graph, k, false)
     }
 
@@ -233,7 +236,10 @@ impl<M: DiffusionModel + Sync> Tim<M> {
     ///
     /// # Panics
     /// Panics if the graph has fewer than 2 nodes or no edges, or `k == 0`.
-    pub fn run(&self, graph: &Graph, k: usize) -> TimResult {
+    pub fn run<G: CsrAccess>(&self, graph: &G, k: usize) -> TimResult
+    where
+        M: DiffusionModel<G> + Sync,
+    {
         run_impl(&self.model, &self.cfg, graph, k, false)
     }
 }
@@ -245,7 +251,7 @@ pub struct TimPlus<M> {
     cfg: Config,
 }
 
-impl<M: DiffusionModel + Sync> TimPlus<M> {
+impl<M> TimPlus<M> {
     /// Creates a TIM+ runner for `model` with the paper's defaults.
     pub fn new(model: M) -> Self {
         Self {
@@ -266,7 +272,10 @@ impl<M: DiffusionModel + Sync> TimPlus<M> {
 
     /// Runs the estimation and refinement phases only, returning the θ and
     /// selection-stream seed a full [`run`](Self::run) would use.
-    pub fn plan(&self, graph: &Graph, k: usize) -> SamplingPlan {
+    pub fn plan<G: CsrAccess>(&self, graph: &G, k: usize) -> SamplingPlan
+    where
+        M: DiffusionModel<G> + Sync,
+    {
         plan_impl(&self.model, &self.cfg, graph, k, true)
     }
 
@@ -274,15 +283,18 @@ impl<M: DiffusionModel + Sync> TimPlus<M> {
     ///
     /// # Panics
     /// Panics if the graph has fewer than 2 nodes or no edges, or `k == 0`.
-    pub fn run(&self, graph: &Graph, k: usize) -> TimResult {
+    pub fn run<G: CsrAccess>(&self, graph: &G, k: usize) -> TimResult
+    where
+        M: DiffusionModel<G> + Sync,
+    {
         run_impl(&self.model, &self.cfg, graph, k, true)
     }
 }
 
-fn plan_impl<M: DiffusionModel + Sync>(
+fn plan_impl<G: CsrAccess, M: DiffusionModel<G> + Sync>(
     model: &M,
     cfg: &Config,
-    graph: &Graph,
+    graph: &G,
     k: usize,
     refine: bool,
 ) -> SamplingPlan {
@@ -353,10 +365,10 @@ fn plan_impl<M: DiffusionModel + Sync>(
     }
 }
 
-fn run_impl<M: DiffusionModel + Sync>(
+fn run_impl<G: CsrAccess, M: DiffusionModel<G> + Sync>(
     model: &M,
     cfg: &Config,
-    graph: &Graph,
+    graph: &G,
     k: usize,
     refine: bool,
 ) -> TimResult {
@@ -394,7 +406,7 @@ fn run_impl<M: DiffusionModel + Sync>(
 mod tests {
     use super::*;
     use tim_diffusion::{IndependentCascade, LinearThreshold, SpreadEstimator};
-    use tim_graph::{gen, weights, GraphBuilder};
+    use tim_graph::{gen, weights, Graph, GraphBuilder};
 
     fn wc_graph(n: usize, seed: u64) -> Graph {
         let mut g = gen::barabasi_albert(n, 4, 0.0, seed);

@@ -28,6 +28,8 @@ mod rr;
 mod spread;
 
 pub use forward::SimWorkspace;
-pub use model::{CustomTriggering, DiffusionModel, IndependentCascade, LinearThreshold, ModelKind};
+pub use model::{
+    BackingModel, CustomTriggering, DiffusionModel, IndependentCascade, LinearThreshold, ModelKind,
+};
 pub use rr::{RrSampler, RrStats};
 pub use spread::SpreadEstimator;

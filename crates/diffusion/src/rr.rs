@@ -12,7 +12,7 @@
 //! the output vector growth.
 
 use crate::model::DiffusionModel;
-use tim_graph::{Graph, NodeId};
+use tim_graph::{CsrAccess, NodeId};
 use tim_rng::{RandomSource, Rng};
 
 /// Cost accounting for one generated RR set.
@@ -66,7 +66,7 @@ pub struct RrSampler<M> {
     trig: Vec<NodeId>,
 }
 
-impl<M: DiffusionModel> RrSampler<M> {
+impl<M> RrSampler<M> {
     /// Creates a sampler; scratch arrays grow to the first graph's size.
     pub fn new(model: M) -> Self {
         Self {
@@ -95,13 +95,21 @@ impl<M: DiffusionModel> RrSampler<M> {
 
     /// Generates the RR set rooted at `root`, appending its nodes (root
     /// first) to `out`. `out` is cleared first.
-    pub fn sample_for(
+    ///
+    /// Generic over the graph backing: the same randomness is consumed
+    /// whether `graph` is a heap [`Graph`](tim_graph::Graph) or an
+    /// [`MmapCsr`](tim_graph::MmapCsr) view, so RR sets are bit-identical
+    /// across backings.
+    pub fn sample_for<G: CsrAccess>(
         &mut self,
-        graph: &Graph,
+        graph: &G,
         root: NodeId,
         rng: &mut Rng,
         out: &mut Vec<NodeId>,
-    ) -> RrStats {
+    ) -> RrStats
+    where
+        M: DiffusionModel<G>,
+    {
         debug_assert!((root as usize) < graph.n(), "root out of range");
         self.begin(graph.n());
         out.clear();
@@ -139,12 +147,15 @@ impl<M: DiffusionModel> RrSampler<M> {
 
     /// Generates a random RR set (uniformly random root), appending its
     /// nodes to `out` and returning `(root, stats)`.
-    pub fn sample_random(
+    pub fn sample_random<G: CsrAccess>(
         &mut self,
-        graph: &Graph,
+        graph: &G,
         rng: &mut Rng,
         out: &mut Vec<NodeId>,
-    ) -> (NodeId, RrStats) {
+    ) -> (NodeId, RrStats)
+    where
+        M: DiffusionModel<G>,
+    {
         assert!(graph.n() > 0, "cannot sample an RR set on an empty graph");
         let root = rng.next_index(graph.n()) as NodeId;
         let stats = self.sample_for(graph, root, rng, out);
@@ -156,7 +167,7 @@ impl<M: DiffusionModel> RrSampler<M> {
 mod tests {
     use super::*;
     use crate::model::{IndependentCascade, LinearThreshold};
-    use tim_graph::{weights, GraphBuilder};
+    use tim_graph::{weights, Graph, GraphBuilder};
 
     fn chain(p: f32) -> Graph {
         // 0 -> 1 -> 2 -> 3

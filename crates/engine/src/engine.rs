@@ -7,9 +7,8 @@ use std::sync::Arc;
 use tim_core::parallel::{generate_rr_sets, shard_layout};
 use tim_core::{select_stream_seed, SamplingPlan, TimPlus};
 use tim_coverage::{greedy_max_cover, greedy_max_cover_indexed, CoverResult, SetCollection};
-use tim_diffusion::DiffusionModel;
-use tim_graph::snapshot::graph_checksum;
-use tim_graph::{Graph, NodeId};
+use tim_diffusion::BackingModel;
+use tim_graph::{CsrView, Graph, GraphStore, NodeId};
 
 /// Result of one `select` query.
 #[derive(Debug, Clone)]
@@ -81,7 +80,7 @@ struct FastCover {
 /// ```
 #[derive(Debug)]
 pub struct QueryEngine<M> {
-    graph: Arc<Graph>,
+    store: GraphStore,
     model: M,
     model_name: String,
     epsilon: f64,
@@ -89,7 +88,6 @@ pub struct QueryEngine<M> {
     seed: u64,
     threads: usize,
     k_max: usize,
-    graph_checksum: u64,
     select_seed: u64,
     pool: SetCollection,
     pool_theta: u64,
@@ -98,7 +96,7 @@ pub struct QueryEngine<M> {
     fast: Option<FastCover>,
 }
 
-impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
+impl<M: BackingModel + Clone> QueryEngine<M> {
     /// Creates a cold engine (no sets sampled yet) for `graph` under
     /// `model`, with the paper's defaults (ε = 0.1, ℓ = 1, seed 0,
     /// `k_max` 50). `model_name` is the provenance tag persisted with
@@ -106,18 +104,30 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
     ///
     /// Accepts the graph by value or as an [`Arc`] — several engines (e.g.
     /// the entries of a serving pool cache) can share one immutable graph
-    /// without copying the CSR arrays.
+    /// without copying the CSR arrays. To serve an out-of-core graph
+    /// straight from a mapped v2 snapshot, use
+    /// [`with_store`](Self::with_store).
     ///
     /// # Panics
     /// Panics if the graph has fewer than 2 nodes or no edges.
     pub fn new(graph: impl Into<Arc<Graph>>, model: M, model_name: impl Into<String>) -> Self {
-        let graph: Arc<Graph> = graph.into();
-        assert!(graph.n() >= 2, "engine needs at least 2 nodes");
-        assert!(graph.m() >= 1, "engine needs at least 1 edge");
-        let n = graph.n();
-        let checksum = graph_checksum(&graph);
+        Self::with_store(GraphStore::from_arc(graph.into()), model, model_name)
+    }
+
+    /// Creates a cold engine over an arbitrary [`GraphStore`] backing —
+    /// heap-resident or a zero-copy mmap view. Answers are backing-
+    /// independent: the same `(seed, ε, ℓ, k)` yields byte-identical
+    /// seeds whether the store is heap or mmap (the sampling streams
+    /// never depend on the backing).
+    ///
+    /// # Panics
+    /// Panics if the graph has fewer than 2 nodes or no edges.
+    pub fn with_store(store: GraphStore, model: M, model_name: impl Into<String>) -> Self {
+        assert!(store.n() >= 2, "engine needs at least 2 nodes");
+        assert!(store.m() >= 1, "engine needs at least 1 edge");
+        let n = store.n();
         QueryEngine {
-            graph,
+            store,
             model,
             model_name: model_name.into(),
             epsilon: 0.1,
@@ -125,7 +135,6 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
             seed: 0,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
             k_max: 50,
-            graph_checksum: checksum,
             select_seed: select_stream_seed(0),
             pool: SetCollection::new(n),
             pool_theta: 0,
@@ -185,10 +194,23 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         model_name: impl Into<String>,
         pool: RrPool,
     ) -> Result<Self, EngineError> {
-        let graph: Arc<Graph> = graph.into();
+        Self::from_pool_store(GraphStore::from_arc(graph.into()), model, model_name, pool)
+    }
+
+    /// [`from_pool`](Self::from_pool) over an arbitrary [`GraphStore`]
+    /// backing. Provenance validation is backing-independent — the
+    /// checksum a heap graph hashes to is the one a v2 snapshot records
+    /// in its header — so a pool sampled against a heap graph attaches
+    /// to the same graph served from an mmap view, and vice versa.
+    pub fn from_pool_store(
+        store: GraphStore,
+        model: M,
+        model_name: impl Into<String>,
+        pool: RrPool,
+    ) -> Result<Self, EngineError> {
         let model_name = model_name.into();
         let meta = &pool.meta;
-        let checksum = graph_checksum(&graph);
+        let checksum = store.checksum();
         if meta.graph_checksum != checksum {
             return Err(EngineError::Mismatch(format!(
                 "pool was sampled on graph {:#018x}, this graph is {checksum:#018x} \
@@ -202,11 +224,11 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
                 meta.model
             )));
         }
-        if pool.sets.universe() != graph.n() {
+        if pool.sets.universe() != store.n() {
             return Err(EngineError::Mismatch(format!(
                 "pool universe {} != graph node count {}",
                 pool.sets.universe(),
-                graph.n()
+                store.n()
             )));
         }
         if meta.select_seed != select_stream_seed(meta.seed) {
@@ -229,7 +251,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
                 meta.ell
             )));
         }
-        let mut engine = QueryEngine::new(graph, model, model_name)
+        let mut engine = QueryEngine::with_store(store, model, model_name)
             .epsilon(meta.epsilon)
             .ell(meta.ell)
             .seed(meta.seed)
@@ -248,7 +270,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
     /// sets. Cheap — used e.g. to derive pool-cache keys.
     pub fn pool_meta(&self) -> PoolMeta {
         PoolMeta {
-            graph_checksum: self.graph_checksum,
+            graph_checksum: self.store.checksum(),
             model: self.model_name.clone(),
             epsilon: self.epsilon,
             ell: self.ell,
@@ -267,15 +289,34 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         }
     }
 
-    /// The graph queries run against.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    /// The backing store queries run against (heap or mmap).
+    pub fn store(&self) -> &GraphStore {
+        &self.store
     }
 
-    /// A shared handle to the graph, for building further engines (e.g.
-    /// pool-cache entries at a different ε/ℓ) without copying it.
+    /// The heap graph queries run against.
+    ///
+    /// # Panics
+    /// Panics when the engine serves a mapped snapshot — there is no
+    /// heap `Graph` to borrow; use [`store`](Self::store).
+    pub fn graph(&self) -> &Graph {
+        self.store
+            .heap_arc()
+            .expect("graph(): engine is mmap-backed (use store())")
+    }
+
+    /// A shared handle to the heap graph, for building further engines
+    /// (e.g. pool-cache entries at a different ε/ℓ) without copying it.
+    ///
+    /// # Panics
+    /// Panics when the engine serves a mapped snapshot; clone
+    /// [`store`](Self::store) instead.
     pub fn graph_arc(&self) -> Arc<Graph> {
-        Arc::clone(&self.graph)
+        Arc::clone(
+            self.store
+                .heap_arc()
+                .expect("graph_arc(): engine is mmap-backed (use store())"),
+        )
     }
 
     /// Current pool size θ (0 when cold).
@@ -288,9 +329,9 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         self.k_max
     }
 
-    /// Content checksum of the attached graph.
+    /// Content checksum of the attached graph (backing-independent).
     pub fn graph_checksum(&self) -> u64 {
-        self.graph_checksum
+        self.store.checksum()
     }
 
     /// Warms the pool so that **every** `k ≤ k_max` is answerable without
@@ -308,7 +349,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         let plan_top = self.plan_for(self.k_max, self.epsilon, self.ell);
         let bound_one = plan_one.kpt_plus.unwrap_or(plan_one.kpt_star);
         let lam_top = tim_core::math::lambda(
-            self.graph.n() as u64,
+            self.store.n() as u64,
             plan_top.k as u64,
             self.epsilon,
             plan_top.ell_eff,
@@ -324,12 +365,17 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         if let Some(plan) = self.plans.get(&key) {
             return plan.clone();
         }
-        let plan = TimPlus::new(self.model.clone())
+        let planner = TimPlus::new(self.model.clone())
             .epsilon(eps)
             .ell(ell)
             .seed(self.seed)
-            .threads(self.threads)
-            .plan(&self.graph, k);
+            .threads(self.threads);
+        // Dispatch once on the backing; the planner body is monomorphized
+        // per concrete CSR type, so the heap path keeps its old codegen.
+        let plan = match self.store.view() {
+            CsrView::Heap(g) => planner.plan(g, k),
+            CsrView::Mmap(v) => planner.plan(v, k),
+        };
         self.plans.insert(key, plan.clone());
         plan
     }
@@ -342,13 +388,14 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         }
         // Regenerate from the fixed selection stream: deterministic, and
         // the old pool is a shard-aligned prefix of the new one.
-        let (pool, _) = generate_rr_sets(
-            &self.graph,
-            &self.model,
-            theta,
-            self.select_seed,
-            self.threads,
-        );
+        let (pool, _) = match self.store.view() {
+            CsrView::Heap(g) => {
+                generate_rr_sets(g, &self.model, theta, self.select_seed, self.threads)
+            }
+            CsrView::Mmap(v) => {
+                generate_rr_sets(v, &self.model, theta, self.select_seed, self.threads)
+            }
+        };
         self.pool = pool;
         // Keep the inverted index fresh whenever the pool is non-empty, so
         // every subsequent same-θ greedy run — including the read-only
@@ -401,7 +448,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         let plan = self.plan_for(k, eps, ell);
         let resampled = self.ensure_theta(plan.theta);
         let outcome = self.answer_plan(&plan, resampled);
-        debug_assert_eq!(outcome.seeds.len(), plan.k.min(self.graph.n()));
+        debug_assert_eq!(outcome.seeds.len(), plan.k.min(self.store.n()));
         outcome
     }
 
@@ -410,7 +457,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
     /// and read-only select paths.
     fn answer_plan(&self, plan: &SamplingPlan, resampled: bool) -> QueryOutcome {
         debug_assert!(plan.theta <= self.pool_theta);
-        let n = self.graph.n() as f64;
+        let n = self.store.n() as f64;
         let cover = if plan.theta == self.pool_theta {
             greedy_max_cover_indexed(&self.pool, plan.k)
         } else {
@@ -486,7 +533,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
             });
         }
         let fast = self.fast.as_ref().expect("fast cover just ensured");
-        Self::fast_prefix_outcome(fast, k, self.pool_theta, self.graph.n(), resampled)
+        Self::fast_prefix_outcome(fast, k, self.pool_theta, self.store.n(), resampled)
     }
 
     /// Assembles the `k`-prefix answer from a cached full-pool greedy run.
@@ -541,7 +588,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
             fast,
             k,
             self.pool_theta,
-            self.graph.n(),
+            self.store.n(),
             false,
         ))
     }
@@ -556,7 +603,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         if self.pool_theta == 0 {
             self.warm();
         }
-        self.pool.coverage_fraction(seeds) * self.graph.n() as f64
+        self.pool.coverage_fraction(seeds) * self.store.n() as f64
     }
 
     /// Estimates the marginal spread gain of adding `candidate` to `base`:
@@ -574,7 +621,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         with.push(candidate);
         let after = self.pool.count_covered(&with);
         let denom = self.pool.len().max(1) as f64;
-        (after - before) as f64 / denom * self.graph.n() as f64
+        (after - before) as f64 / denom * self.store.n() as f64
     }
 
     /// Read-only [`spread`](Self::spread): `None` when the pool is cold
@@ -587,7 +634,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         if self.pool_theta == 0 {
             return None;
         }
-        Some(self.pool.coverage_fraction(seeds) * self.graph.n() as f64)
+        Some(self.pool.coverage_fraction(seeds) * self.store.n() as f64)
     }
 
     /// Read-only [`marginal_gain`](Self::marginal_gain): `None` when the
@@ -604,7 +651,7 @@ impl<M: DiffusionModel + Sync + Clone> QueryEngine<M> {
         with.push(candidate);
         let after = self.pool.count_covered(&with);
         let denom = self.pool.len().max(1) as f64;
-        Some((after - before) as f64 / denom * self.graph.n() as f64)
+        Some((after - before) as f64 / denom * self.store.n() as f64)
     }
 }
 
@@ -626,6 +673,64 @@ mod tests {
             .seed(seed)
             .threads(2)
             .k_max(12)
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_backed_engine_answers_identically_to_heap() {
+        // The warm-state tenancy story depends on this: a pool sampled on
+        // a heap graph must attach to the mmap view of the same snapshot,
+        // and every query class must answer byte-identically.
+        let g = wc_graph(300, 1);
+        let labels: Vec<u64> = (0..g.n() as u64).collect();
+        let dir = std::env::temp_dir().join(format!("tim_engine_mmap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.timg");
+        tim_graph::snapshot::save_snapshot_v2(&g, &labels, &path).unwrap();
+
+        let mut heap = QueryEngine::new(g, IndependentCascade, "ic")
+            .epsilon(0.8)
+            .seed(5)
+            .threads(2)
+            .k_max(12);
+        let store = GraphStore::open_mmap(&path).unwrap();
+        assert!(store.is_mmap());
+        let mut mapped = QueryEngine::with_store(store, IndependentCascade, "ic")
+            .epsilon(0.8)
+            .seed(5)
+            .threads(2)
+            .k_max(12);
+        assert_eq!(heap.graph_checksum(), mapped.graph_checksum());
+        assert_eq!(heap.warm(), mapped.warm());
+        for k in [1usize, 6, 12] {
+            let h = heap.select(k);
+            let m = mapped.select(k);
+            assert_eq!(h.seeds, m.seeds, "k={k}");
+            assert_eq!(h.theta_used, m.theta_used);
+            assert_eq!(h.estimated_spread, m.estimated_spread);
+        }
+        let seeds = heap.select(6).seeds;
+        assert_eq!(heap.spread(&seeds), mapped.spread(&seeds));
+        assert_eq!(
+            heap.marginal_gain(&seeds, 99),
+            mapped.marginal_gain(&seeds, 99)
+        );
+        assert_eq!(heap.select_fast(9).seeds, mapped.select_fast(9).seeds);
+
+        // A pool spilled from the heap engine attaches to the mmap store
+        // (identical provenance) and keeps answering identically.
+        let pool = heap.to_pool();
+        let mut restored = QueryEngine::from_pool_store(
+            GraphStore::open_mmap(&path).unwrap(),
+            IndependentCascade,
+            "ic",
+            pool,
+        )
+        .expect("heap-sampled pool must attach to the mmap backing");
+        let out = restored.select(6);
+        assert_eq!(out.seeds, seeds);
+        assert!(!out.resampled);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

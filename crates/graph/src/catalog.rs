@@ -117,6 +117,9 @@ pub struct GraphOverrides {
     /// Weight-spec override (`weights=lt`; validated when the graph
     /// loads, like the global `--weights`).
     pub weights: Option<String>,
+    /// Backing override (`mmap=on` / `mmap=off`): serve this tenant as a
+    /// zero-copy view over a v2 snapshot instead of decoding to the heap.
+    pub mmap: Option<bool>,
 }
 
 impl GraphOverrides {
@@ -192,10 +195,24 @@ impl GraphOverrides {
                     return Err(dup(key));
                 }
             }
+            "mmap" => {
+                let flag = match value {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => {
+                        return Err(bad(format!(
+                            "graph override 'mmap={other}' must be on or off"
+                        )))
+                    }
+                };
+                if self.mmap.replace(flag).is_some() {
+                    return Err(dup(key));
+                }
+            }
             other => {
                 return Err(bad(format!(
-                    "unknown graph override '{other}' (known: model, eps, ell, seed, k, weights)"
-                )))
+                "unknown graph override '{other}' (known: model, eps, ell, seed, k, weights, mmap)"
+            )))
             }
         }
         Ok(())
@@ -325,13 +342,16 @@ mod tests {
 
     #[test]
     fn overrides_parse_validate_and_reject() {
-        let o = GraphOverrides::parse("model=lt,eps=0.2,ell=2,seed=9,k=20,weights=lt").unwrap();
+        let o =
+            GraphOverrides::parse("model=lt,eps=0.2,ell=2,seed=9,k=20,weights=lt,mmap=on").unwrap();
         assert_eq!(o.model.as_deref(), Some("lt"));
         assert_eq!(o.epsilon, Some(0.2));
         assert_eq!(o.ell, Some(2.0));
         assert_eq!(o.seed, Some(9));
         assert_eq!(o.k_max, Some(20));
         assert_eq!(o.weights.as_deref(), Some("lt"));
+        assert_eq!(o.mmap, Some(true));
+        assert_eq!(GraphOverrides::parse("mmap=off").unwrap().mmap, Some(false));
         assert!(!o.is_empty());
         assert!(GraphOverrides::parse("").unwrap().is_empty());
         for bad in [
@@ -347,6 +367,8 @@ mod tests {
             "eps=0.1,eps=0.2",
             "weights=bogus",
             "weights=const:x",
+            "mmap=maybe",
+            "mmap=on,mmap=off",
         ] {
             assert!(GraphOverrides::parse(bad).is_err(), "{bad:?} accepted");
         }

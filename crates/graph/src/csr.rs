@@ -2,6 +2,74 @@
 
 use crate::NodeId;
 
+/// Read-only access to a probability-weighted CSR graph — the accessor
+/// surface that RR-set sampling, forward simulation, and greedy coverage
+/// actually touch, abstracted over the backing storage.
+///
+/// Two implementations exist: the heap-resident [`Graph`] (adjacency in
+/// `Vec`s) and the zero-copy [`MmapCsr`](crate::MmapCsr) view over a
+/// memory-mapped `.timg` v2 snapshot. Generic samplers take `G: CsrAccess`
+/// and are monomorphized per backing, so the hot heap path keeps exactly
+/// the codegen it had when it was written against `&Graph` directly.
+///
+/// Implementations must guarantee that for every `v < n()` the accessor
+/// methods return without panicking and that the neighbor/probability
+/// slices for `v` have equal lengths; both backings validate their CSR
+/// structure at construction time to uphold this.
+pub trait CsrAccess: Sync {
+    /// Number of nodes `n`.
+    fn n(&self) -> usize;
+    /// Number of directed edges `m`.
+    fn m(&self) -> usize;
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: NodeId) -> usize;
+    /// In-degree of `v`.
+    fn in_degree(&self, v: NodeId) -> usize;
+    /// Targets of `v`'s out-edges.
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId];
+    /// Probabilities aligned with [`out_neighbors`](Self::out_neighbors).
+    fn out_probabilities(&self, v: NodeId) -> &[f32];
+    /// Sources of `v`'s in-edges.
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId];
+    /// Probabilities aligned with [`in_neighbors`](Self::in_neighbors).
+    fn in_probabilities(&self, v: NodeId) -> &[f32];
+}
+
+impl CsrAccess for Graph {
+    #[inline]
+    fn n(&self) -> usize {
+        Graph::n(self)
+    }
+    #[inline]
+    fn m(&self) -> usize {
+        Graph::m(self)
+    }
+    #[inline]
+    fn out_degree(&self, v: NodeId) -> usize {
+        Graph::out_degree(self, v)
+    }
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> usize {
+        Graph::in_degree(self, v)
+    }
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        Graph::out_neighbors(self, v)
+    }
+    #[inline]
+    fn out_probabilities(&self, v: NodeId) -> &[f32] {
+        Graph::out_probabilities(self, v)
+    }
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        Graph::in_neighbors(self, v)
+    }
+    #[inline]
+    fn in_probabilities(&self, v: NodeId) -> &[f32] {
+        Graph::in_probabilities(self, v)
+    }
+}
+
 /// A directed graph with per-edge propagation probabilities, stored as a
 /// pair of CSR adjacency structures (forward and reverse).
 ///

@@ -22,7 +22,12 @@
 //!   [`io::load_graph`] which transparently dispatches between text and
 //!   binary inputs;
 //! - [`snapshot`] — versioned, checksummed binary graph snapshots
-//!   (`.timg`) that skip text parsing and label remapping entirely.
+//!   (`.timg`): the heap-oriented v1 layout plus the page-aligned,
+//!   mmap-able v2 layout;
+//! - [`MmapCsr`] / [`GraphStore`] — zero-copy out-of-core serving: a v2
+//!   snapshot mapped read-only behind the same [`CsrAccess`] trait the
+//!   heap [`Graph`] implements, dispatched once per operation through a
+//!   backing-agnostic store handle.
 
 pub mod analysis;
 mod builder;
@@ -31,12 +36,16 @@ mod csr;
 mod error;
 pub mod gen;
 pub mod io;
+pub mod mmap;
 pub mod snapshot;
+mod store;
 pub mod weights;
 
 pub use builder::GraphBuilder;
-pub use csr::{DegreeStats, Graph};
+pub use csr::{CsrAccess, DegreeStats, Graph};
 pub use error::GraphError;
+pub use mmap::MmapCsr;
+pub use store::{CsrView, GraphStore};
 
 /// A node identifier. Dense in `[0, n)`.
 pub type NodeId = u32;

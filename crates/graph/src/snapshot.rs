@@ -23,6 +23,33 @@
 //! Any truncation, trailing garbage, bit flip, or structural violation is
 //! rejected with [`GraphError::Snapshot`].
 //!
+//! # File layout (version 2, little-endian, page-aligned)
+//!
+//! Version 2 is the **mmap-able** layout: a fixed header plus a section
+//! table, every section starting on a 4096-byte boundary so a
+//! [`MmapCsr`](crate::MmapCsr) can serve naturally-aligned `u64`/`u32`
+//! slices straight out of the mapping with zero copies.
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 0..4 | magic `b"TIMG"` |
+//! | 4..8 | format version (`u32` = 2) |
+//! | 8..16 | FNV-1a checksum of bytes `16..272` (header integrity) |
+//! | 16..32 | `n`, `m` (`u64` each) |
+//! | 32..40 | graph content checksum ([`graph_checksum`] of the heap form) |
+//! | 40..48 | section count (`u64` = 7) |
+//! | 48..272 | section table: 7 × { id `u32`, reserved `u32`, offset `u64`, length `u64`, FNV-1a `u64` } |
+//! | 4096… | sections, in table order, each offset 4096-aligned |
+//!
+//! Sections, in fixed order: `out_offsets` (`(n+1)×u64`), `out_targets`
+//! (`m×u32`), `out_probs` (`m×u32` f32 bits), `in_offsets`, `in_sources`,
+//! `in_probs`, `labels` (`n×u64`). The header checksum covers the section
+//! table, so offsets/lengths and the per-section checksums are
+//! tamper-evident without touching any section; per-section FNV checksums
+//! let validation be deferred section-by-section
+//! ([`MmapCsr::verify`](crate::MmapCsr::verify)), while the eager heap
+//! decoder ([`load_snapshot`] on a v2 file) always verifies everything.
+//!
 //! ```
 //! use tim_graph::{snapshot, Graph};
 //!
@@ -45,8 +72,32 @@ use std::path::Path;
 /// The four magic bytes opening every snapshot file.
 pub const MAGIC: [u8; 4] = *b"TIMG";
 
-/// Current snapshot format version.
+/// The heap-oriented snapshot format version.
 pub const VERSION: u32 = 1;
+
+/// The page-aligned, mmap-able snapshot format version.
+pub const VERSION_V2: u32 = 2;
+
+/// Alignment of every v2 section offset (one page on every platform we
+/// serve from; also a multiple of the natural alignment of `u64`).
+pub const V2_ALIGN: u64 = 4096;
+
+/// Number of sections in a v2 snapshot.
+pub const V2_SECTION_COUNT: usize = 7;
+
+/// Total bytes of the v2 header including the section table.
+pub const V2_HEADER_BYTES: u64 = 48 + V2_SECTION_COUNT as u64 * 32;
+
+/// Section indices of the v2 layout, in file order.
+pub(crate) mod v2_section {
+    pub const OUT_OFFSETS: usize = 0;
+    pub const OUT_TARGETS: usize = 1;
+    pub const OUT_PROBS: usize = 2;
+    pub const IN_OFFSETS: usize = 3;
+    pub const IN_SOURCES: usize = 4;
+    pub const IN_PROBS: usize = 5;
+    pub const LABELS: usize = 6;
+}
 
 /// Streaming FNV-1a (64-bit) hasher; dependency-free and fast enough to
 /// checksum multi-hundred-megabyte snapshots in a single pass.
@@ -250,9 +301,17 @@ fn decode_snapshot(bytes: &[u8]) -> Result<LoadedGraph, GraphError> {
         });
     }
     let version = u32::from_le_bytes(cur.take(4, "version")?.try_into().expect("4 bytes"));
+    // Version gate: v2 files decode eagerly into the same heap form (a
+    // caller asking for a heap graph gets one regardless of the on-disk
+    // layout); anything else is from the future and must be rejected.
+    if version == VERSION_V2 {
+        return decode_snapshot_v2(bytes);
+    }
     if version != VERSION {
         return Err(GraphError::Snapshot {
-            message: format!("unsupported snapshot version {version} (expected {VERSION})"),
+            message: format!(
+                "unsupported snapshot version {version} (expected {VERSION} or {VERSION_V2})"
+            ),
         });
     }
     let stored_checksum = cur.u64("checksum")?;
@@ -322,6 +381,386 @@ pub fn save_snapshot<P: AsRef<Path>>(
 /// Loads a snapshot from `path`.
 pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<LoadedGraph, GraphError> {
     decode_snapshot(&std::fs::read(path)?)
+}
+
+fn snap_err(message: impl Into<String>) -> GraphError {
+    GraphError::Snapshot {
+        message: message.into(),
+    }
+}
+
+/// One entry of the v2 section table, already bounds-validated against the
+/// file it came from.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct V2Section {
+    /// Byte offset of the section from the start of the file (4096-aligned).
+    pub offset: u64,
+    /// Section length in bytes (exactly the expected length for `n`/`m`).
+    pub len: u64,
+    /// FNV-1a checksum of the section bytes.
+    pub fnv: u64,
+}
+
+/// The validated v2 header: counts, content checksum, and section table.
+#[derive(Debug, Clone)]
+pub(crate) struct V2Layout {
+    pub n: u64,
+    pub m: u64,
+    /// [`graph_checksum`] of the decoded heap form, as recorded at write
+    /// time and covered by the header checksum — pool provenance for
+    /// mmap-backed graphs without an O(m) hash at open.
+    pub checksum: u64,
+    pub sections: [V2Section; V2_SECTION_COUNT],
+}
+
+/// Expected byte length of v2 section `i` for an `(n, m)` graph; `None` on
+/// arithmetic overflow (a hostile header must fail cleanly, not wrap).
+pub(crate) fn v2_expected_len(i: usize, n: u64, m: u64) -> Option<u64> {
+    match i {
+        v2_section::OUT_OFFSETS | v2_section::IN_OFFSETS => n.checked_add(1)?.checked_mul(8),
+        v2_section::OUT_TARGETS
+        | v2_section::OUT_PROBS
+        | v2_section::IN_SOURCES
+        | v2_section::IN_PROBS => m.checked_mul(4),
+        v2_section::LABELS => n.checked_mul(8),
+        _ => None,
+    }
+}
+
+/// Parses and validates a v2 header against the file's real length:
+/// magic, version, header checksum, count sanity, and a section table
+/// whose entries are canonically ordered, page-aligned, exactly the
+/// expected length, in bounds, and non-overlapping. After this check a
+/// reader may index any section without further bounds tests.
+pub(crate) fn parse_v2_layout(bytes: &[u8], file_len: u64) -> Result<V2Layout, GraphError> {
+    let header_len = V2_HEADER_BYTES as usize;
+    if bytes.len() < header_len {
+        return Err(snap_err("truncated v2 header"));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(snap_err("not a TIMG snapshot (bad magic)"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION_V2 {
+        return Err(snap_err(format!("not a v2 snapshot (version {version})")));
+    }
+    let stored = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let mut h = Fnv1a::new();
+    h.update(&bytes[16..header_len]);
+    if h.finish() != stored {
+        return Err(snap_err(format!(
+            "v2 header checksum mismatch: file says {stored:#018x}, header hashes to {:#018x}",
+            h.finish()
+        )));
+    }
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+    let n = u64_at(16);
+    let m = u64_at(24);
+    let checksum = u64_at(32);
+    let section_count = u64_at(40);
+    if section_count != V2_SECTION_COUNT as u64 {
+        return Err(snap_err(format!(
+            "v2 snapshot claims {section_count} sections (expected {V2_SECTION_COUNT})"
+        )));
+    }
+    // NodeId is u32: a node count at or above 2^32 cannot be represented,
+    // and (n+1)*8 must not overflow either.
+    if n >= u64::from(u32::MAX) {
+        return Err(snap_err(format!("v2 node count {n} overflows NodeId")));
+    }
+
+    let mut sections = [V2Section {
+        offset: 0,
+        len: 0,
+        fnv: 0,
+    }; V2_SECTION_COUNT];
+    let mut min_start = V2_HEADER_BYTES;
+    for (i, section) in sections.iter_mut().enumerate() {
+        let base = 48 + i * 32;
+        let id = u32::from_le_bytes(bytes[base..base + 4].try_into().expect("4 bytes"));
+        if id as usize != i {
+            return Err(snap_err(format!(
+                "v2 section {i} has id {id} (table must be in canonical order)"
+            )));
+        }
+        let offset = u64_at(base + 8);
+        let len = u64_at(base + 16);
+        let fnv = u64_at(base + 24);
+        let expected = v2_expected_len(i, n, m)
+            .ok_or_else(|| snap_err(format!("v2 section {i} length overflows")))?;
+        if len != expected {
+            return Err(snap_err(format!(
+                "v2 section {i} is {len} bytes (expected {expected} for n = {n}, m = {m})"
+            )));
+        }
+        if offset % V2_ALIGN != 0 {
+            return Err(snap_err(format!(
+                "v2 section {i} offset {offset} is not {V2_ALIGN}-aligned"
+            )));
+        }
+        if offset < min_start {
+            return Err(snap_err(format!(
+                "v2 section {i} at offset {offset} overlaps the header or a previous section"
+            )));
+        }
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= file_len)
+            .ok_or_else(|| {
+                snap_err(format!(
+                    "v2 section {i} ({offset}+{len} bytes) runs past the end of the file"
+                ))
+            })?;
+        min_start = end;
+        *section = V2Section { offset, len, fnv };
+    }
+    if min_start != file_len {
+        return Err(snap_err(format!(
+            "{} trailing bytes after the last v2 section",
+            file_len - min_start
+        )));
+    }
+    Ok(V2Layout {
+        n,
+        m,
+        checksum,
+        sections,
+    })
+}
+
+/// Validates CSR structure over raw little-endian section views — the
+/// invariant scan both v2 readers share: offsets run monotonically from 0
+/// to `m`, every endpoint names a node below `n`, and every probability is
+/// a finite value in `[0, 1]`. After this scan, slice-based accessors can
+/// never panic or read out of bounds for `v < n`.
+pub(crate) fn validate_v2_csr(
+    n: u64,
+    m: u64,
+    out_offsets: &[u64],
+    out_targets: &[u32],
+    in_offsets: &[u64],
+    in_sources: &[u32],
+    probs: [&[u32]; 2],
+) -> Result<(), GraphError> {
+    for (what, offsets, endpoints) in [
+        ("out", out_offsets, out_targets),
+        ("in", in_offsets, in_sources),
+    ] {
+        if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
+            return Err(snap_err(format!(
+                "v2 {what} offsets must run from 0 to the edge count"
+            )));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(snap_err(format!(
+                "v2 {what} offsets must be non-decreasing"
+            )));
+        }
+        if let Some(&bad) = endpoints.iter().find(|&&e| u64::from(e) >= n) {
+            return Err(snap_err(format!("v2 {what} endpoint {bad} out of range")));
+        }
+    }
+    for bits in probs {
+        if let Some(&bad) = bits
+            .iter()
+            .find(|&&b| !(0.0..=1.0).contains(&f32::from_bits(b)))
+        {
+            return Err(snap_err(format!(
+                "v2 probability {} out of range",
+                f32::from_bits(bad)
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Serializes `graph` and its labels in the page-aligned v2 layout.
+///
+/// Same contract as [`write_snapshot`], different bytes: the result can be
+/// decoded eagerly ([`read_snapshot`] / [`load_snapshot`] version-gate on
+/// the header) or attached zero-copy via [`MmapCsr`](crate::MmapCsr).
+pub fn write_snapshot_v2<W: Write>(
+    graph: &Graph,
+    labels: &[u64],
+    mut writer: W,
+) -> Result<(), GraphError> {
+    if labels.len() != graph.n() {
+        return Err(snap_err(format!(
+            "label map has {} entries for a {}-node graph",
+            labels.len(),
+            graph.n()
+        )));
+    }
+    let mut sections: [Vec<u8>; V2_SECTION_COUNT] = Default::default();
+    put_u64s(
+        &mut sections[v2_section::OUT_OFFSETS],
+        graph.out_offsets.iter().map(|&o| o as u64),
+    );
+    put_u32s(
+        &mut sections[v2_section::OUT_TARGETS],
+        graph.out_targets.iter().copied(),
+    );
+    put_u32s(
+        &mut sections[v2_section::OUT_PROBS],
+        graph.out_probs.iter().map(|p| p.to_bits()),
+    );
+    put_u64s(
+        &mut sections[v2_section::IN_OFFSETS],
+        graph.in_offsets.iter().map(|&o| o as u64),
+    );
+    put_u32s(
+        &mut sections[v2_section::IN_SOURCES],
+        graph.in_sources.iter().copied(),
+    );
+    put_u32s(
+        &mut sections[v2_section::IN_PROBS],
+        graph.in_probs.iter().map(|p| p.to_bits()),
+    );
+    put_u64s(&mut sections[v2_section::LABELS], labels.iter().copied());
+
+    // Section table: assign page-aligned offsets and per-section checksums.
+    let mut table = Vec::with_capacity(V2_SECTION_COUNT * 32);
+    let mut offset = V2_ALIGN.max(V2_HEADER_BYTES.div_ceil(V2_ALIGN) * V2_ALIGN);
+    let mut offsets = [0u64; V2_SECTION_COUNT];
+    for (i, section) in sections.iter().enumerate() {
+        offsets[i] = offset;
+        let mut h = Fnv1a::new();
+        h.update(section);
+        table.extend_from_slice(&(i as u32).to_le_bytes());
+        table.extend_from_slice(&0u32.to_le_bytes()); // reserved
+        table.extend_from_slice(&offset.to_le_bytes());
+        table.extend_from_slice(&(section.len() as u64).to_le_bytes());
+        table.extend_from_slice(&h.finish().to_le_bytes());
+        offset = (offset + section.len() as u64).div_ceil(V2_ALIGN) * V2_ALIGN;
+    }
+
+    let mut header_body = Vec::with_capacity(V2_HEADER_BYTES as usize - 16);
+    put_u64s(
+        &mut header_body,
+        [
+            graph.n() as u64,
+            graph.m() as u64,
+            graph_checksum(graph),
+            V2_SECTION_COUNT as u64,
+        ],
+    );
+    header_body.extend_from_slice(&table);
+    let mut h = Fnv1a::new();
+    h.update(&header_body);
+
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION_V2.to_le_bytes())?;
+    writer.write_all(&h.finish().to_le_bytes())?;
+    writer.write_all(&header_body)?;
+    let mut written = V2_HEADER_BYTES;
+    for (i, section) in sections.iter().enumerate() {
+        // Zero padding up to the section's page boundary. The last section
+        // is NOT padded: the file ends exactly at its final byte, so the
+        // decoder can reject trailing garbage.
+        writer.write_all(&vec![0u8; (offsets[i] - written) as usize])?;
+        writer.write_all(section)?;
+        written = offsets[i] + section.len() as u64;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Saves `graph` and its label map to `path` in the v2 layout.
+pub fn save_snapshot_v2<P: AsRef<Path>>(
+    graph: &Graph,
+    labels: &[u64],
+    path: P,
+) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_snapshot_v2(graph, labels, std::io::BufWriter::new(file))
+}
+
+/// Eager heap decode of a v2 snapshot: verifies the header, **every**
+/// per-section checksum, the CSR structure, and that the decoded graph
+/// hashes to the content checksum the header claims.
+fn decode_snapshot_v2(bytes: &[u8]) -> Result<LoadedGraph, GraphError> {
+    let layout = parse_v2_layout(bytes, bytes.len() as u64)?;
+    for (i, s) in layout.sections.iter().enumerate() {
+        let data = &bytes[s.offset as usize..(s.offset + s.len) as usize];
+        let mut h = Fnv1a::new();
+        h.update(data);
+        if h.finish() != s.fnv {
+            return Err(snap_err(format!(
+                "v2 section {i} checksum mismatch: table says {:#018x}, data hashes to {:#018x}",
+                s.fnv,
+                h.finish()
+            )));
+        }
+    }
+    let u64s = |i: usize| -> Vec<u64> {
+        let s = &layout.sections[i];
+        bytes[s.offset as usize..(s.offset + s.len) as usize]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()
+    };
+    let u32s = |i: usize| -> Vec<u32> {
+        let s = &layout.sections[i];
+        bytes[s.offset as usize..(s.offset + s.len) as usize]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect()
+    };
+    let (n, m) = (layout.n as usize, layout.m as usize);
+    let out_offsets = offsets_from(u64s(v2_section::OUT_OFFSETS), m, "out offsets")?;
+    let in_offsets = offsets_from(u64s(v2_section::IN_OFFSETS), m, "in offsets")?;
+    let graph = Graph {
+        n,
+        out_offsets,
+        out_targets: u32s(v2_section::OUT_TARGETS),
+        out_probs: u32s(v2_section::OUT_PROBS)
+            .into_iter()
+            .map(f32::from_bits)
+            .collect(),
+        in_offsets,
+        in_sources: u32s(v2_section::IN_SOURCES),
+        in_probs: u32s(v2_section::IN_PROBS)
+            .into_iter()
+            .map(f32::from_bits)
+            .collect(),
+    };
+    graph.validate().map_err(|message| GraphError::Snapshot {
+        message: format!("invalid CSR in v2 snapshot: {message}"),
+    })?;
+    let actual = graph_checksum(&graph);
+    if actual != layout.checksum {
+        return Err(snap_err(format!(
+            "v2 content checksum mismatch: header says {:#018x}, graph hashes to {actual:#018x}",
+            layout.checksum
+        )));
+    }
+    Ok(LoadedGraph {
+        graph,
+        labels: u64s(v2_section::LABELS),
+    })
+}
+
+/// Reads the snapshot version of the file at `path`: `None` when the file
+/// does not start with the snapshot magic, `Some(version)` otherwise.
+///
+/// The catalog uses this to decide whether a path can be attached
+/// mmap-backed (only v2 files can) without parsing anything.
+pub fn snapshot_version<P: AsRef<Path>>(path: P) -> Result<Option<u32>, GraphError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut head = [0u8; 8];
+    let mut filled = 0;
+    while filled < head.len() {
+        match file.read(&mut head[filled..])? {
+            0 => return Ok(None), // shorter than the header prefix
+            k => filled += k,
+        }
+    }
+    if head[0..4] != MAGIC {
+        return Ok(None);
+    }
+    Ok(Some(u32::from_le_bytes(
+        head[4..8].try_into().expect("4 bytes"),
+    )))
 }
 
 /// True when the file at `path` starts with the snapshot magic bytes.
@@ -487,6 +926,105 @@ mod tests {
         assert_eq!(graph_checksum(&loaded.graph), graph_checksum(&g));
         std::fs::remove_file(&snap).ok();
         std::fs::remove_file(&text).ok();
+    }
+
+    fn encode_v2(g: &Graph, labels: &[u64]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot_v2(g, labels, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn v2_round_trip_is_bit_identical() {
+        let (g, labels) = sample();
+        let loaded = read_snapshot(encode_v2(&g, &labels).as_slice()).unwrap();
+        assert_eq!(loaded.labels, labels);
+        for v in 0..g.n() as NodeId {
+            assert_eq!(loaded.graph.out_neighbors(v), g.out_neighbors(v));
+            assert_eq!(loaded.graph.out_probabilities(v), g.out_probabilities(v));
+            assert_eq!(loaded.graph.in_neighbors(v), g.in_neighbors(v));
+            assert_eq!(loaded.graph.in_probabilities(v), g.in_probabilities(v));
+        }
+        assert_eq!(graph_checksum(&loaded.graph), graph_checksum(&g));
+    }
+
+    #[test]
+    fn v2_sections_are_page_aligned_and_exactly_sized() {
+        let (g, labels) = sample();
+        let bytes = encode_v2(&g, &labels);
+        let layout = parse_v2_layout(&bytes, bytes.len() as u64).unwrap();
+        assert_eq!(layout.n, g.n() as u64);
+        assert_eq!(layout.m, g.m() as u64);
+        assert_eq!(layout.checksum, graph_checksum(&g));
+        for (i, s) in layout.sections.iter().enumerate() {
+            assert_eq!(s.offset % V2_ALIGN, 0, "section {i}");
+            assert_eq!(
+                s.len,
+                v2_expected_len(i, layout.n, layout.m).unwrap(),
+                "section {i}"
+            );
+        }
+        let last = layout.sections[V2_SECTION_COUNT - 1];
+        assert_eq!(bytes.len() as u64, last.offset + last.len);
+    }
+
+    #[test]
+    fn v2_decodes_identically_to_v1() {
+        let (g, labels) = sample();
+        let v1 = read_snapshot(encode(&g, &labels).as_slice()).unwrap();
+        let v2 = read_snapshot(encode_v2(&g, &labels).as_slice()).unwrap();
+        assert_eq!(v1.labels, v2.labels);
+        assert_eq!(
+            graph_checksum(&v1.graph),
+            graph_checksum(&v2.graph),
+            "both versions must decode to the same graph"
+        );
+    }
+
+    #[test]
+    fn snapshot_version_distinguishes_formats() {
+        let (g, labels) = sample();
+        let dir = std::env::temp_dir().join(format!("timg_ver_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1 = dir.join("g1.timg");
+        let v2 = dir.join("g2.timg");
+        let text = dir.join("g.txt");
+        save_snapshot(&g, &labels, &v1).unwrap();
+        save_snapshot_v2(&g, &labels, &v2).unwrap();
+        crate::io::save_edge_list(&g, &text).unwrap();
+        assert_eq!(snapshot_version(&v1).unwrap(), Some(VERSION));
+        assert_eq!(snapshot_version(&v2).unwrap(), Some(VERSION_V2));
+        assert_eq!(snapshot_version(&text).unwrap(), None);
+        assert!(sniff_snapshot(&v2).unwrap(), "sniffing is version-agnostic");
+        let loaded = load_snapshot(&v2).unwrap();
+        assert_eq!(graph_checksum(&loaded.graph), graph_checksum(&g));
+        for p in [&v1, &v2, &text] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn v2_flipped_section_bit_fails_its_checksum() {
+        let (g, labels) = sample();
+        let mut bytes = encode_v2(&g, &labels);
+        let layout = parse_v2_layout(&bytes, bytes.len() as u64).unwrap();
+        let probe = layout.sections[v2_section::OUT_TARGETS].offset as usize + 2;
+        bytes[probe] ^= 0x10;
+        assert!(matches!(
+            read_snapshot(bytes.as_slice()),
+            Err(GraphError::Snapshot { message }) if message.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn v2_flipped_header_bit_fails_header_checksum() {
+        let (g, labels) = sample();
+        let mut bytes = encode_v2(&g, &labels);
+        bytes[17] ^= 0x01; // inside n, covered by the header checksum
+        assert!(matches!(
+            read_snapshot(bytes.as_slice()),
+            Err(GraphError::Snapshot { message }) if message.contains("header checksum")
+        ));
     }
 
     #[test]

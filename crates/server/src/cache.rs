@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use tim_diffusion::DiffusionModel;
+use tim_diffusion::BackingModel;
 use tim_engine::{PoolId, PoolStore, RrPool, SharedEngine};
 
 /// Pool-cache key: the full provenance a pool depends on — exactly the
@@ -129,7 +129,7 @@ impl<M> std::fmt::Debug for PoolCache<M> {
 
 const POISONED: &str = "pool cache mutex poisoned";
 
-impl<M: DiffusionModel + Sync + Clone> PoolCache<M> {
+impl<M: BackingModel + Clone> PoolCache<M> {
     /// Creates an empty in-memory cache holding at most `capacity`
     /// engines (no persistent store: eviction discards, restarts rebuild).
     ///

@@ -43,11 +43,10 @@ use crate::server::ServerConfig;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock, Weak};
-use tim_diffusion::DiffusionModel;
+use tim_diffusion::BackingModel;
 use tim_engine::{PoolStore, QueryEngine, RrPool, SharedEngine};
 use tim_graph::catalog::GraphOverrides;
-use tim_graph::snapshot::graph_checksum;
-use tim_graph::{io, weights, Graph};
+use tim_graph::{io, weights, Graph, GraphStore};
 
 /// Everything one served graph needs, shared immutably across sessions:
 /// the graph, its label map, the model, the effective configuration, and
@@ -57,16 +56,15 @@ use tim_graph::{io, weights, Graph};
 #[derive(Debug)]
 pub struct GraphState<M> {
     name: String,
-    graph: Arc<Graph>,
+    store: GraphStore,
     labels: Arc<LabelMap>,
     model: M,
     model_name: String,
     config: Arc<ServerConfig>,
-    graph_checksum: u64,
     cache: PoolCache<M>,
 }
 
-impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
+impl<M: BackingModel + Send + Clone + 'static> GraphState<M> {
     /// Builds the per-graph state. `config` is the graph's *effective*
     /// configuration (global defaults with any per-graph overrides
     /// already applied); `store`, when given, makes the pool cache
@@ -88,7 +86,34 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
         config: Arc<ServerConfig>,
         store: Option<Arc<PoolStore>>,
     ) -> Self {
-        let graph: Arc<Graph> = graph.into();
+        Self::from_store(
+            name,
+            GraphStore::from_arc(graph.into()),
+            labels,
+            model,
+            model_name,
+            config,
+            store,
+        )
+    }
+
+    /// [`new`](Self::new) over an arbitrary [`GraphStore`] backing —
+    /// this is how an mmap tenant enters the catalog: the graph stays on
+    /// disk, queries read pages through the zero-copy view, and every
+    /// answer (including pool provenance keys) is byte-identical to the
+    /// heap-backed state for the same snapshot.
+    ///
+    /// # Panics
+    /// Same contract as [`new`](Self::new).
+    pub fn from_store(
+        name: impl Into<String>,
+        graph: GraphStore,
+        labels: impl Into<Arc<LabelMap>>,
+        model: M,
+        model_name: impl Into<String>,
+        config: Arc<ServerConfig>,
+        store: Option<Arc<PoolStore>>,
+    ) -> Self {
         let labels: Arc<LabelMap> = labels.into();
         assert_eq!(
             labels.len(),
@@ -98,20 +123,18 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
         assert!(config.epsilon > 0.0, "epsilon must be positive");
         assert!(config.ell > 0.0, "ell must be positive");
         assert!(config.k_max >= 1, "k_max must be at least 1");
-        let checksum = graph_checksum(&graph);
         let cache = match store {
             Some(store) => PoolCache::with_store(config.pool_cache, store, config.persist_pools),
             None => PoolCache::new(config.pool_cache),
         };
         GraphState {
             name: name.into(),
-            graph,
+            store: graph,
             labels,
             model,
             model_name: model_name.into(),
             cache,
             config,
-            graph_checksum: checksum,
         }
     }
 
@@ -120,9 +143,14 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
         &self.name
     }
 
-    /// The graph served under this name.
-    pub fn graph(&self) -> &Arc<Graph> {
-        &self.graph
+    /// The backing store serving this name (heap or mmap).
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// True when this graph is served from a mapped snapshot.
+    pub fn is_mmap(&self) -> bool {
+        self.store.is_mmap()
     }
 
     /// The label map sessions answer through.
@@ -135,9 +163,9 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
         &self.config
     }
 
-    /// Content checksum of the served graph.
+    /// Content checksum of the served graph (backing-independent).
     pub fn graph_checksum(&self) -> u64 {
-        self.graph_checksum
+        self.store.checksum()
     }
 
     /// Pool-cache effectiveness counters for this graph.
@@ -158,7 +186,7 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
     /// The provenance key for a query at the given ε/ℓ (defaults applied).
     pub fn key_for(&self, eps: Option<f64>, ell: Option<f64>) -> PoolKey {
         PoolKey::new(
-            self.graph_checksum,
+            self.store.checksum(),
             self.model_name.clone(),
             self.config.seed,
             eps.unwrap_or(self.config.epsilon),
@@ -167,8 +195,8 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
     }
 
     fn build_engine(&self, eps: f64, ell: f64) -> SharedEngine<M> {
-        let mut engine = QueryEngine::new(
-            Arc::clone(&self.graph),
+        let mut engine = QueryEngine::with_store(
+            self.store.clone(),
             self.model.clone(),
             self.model_name.clone(),
         )
@@ -188,8 +216,8 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
     /// not the served graph) is reported to the cache, which quarantines
     /// the file and falls back to a build.
     fn restore_engine(&self, pool: RrPool) -> Result<SharedEngine<M>, String> {
-        let mut engine = QueryEngine::from_pool(
-            Arc::clone(&self.graph),
+        let mut engine = QueryEngine::from_pool_store(
+            self.store.clone(),
             self.model.clone(),
             self.model_name.clone(),
             pool,
@@ -257,9 +285,9 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphState<M> {
         format!(
             "stats: graph={} n={} m={} checksum={:016x} model={} eps={} ell={} seed={} k_max={}",
             self.name,
-            self.graph.n(),
-            self.graph.m(),
-            self.graph_checksum,
+            self.store.n(),
+            self.store.m(),
+            self.store.checksum(),
             self.model_name,
             self.config.epsilon,
             self.config.ell,
@@ -368,7 +396,7 @@ const POISONED: &str = "catalog lru mutex poisoned";
 const MAP_POISONED: &str = "catalog map lock poisoned";
 const SLOT_POISONED: &str = "catalog slot mutex poisoned";
 
-impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
+impl<M: BackingModel + Send + Clone + 'static> GraphCatalog<M> {
     /// Creates an empty catalog serving under `config`'s defaults, with
     /// `model` registered under the tag `model_name`.
     ///
@@ -678,6 +706,9 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
         if let Some(w) = &overrides.weights {
             config.weights = w.clone();
         }
+        if let Some(mmap) = overrides.mmap {
+            config.mmap = mmap;
+        }
         Arc::new(config)
     }
 
@@ -695,7 +726,38 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
             .cloned()
             .ok_or_else(|| format!("graph '{}': unknown model '{tag}'", slot.name))?;
         let (graph, labels) = match &slot.source {
-            GraphSource::Resident(graph, labels) => (Arc::clone(graph), Arc::clone(labels)),
+            GraphSource::Resident(graph, labels) => {
+                (GraphStore::from_arc(Arc::clone(graph)), Arc::clone(labels))
+            }
+            GraphSource::Path(path) if config.mmap => {
+                // Out-of-core tenant: map the v2 snapshot instead of
+                // decoding it. Probabilities live in the mapped file, so
+                // the only legal weight spec is "keep" — anything else
+                // would silently serve weights the operator did not ask
+                // for. A failure here leaves the slot unloaded (not
+                // poisoned): the next `use` retries from scratch.
+                if config.weights != "keep" {
+                    return Err(format!(
+                        "graph '{}': mmap serving requires weights=keep (probabilities are \
+                         baked into the v2 snapshot; bake them with `tim snapshot --format v2 \
+                         --weights {}` instead)",
+                        slot.name, config.weights
+                    ));
+                }
+                let store = GraphStore::open_mmap(path).map_err(|e| {
+                    format!(
+                        "graph '{}': mapping {}: {e} (mmap needs a v2 snapshot; \
+                         create one with `tim snapshot --format v2`)",
+                        slot.name,
+                        path.display()
+                    )
+                })?;
+                let labels = store
+                    .mmap_view()
+                    .map(|v| LabelMap::new(v.labels().to_vec()))
+                    .expect("open_mmap always yields an mmap store");
+                (store, Arc::new(labels))
+            }
             GraphSource::Path(path) => {
                 let mut loaded = io::load_graph(path, config.undirected).map_err(|e| {
                     format!("graph '{}': loading {}: {e}", slot.name, path.display())
@@ -703,7 +765,7 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
                 weights::apply_spec(&mut loaded.graph, &config.weights, config.seed)
                     .map_err(|e| format!("graph '{}': {e}", slot.name))?;
                 (
-                    Arc::new(loaded.graph),
+                    GraphStore::from(loaded.graph),
                     Arc::new(LabelMap::new(loaded.labels)),
                 )
             }
@@ -715,7 +777,7 @@ impl<M: DiffusionModel + Send + Sync + Clone + 'static> GraphCatalog<M> {
             )),
             None => None,
         };
-        Ok(GraphState::new(
+        Ok(GraphState::from_store(
             slot.name.clone(),
             graph,
             labels,

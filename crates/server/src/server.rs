@@ -22,7 +22,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use tim_diffusion::DiffusionModel;
+use tim_diffusion::BackingModel;
 use tim_engine::{QueryEngine, SharedEngine};
 use tim_graph::Graph;
 
@@ -56,6 +56,12 @@ pub struct ServerConfig {
     pub weights: String,
     /// Load lazily loaded catalog graphs as undirected (default false).
     pub undirected: bool,
+    /// Serve path-backed graphs as zero-copy mmap views of their v2
+    /// `.timg` snapshots instead of decoding them onto the heap
+    /// (default false). Requires `weights = "keep"` — probabilities are
+    /// baked into the snapshot and cannot be rewritten in place. Answers
+    /// are byte-identical to heap serving.
+    pub mmap: bool,
     /// Most *path-backed* graphs kept loaded at once; the
     /// least-recently-used one is evicted beyond this (default 8).
     /// Resident graphs are pinned and do not consume the budget.
@@ -103,6 +109,7 @@ impl Default for ServerConfig {
             verbose: false,
             weights: "wc".to_string(),
             undirected: false,
+            mmap: false,
             max_loaded: 8,
             pool_dir: None,
             persist_pools: false,
@@ -127,7 +134,7 @@ pub struct ServerState<M> {
     default_graph: String,
 }
 
-impl<M: DiffusionModel + Send + Sync + Clone + 'static> ServerState<M> {
+impl<M: BackingModel + Send + Clone + 'static> ServerState<M> {
     /// Builds a single-graph state: `graph` is registered resident (never
     /// evicted) under [`DEFAULT_GRAPH_NAME`]. Pools are built lazily on
     /// first use; call [`warm_default`](Self::warm_default) to pay the
@@ -280,7 +287,7 @@ pub struct Server<M> {
     addr: SocketAddr,
 }
 
-impl<M: DiffusionModel + Send + Sync + Clone + 'static> Server<M> {
+impl<M: BackingModel + Send + Clone + 'static> Server<M> {
     /// Binds to `addr` (use port 0 for an ephemeral port; the bound
     /// address is [`local_addr`](Self::local_addr)).
     pub fn bind(state: Arc<ServerState<M>>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
@@ -423,7 +430,7 @@ fn write_answers(writer: &mut TcpStream, answers: &[String]) -> std::io::Result<
 
 /// Serves one connection: one session, one answer line per request line,
 /// until EOF (a pending batch flushes at EOF).
-fn serve_connection<M: DiffusionModel + Send + Sync + Clone + 'static>(
+fn serve_connection<M: BackingModel + Send + Clone + 'static>(
     state: &ServerState<M>,
     stream: TcpStream,
 ) -> std::io::Result<()> {

@@ -222,6 +222,38 @@ kill $W2 2>/dev/null || true
 wait $W2 2>/dev/null || true
 trap - EXIT
 
+echo "== out-of-core: v2 snapshot served via mmap == heap transcript =="
+# Bake the WC probabilities into a page-aligned v2 snapshot, then run the
+# same scripted session through the heap loader (--weights keep) and the
+# zero-copy mmap backing (--mmap). The transcripts must be byte-identical.
+SNAP2=out/kick-tires/ba_small.v2.timg
+"$TIM" snapshot "$GRAPH" --out "$SNAP2" --format v2 --weights wc \
+    | tee out/kick-tires/snapshot_v2.txt
+"$TIM" query "$SNAP2" -k 10 --eps 0.3 --seed 7 --weights keep < "$SESSION" \
+    > out/kick-tires/oc_heap.txt
+"$TIM" query "$SNAP2" -k 10 --eps 0.3 --seed 7 --mmap < "$SESSION" \
+    > out/kick-tires/oc_mmap.txt
+diff out/kick-tires/oc_heap.txt out/kick-tires/oc_mmap.txt \
+    && echo "mmap-backed answers byte-identical to heap answers: OK"
+# Serve the mapped graph and replay the session through a live client too.
+"$TIM" serve "$SNAP2" --addr 127.0.0.1:0 --mmap -k 10 --eps 0.3 --seed 7 \
+    > out/kick-tires/oc_serve.addr 2> out/kick-tires/oc_serve.log &
+OC_PID=$!
+trap 'kill $OC_PID 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' out/kick-tires/oc_serve.addr 2>/dev/null && break
+    sleep 0.1
+done
+OC_ADDR=$(sed -n 's/^listening on //p' out/kick-tires/oc_serve.addr)
+echo "mmap-backed server at $OC_ADDR (pid $OC_PID)"
+"$TIM" client --addr "$OC_ADDR" --timeout 60 < "$SESSION" \
+    > out/kick-tires/oc_serve_answers.txt
+kill $OC_PID 2>/dev/null || true
+wait $OC_PID 2>/dev/null || true
+trap - EXIT
+diff out/kick-tires/oc_heap.txt out/kick-tires/oc_serve_answers.txt \
+    && echo "mmap-backed serve byte-identical to heap query: OK"
+
 echo "== experiment driver (quick): Figure 4 phase breakdown =="
 cargo run --release -p tim_bench --bin experiments -- fig4 --quick --scale 0.2 \
     | tee out/kick-tires/fig4_quick.txt
