@@ -1,7 +1,8 @@
 //! Validates a bench report against its schema, dispatching on the
 //! report's `schema` string: `tim-bench-fanin/1` (`BENCH_6.json`, the
-//! `c10k_fanin` bin) or `tim-bench-graph-load/1` (`BENCH_7.json`, the
-//! `graph_load` bin).
+//! `c10k_fanin` bin), `tim-bench-graph-load/1` (`BENCH_7.json`, the
+//! `graph_load` bin), or `tim-bench-select/1` (`BENCH_8.json`, the
+//! `select_scaling` bin).
 //!
 //! ```text
 //! cargo run -p tim_bench --bin bench_schema_check -- <report.json>
@@ -48,6 +49,24 @@ fn check_mode(mode: &Value, name: &str) {
         fail(&format!(
             "{what}: need 0 <= p50_ms <= p99_ms, got {p50}/{p99}"
         ));
+    }
+    // First-byte percentiles (added after BENCH_6.json was first checked
+    // in): optional for old reports, but when present they must be
+    // ordered and cannot exceed the matching session-lifetime numbers.
+    if mode.get("first_byte_p50_ms").is_some() || mode.get("first_byte_p99_ms").is_some() {
+        let fb50 = require_f64(mode, "first_byte_p50_ms", &what);
+        let fb99 = require_f64(mode, "first_byte_p99_ms", &what);
+        if fb50 < 0.0 || fb99 < fb50 {
+            fail(&format!(
+                "{what}: need 0 <= first_byte_p50_ms <= first_byte_p99_ms, got {fb50}/{fb99}"
+            ));
+        }
+        if fb50 > p50 || fb99 > p99 {
+            fail(&format!(
+                "{what}: first-byte percentiles exceed session-lifetime percentiles \
+                 ({fb50}/{fb99} vs {p50}/{p99})"
+            ));
+        }
     }
     if mode.get("transcripts_ok").and_then(Value::as_bool) != Some(true) {
         fail(&format!(
@@ -146,6 +165,60 @@ fn check_graph_load(doc: &Value, path: &str, schema: &str) {
     println!("{path}: ok ({schema}, {} scales)", scales.len());
 }
 
+/// `tim-bench-select/…`: the sharded-selection scaling report shape.
+fn check_select(doc: &Value, path: &str, schema: &str) {
+    let graph = doc
+        .get("graph")
+        .unwrap_or_else(|| fail("missing 'graph' object"));
+    for key in ["nodes", "arcs"] {
+        let v = require_f64(graph, key, "graph");
+        if v < 1.0 || v.fract() != 0.0 {
+            fail(&format!(
+                "graph: '{key}' must be a positive integer, got {v}"
+            ));
+        }
+    }
+    for key in ["theta", "k"] {
+        let v = require_f64(doc, key, "report");
+        if v < 1.0 || v.fract() != 0.0 {
+            fail(&format!(
+                "report: '{key}' must be a positive integer, got {v}"
+            ));
+        }
+    }
+    let serial_ms = require_f64(doc, "serial_ms", "report");
+    if serial_ms <= 0.0 {
+        fail("report: 'serial_ms' must be positive");
+    }
+    let threads = doc
+        .get("threads")
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| fail("missing 'threads' array"));
+    // The acceptance bar names 1/2/4/8 threads; every entry must have
+    // re-verified byte-identity against the serial baseline.
+    for want in [1.0, 2.0, 4.0, 8.0] {
+        let Some(entry) = threads
+            .iter()
+            .find(|t| t.get("threads").and_then(Value::as_f64) == Some(want))
+        else {
+            fail(&format!("missing measurement for threads={want}"));
+        };
+        let what = format!("threads={want}");
+        if require_f64(entry, "select_ms", &what) <= 0.0 {
+            fail(&format!("{what}: 'select_ms' must be positive"));
+        }
+        if require_f64(entry, "speedup", &what) <= 0.0 {
+            fail(&format!("{what}: 'speedup' must be positive"));
+        }
+        if entry.get("identical").and_then(Value::as_bool) != Some(true) {
+            fail(&format!(
+                "{what}: 'identical' must be true — sharded selection diverged"
+            ));
+        }
+    }
+    println!("{path}: ok ({schema}, {} thread counts)", threads.len());
+}
+
 fn main() {
     let path = std::env::args()
         .nth(1)
@@ -163,6 +236,8 @@ fn main() {
         check_fanin(&doc, &path, &schema);
     } else if schema.starts_with("tim-bench-graph-load/") {
         check_graph_load(&doc, &path, &schema);
+    } else if schema.starts_with("tim-bench-select/") {
+        check_select(&doc, &path, &schema);
     } else {
         fail(&format!("unknown schema '{schema}'"));
     }

@@ -41,6 +41,8 @@ mod fanin_bench {
         sessions_per_sec: f64,
         p50_ms: f64,
         p99_ms: f64,
+        first_byte_p50_ms: f64,
+        first_byte_p99_ms: f64,
         transcripts_ok: bool,
     }
 
@@ -145,13 +147,6 @@ mod fanin_bench {
         out
     }
 
-    /// Nearest-rank percentile over an unsorted latency sample.
-    fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
-        assert!(!sorted.is_empty());
-        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-        sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
-    }
-
     fn run_mode(
         mode: &'static str,
         event_loop: bool,
@@ -182,8 +177,10 @@ mod fanin_bench {
             .iter()
             .enumerate()
             .all(|(i, o)| o.transcript == expected[i % VARIANTS.len()]);
-        let mut latencies: Vec<Duration> = report.outcomes.iter().map(|o| o.latency).collect();
-        latencies.sort_unstable();
+        // Session lifetime (connect → EOF) is dominated by admission
+        // queueing under an everything-at-once fan-in; first-byte is the
+        // per-session responsiveness number comparable across modes.
+        let stats = fanin::latency_stats(&report.outcomes);
         let wall = report.wall.as_secs_f64();
         (
             ModeReport {
@@ -193,8 +190,14 @@ mod fanin_bench {
                 max_in_flight,
                 wall_ms: wall * 1e3,
                 sessions_per_sec: sessions as f64 / wall,
-                p50_ms: percentile_ms(&latencies, 0.50),
-                p99_ms: percentile_ms(&latencies, 0.99),
+                p50_ms: stats.p50_ms,
+                p99_ms: stats.p99_ms,
+                first_byte_p50_ms: stats
+                    .first_byte_p50_ms
+                    .expect("every script elicits answer bytes"),
+                first_byte_p99_ms: stats
+                    .first_byte_p99_ms
+                    .expect("every script elicits answer bytes"),
                 transcripts_ok,
             },
             nodes,
@@ -217,7 +220,9 @@ mod fanin_bench {
             out.push_str(&format!(
                 "    {{\"mode\": \"{}\", \"threads\": {}, \"sessions\": {}, \
                  \"max_in_flight\": {}, \"wall_ms\": {:.1}, \"sessions_per_sec\": {:.1}, \
-                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"transcripts_ok\": {}}}{}\n",
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                 \"first_byte_p50_ms\": {:.3}, \"first_byte_p99_ms\": {:.3}, \
+                 \"transcripts_ok\": {}}}{}\n",
                 m.mode,
                 m.threads,
                 m.sessions,
@@ -226,6 +231,8 @@ mod fanin_bench {
                 m.sessions_per_sec,
                 m.p50_ms,
                 m.p99_ms,
+                m.first_byte_p50_ms,
+                m.first_byte_p99_ms,
                 m.transcripts_ok,
                 if i + 1 < modes.len() { "," } else { "" },
             ));
@@ -261,8 +268,9 @@ mod fanin_bench {
         // any fd-limit cap).
         let (ev, nodes, arcs) = run_mode("event_loop", true, 2, sessions, ev_in_flight, opts.quick);
         eprintln!(
-            "  event_loop:  {:>8.1} sessions/s  p50 {:>8.3} ms  p99 {:>8.3} ms  ok={}",
-            ev.sessions_per_sec, ev.p50_ms, ev.p99_ms, ev.transcripts_ok
+            "  event_loop:  {:>8.1} sessions/s  p50 {:>8.3} ms  p99 {:>8.3} ms  \
+             first-byte p50 {:>8.3} ms  ok={}",
+            ev.sessions_per_sec, ev.p50_ms, ev.p99_ms, ev.first_byte_p50_ms, ev.transcripts_ok
         );
 
         // Thread pool: one thread per live connection; drive at most 128
@@ -270,8 +278,9 @@ mod fanin_bench {
         // accept(), not in SYN retransmits.
         let (tp, _, _) = run_mode("thread_pool", false, 32, sessions, 128, opts.quick);
         eprintln!(
-            "  thread_pool: {:>8.1} sessions/s  p50 {:>8.3} ms  p99 {:>8.3} ms  ok={}",
-            tp.sessions_per_sec, tp.p50_ms, tp.p99_ms, tp.transcripts_ok
+            "  thread_pool: {:>8.1} sessions/s  p50 {:>8.3} ms  p99 {:>8.3} ms  \
+             first-byte p50 {:>8.3} ms  ok={}",
+            tp.sessions_per_sec, tp.p50_ms, tp.p99_ms, tp.first_byte_p50_ms, tp.transcripts_ok
         );
 
         let modes = [ev, tp];

@@ -41,7 +41,7 @@ usage:
                [--default-graph <name>] [--max-loaded 8] [--pool <path.timp>]
                [--pool-dir <dir>] [--persist-pools] [--admin] [--mmap]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
-               [--seed 0] [--pool-cache 4] [--undirected] [--quiet]
+               [--seed 0] [--pool-cache 4] [--select-threads 1] [--undirected] [--quiet]
                (reads line-delimited tim/3 queries from stdin:
                   select <k> [fast] [eps=<v>] [ell=<v>]
                   eval <id,id,...>
@@ -55,7 +55,8 @@ usage:
                [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
                [--event-loop] [--idle-timeout <secs>] [--max-conns <n>]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
-               [--seed 0] [--pool <path.timp>] [--undirected] [--quiet]
+               [--seed 0] [--pool <path.timp>] [--select-threads 1]
+               [--undirected] [--quiet]
                (serves the tim/3 query protocol over TCP; prints
                 `listening on <addr>` on stdout when bound — see docs/PROTOCOL.md;
                 --event-loop serves via epoll reactor shards instead of
@@ -73,8 +74,11 @@ usage:
   each --graph adds a lazily loaded named graph, and --graphs scans a
   directory of .timg/.txt/.edges files (stems become names). A --graph
   spec may carry per-graph overrides after `::` (model=ic|lt, eps=, ell=,
-  seed=, k=, weights=, mmap=true|false), replacing the global defaults
-  for that graph.
+  seed=, k=, weights=, mmap=true|false, select_threads=), replacing the
+  global defaults for that graph.
+  --select-threads shards each query's greedy selection phase across N
+  worker threads (0 = all cores; default 1 = serial); answers are
+  byte-identical at any thread count, so it only changes latency.
   With --pool-dir every graph keeps its RR-set pools in <dir>/<name>/
   (read on start — a warm restart skips the pool builds); --persist-pools
   additionally writes newly built or grown pools back automatically.
@@ -407,6 +411,7 @@ fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
         seed: args.get_parsed("seed", 0u64)?,
         k_max: args.get_parsed("k", 50usize)?,
         sample_threads: 0,
+        select_threads: args.get_parsed("select-threads", 1usize)?,
         verbose: !quiet,
         // `--mmap` flips the weights default to "keep": a mapped graph
         // serves the probabilities baked into its v2 snapshot verbatim.

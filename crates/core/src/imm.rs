@@ -23,9 +23,10 @@
 //! experiment).
 
 use crate::math::ln_choose;
+use crate::select::run_greedy;
 use crate::tim::{GreedyImpl, PhaseTimings};
 use std::time::Instant;
-use tim_coverage::{greedy_max_cover, greedy_max_cover_bucket, CoverResult, SetCollection};
+use tim_coverage::{CoverResult, SetCollection};
 use tim_diffusion::{DiffusionModel, RrSampler};
 use tim_graph::{Graph, NodeId};
 use tim_rng::Rng;
@@ -59,6 +60,7 @@ pub struct Imm<M> {
     epsilon: f64,
     ell: f64,
     seed: u64,
+    select_threads: usize,
     greedy: GreedyImpl,
 }
 
@@ -70,6 +72,7 @@ impl<M: DiffusionModel + Sync> Imm<M> {
             epsilon: 0.1,
             ell: 1.0,
             seed: 0,
+            select_threads: 1,
             greedy: GreedyImpl::LazyHeap,
         }
     }
@@ -97,6 +100,14 @@ impl<M: DiffusionModel + Sync> Imm<M> {
         self
     }
 
+    /// Worker threads for the greedy selection steps (default 1 = serial;
+    /// 0 = all cores). Never changes the answer.
+    #[must_use]
+    pub fn select_threads(mut self, select_threads: usize) -> Self {
+        self.select_threads = select_threads;
+        self
+    }
+
     /// Chooses the greedy max-coverage implementation.
     #[must_use]
     pub fn greedy(mut self, greedy: GreedyImpl) -> Self {
@@ -105,10 +116,7 @@ impl<M: DiffusionModel + Sync> Imm<M> {
     }
 
     fn cover(&self, collection: &mut SetCollection, k: usize) -> CoverResult {
-        match self.greedy {
-            GreedyImpl::LazyHeap => greedy_max_cover(collection, k),
-            GreedyImpl::BucketQueue => greedy_max_cover_bucket(collection, k),
-        }
+        run_greedy(collection, k, self.greedy, self.select_threads)
     }
 
     /// Selects `k` seeds on `graph`.
@@ -297,6 +305,15 @@ mod tests {
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.theta, b.theta);
         assert_eq!(a.lb, b.lb);
+        for select_threads in [2, 4, 0] {
+            let c = Imm::new(IndependentCascade)
+                .epsilon(0.6)
+                .seed(12)
+                .select_threads(select_threads)
+                .run(&g, 5);
+            assert_eq!(a.seeds, c.seeds, "select_threads={select_threads}");
+            assert_eq!(a.lb, c.lb);
+        }
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use crate::kpt::KptEstimate;
 use crate::math::{epsilon_prime, lambda_prime};
 use crate::parallel::generate_rr_sets;
+use crate::select::run_greedy;
 use crate::tim::GreedyImpl;
-use tim_coverage::{greedy_max_cover, greedy_max_cover_bucket};
 use tim_diffusion::DiffusionModel;
 use tim_graph::CsrAccess;
 use tim_rng::{RandomSource, Rng};
@@ -46,6 +46,7 @@ pub fn refine_kpt<G: CsrAccess, M: DiffusionModel<G> + Sync>(
     eps_prime_override: Option<f64>,
     rng: &mut Rng,
     threads: usize,
+    select_threads: usize,
     greedy: GreedyImpl,
 ) -> Refined {
     let n = graph.n() as u64;
@@ -53,10 +54,7 @@ pub fn refine_kpt<G: CsrAccess, M: DiffusionModel<G> + Sync>(
     assert!(eps_p > 0.0, "refine_kpt: epsilon_prime must be positive");
 
     // Lines 2-6: greedy cover on the last iteration's RR sets.
-    let cover = match greedy {
-        GreedyImpl::LazyHeap => greedy_max_cover(&mut kpt.last_iteration_sets, k),
-        GreedyImpl::BucketQueue => greedy_max_cover_bucket(&mut kpt.last_iteration_sets, k),
-    };
+    let cover = run_greedy(&mut kpt.last_iteration_sets, k, greedy, select_threads);
     let candidate = cover.seeds;
 
     // Lines 7-9: θ' fresh RR sets.
@@ -104,6 +102,7 @@ mod tests {
             None,
             &mut rng,
             1,
+            1,
             GreedyImpl::LazyHeap,
         );
         assert!(refined.kpt_plus >= star);
@@ -127,6 +126,7 @@ mod tests {
             kpt,
             None,
             &mut rng,
+            1,
             1,
             GreedyImpl::LazyHeap,
         );
@@ -155,6 +155,7 @@ mod tests {
             None,
             &mut rng,
             1,
+            1,
             GreedyImpl::LazyHeap,
         );
         let sel = crate::select::node_selection(
@@ -164,6 +165,7 @@ mod tests {
             20_000,
             7,
             2,
+            1,
             GreedyImpl::LazyHeap,
         );
         let opt_proxy = SpreadEstimator::new(IndependentCascade)
@@ -192,6 +194,7 @@ mod tests {
             Some(0.25),
             &mut rng,
             1,
+            1,
             GreedyImpl::LazyHeap,
         );
         assert_eq!(refined.epsilon_prime, 0.25);
@@ -212,6 +215,7 @@ mod tests {
                 kpt,
                 None,
                 &mut rng,
+                2,
                 2,
                 GreedyImpl::LazyHeap,
             )

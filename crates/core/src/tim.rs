@@ -79,6 +79,7 @@ struct Config {
     ell: f64,
     seed: u64,
     threads: usize,
+    select_threads: usize,
     greedy: GreedyImpl,
     eps_prime_override: Option<f64>,
 }
@@ -90,6 +91,7 @@ impl Default for Config {
             ell: 1.0,
             seed: 0,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            select_threads: 1,
             greedy: GreedyImpl::LazyHeap,
             eps_prime_override: None,
         }
@@ -129,6 +131,15 @@ macro_rules! builder_methods {
         pub fn threads(mut self, threads: usize) -> Self {
             assert!(threads > 0, "threads must be positive");
             self.cfg.threads = threads;
+            self
+        }
+
+        /// Worker threads for the greedy selection phase (default 1 =
+        /// serial; 0 = all cores). The sharded solver is byte-identical
+        /// to the serial one, so this never changes the answer.
+        #[must_use]
+        pub fn select_threads(mut self, select_threads: usize) -> Self {
+            self.cfg.select_threads = select_threads;
             self
         }
 
@@ -335,6 +346,7 @@ fn plan_impl<G: CsrAccess, M: DiffusionModel<G> + Sync>(
             cfg.eps_prime_override,
             &mut refine_rng,
             cfg.threads,
+            cfg.select_threads,
             cfg.greedy,
         );
         phases.refinement = t1.elapsed();
@@ -384,6 +396,7 @@ fn run_impl<G: CsrAccess, M: DiffusionModel<G> + Sync>(
         plan.theta,
         plan.select_seed,
         cfg.threads,
+        cfg.select_threads,
         cfg.greedy,
     );
     phases.node_selection = t2.elapsed();
@@ -508,6 +521,17 @@ mod tests {
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.theta, b.theta);
         assert_eq!(a.estimated_spread, b.estimated_spread);
+        // The greedy phase shards deterministically too (0 = all cores).
+        for select_threads in [2, 4, 0] {
+            let c = TimPlus::new(IndependentCascade)
+                .epsilon(0.8)
+                .seed(12)
+                .threads(2)
+                .select_threads(select_threads)
+                .run(&g, 5);
+            assert_eq!(a.seeds, c.seeds, "select_threads={select_threads}");
+            assert_eq!(a.estimated_spread, c.estimated_spread);
+        }
     }
 
     #[test]

@@ -15,9 +15,13 @@
 //!   submodular coverage).
 //! - [`greedy_max_cover_bucket`] — bucket-queue greedy with the linear-time
 //!   bound of \[3\]'s Step 2.
+//! - [`greedy_max_cover_sharded`] — the lazy-heap contract parallelized
+//!   across worker threads (see [`sharded`]), **byte-identical** to
+//!   [`greedy_max_cover_indexed`] at any thread count.
 //!
-//! Both solvers return identical coverage values (tie-breaking may differ);
-//! the criterion bench `max_cover` compares their constants.
+//! The heap and bucket solvers return identical coverage values
+//! (tie-breaking may differ); the criterion bench `max_cover` compares
+//! their constants.
 //!
 //! The `&mut` in the solver entry points exists only to build the lazy
 //! inverted index; once [`SetCollection::has_inverted_index`] holds, the
@@ -27,9 +31,11 @@
 
 mod collection;
 mod greedy;
+pub mod sharded;
 
 pub use collection::SetCollection;
 pub use greedy::{
     greedy_max_cover, greedy_max_cover_bucket, greedy_max_cover_bucket_indexed,
     greedy_max_cover_indexed, CoverResult,
 };
+pub use sharded::{greedy_max_cover_sharded, greedy_max_cover_sharded_indexed};

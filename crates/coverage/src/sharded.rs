@@ -1,0 +1,517 @@
+//! Sharded greedy maximum coverage: saturate cores on one query.
+//!
+//! [`greedy_max_cover_sharded`] parallelizes the greedy solver across
+//! worker threads while returning results **byte-identical** to
+//! [`greedy_max_cover_indexed`] at any
+//! thread count. The serial solver's lazy max-heap converges, each round,
+//! to the node maximizing the `(current_gain, node_id)` tuple — ties
+//! break toward the **largest** id — and pads with the **smallest**
+//! unselected id once every remaining gain is zero. The sharded solver
+//! makes that contract explicit and distributes the two phases of each
+//! round:
+//!
+//! 1. **Vote** — every worker scans its contiguous node range for the
+//!    local `(gain, node)` maximum (and its smallest unselected id, for
+//!    padding) and publishes a [`ShardVote`].
+//! 2. **Merge + apply** — the votes merge through the deterministic
+//!    reduction [`merge_votes`] (replicated on every worker: the merge is
+//!    a pure function of the votes, so no coordinator is needed). Each
+//!    worker then applies the chosen node to its own slice of the RR-set
+//!    space — the sets are partitioned by the same balanced shard-prefix
+//!    arithmetic as `tim_core::parallel::shard_layout`
+//!    ([`shard_prefix_ranges`]) — marking newly covered sets and
+//!    decrementing member gains atomically.
+//!
+//! Determinism survives sharding because both halves of the round are
+//! order-free: the merged argmax is a pure reduction over the votes, and
+//! the gain updates are sums of decrements (commutative, applied through
+//! atomics), so at the barrier between rounds every worker observes
+//! exactly the gains the serial solver would hold. The partition affects
+//! only *which worker* does the arithmetic, never its result.
+
+use crate::greedy::{greedy_max_cover_indexed, CoverResult};
+use crate::SetCollection;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering::Relaxed};
+use std::sync::Barrier;
+use tim_graph::NodeId;
+
+/// Number of balanced shards the RR-set space is partitioned into —
+/// mirrors `tim_core::parallel::SHARDS` (pinned equal by a test there),
+/// so selection workers own whole sampling shards.
+pub const SELECT_SHARDS: usize = 64;
+
+/// Splits `0..len` into `shards` contiguous balanced ranges: shard `i`
+/// gets `len / shards`, plus one more when `i < len % shards` — the same
+/// arithmetic as `tim_core::parallel::shard_layout`, so range `i` holds
+/// exactly sampling shard `i`'s sets when `len` is a pool's θ.
+pub fn shard_prefix_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    assert!(shards >= 1, "shards must be at least 1");
+    let per = len / shards;
+    let extra = len % shards;
+    let mut start = 0usize;
+    (0..shards)
+        .map(|i| {
+            let count = per + usize::from(i < extra);
+            let r = start..start + count;
+            start += count;
+            r
+        })
+        .collect()
+}
+
+/// Partitions `0..len` set ids into `threads` contiguous ranges of whole
+/// [`SELECT_SHARDS`] shards (`ceil(SELECT_SHARDS / threads)` shards per
+/// worker, like `tim_core::parallel`'s sampling chunks). Workers beyond
+/// the shard count own empty ranges.
+pub fn worker_set_ranges(len: usize, threads: usize) -> Vec<Range<usize>> {
+    assert!(threads >= 1, "threads must be at least 1");
+    let shards = shard_prefix_ranges(len, SELECT_SHARDS);
+    let chunk = SELECT_SHARDS.div_ceil(threads);
+    let bound = |shard: usize| {
+        if shard >= SELECT_SHARDS {
+            len
+        } else {
+            shards[shard].start
+        }
+    };
+    (0..threads)
+        .map(|t| bound(t * chunk)..bound((t + 1) * chunk))
+        .collect()
+}
+
+/// The ids of the sets containing `v` whose id falls in `range` — one
+/// worker's slice of the apply phase. The inverted index stores set ids
+/// ascending, so this is two binary searches on
+/// [`SetCollection::sets_containing`].
+///
+/// # Panics
+/// Panics if the collection's inverted index is stale.
+pub fn sets_in_range<'a>(
+    collection: &'a SetCollection,
+    v: NodeId,
+    range: &Range<usize>,
+) -> &'a [u32] {
+    let ids = collection.sets_containing(v);
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "index ids not sorted");
+    let lo = ids.partition_point(|&s| (s as usize) < range.start);
+    let hi = ids.partition_point(|&s| (s as usize) < range.end);
+    &ids[lo..hi]
+}
+
+/// One worker's report for one greedy round, over its node range.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardVote {
+    /// The highest `(current_gain, node)` tuple among the range's
+    /// unselected nodes with positive gain, if any.
+    pub best: Option<(usize, NodeId)>,
+    /// The smallest unselected node id in the range, if any.
+    pub min_unselected: Option<NodeId>,
+}
+
+/// The merged outcome of one greedy round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundPick {
+    /// A positive-gain argmax exists: select `node`, covering `gain`
+    /// still-uncovered sets.
+    Select {
+        /// The chosen node.
+        node: NodeId,
+        /// Its marginal coverage count.
+        gain: usize,
+    },
+    /// Every unselected node has gain 0: pad with the smallest
+    /// unselected id, at marginal 0.
+    Pad(NodeId),
+    /// Every node is already selected.
+    Exhausted,
+}
+
+/// The deterministic reduction at the heart of the sharded solver: the
+/// serial argmax `max (gain, node)` (ties toward the **largest** id),
+/// falling back to the smallest unselected id when every gain is zero —
+/// exactly the serial lazy-heap's selection and padding order. Pure and
+/// associative-by-construction: any vote partition merges to the same
+/// pick.
+pub fn merge_votes(votes: &[ShardVote]) -> RoundPick {
+    let best = votes
+        .iter()
+        .filter_map(|v| v.best)
+        .max_by_key(|&(gain, node)| (gain, node));
+    if let Some((gain, node)) = best {
+        return RoundPick::Select { node, gain };
+    }
+    match votes.iter().filter_map(|v| v.min_unselected).min() {
+        Some(node) => RoundPick::Pad(node),
+        None => RoundPick::Exhausted,
+    }
+}
+
+/// Per-worker mailbox the barrier-phased rounds communicate through.
+/// Plain slots written before / read after a [`Barrier`] (which provides
+/// the happens-before edges), so `Relaxed` suffices throughout.
+struct WorkerSlot {
+    /// Vote: best local gain (0 = no candidate) and its node.
+    best_gain: AtomicUsize,
+    best_node: AtomicU32,
+    /// Vote: smallest unselected node id (`u32::MAX` = none).
+    min_unselected: AtomicU32,
+    /// Apply: sets newly covered in this worker's set range this round.
+    newly: AtomicUsize,
+}
+
+/// [`greedy_max_cover_sharded_indexed`] over a `&mut` collection,
+/// building the inverted index first (the exact analogue of
+/// [`greedy_max_cover`](crate::greedy_max_cover)).
+pub fn greedy_max_cover_sharded(
+    collection: &mut SetCollection,
+    k: usize,
+    threads: usize,
+) -> CoverResult {
+    collection.ensure_inverted_index();
+    greedy_max_cover_sharded_indexed(collection, k, threads)
+}
+
+/// Sharded greedy max-coverage over a shared collection with a built
+/// inverted index. Byte-identical to
+/// [`greedy_max_cover_indexed`] —
+/// seeds, marginals, and covered count — at **any** `threads` value;
+/// `threads <= 1` runs the serial solver directly.
+///
+/// # Panics
+/// Panics if the inverted index is stale
+/// ([`SetCollection::has_inverted_index`] is false).
+pub fn greedy_max_cover_sharded_indexed(
+    collection: &SetCollection,
+    k: usize,
+    threads: usize,
+) -> CoverResult {
+    assert!(
+        collection.has_inverted_index(),
+        "inverted index is stale; call ensure_inverted_index first"
+    );
+    let n = collection.universe();
+    let k = k.min(n);
+    // More workers than nodes would leave some with nothing to vote on.
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || k == 0 {
+        return greedy_max_cover_indexed(collection, k);
+    }
+
+    let node_ranges = shard_prefix_ranges(n, threads);
+    let set_ranges = worker_set_ranges(collection.len(), threads);
+    let gain: Vec<AtomicUsize> = (0..n as NodeId)
+        .map(|v| AtomicUsize::new(collection.degree(v)))
+        .collect();
+    let slots: Vec<WorkerSlot> = (0..threads)
+        .map(|_| WorkerSlot {
+            best_gain: AtomicUsize::new(0),
+            best_node: AtomicU32::new(u32::MAX),
+            min_unselected: AtomicU32::new(u32::MAX),
+            newly: AtomicUsize::new(0),
+        })
+        .collect();
+    let barrier = Barrier::new(threads);
+
+    let mut result = CoverResult {
+        seeds: Vec::with_capacity(k),
+        marginal: Vec::with_capacity(k),
+        covered: 0,
+    };
+
+    // One worker body, run by `threads - 1` scoped threads plus the
+    // caller's thread (worker 0, which also records the rounds).
+    let run_worker = |t: usize, result: Option<&mut CoverResult>| {
+        let nodes = node_ranges[t].clone();
+        let sets = set_ranges[t].clone();
+        let mut selected = vec![false; nodes.len()];
+        let mut covered = vec![false; sets.len()];
+        let mut recorder = result;
+        for _round in 0..k {
+            // Vote phase: local argmax and local padding candidate.
+            let mut best: Option<(usize, NodeId)> = None;
+            let mut min_unselected = u32::MAX;
+            for v in nodes.clone() {
+                if selected[v - nodes.start] {
+                    continue;
+                }
+                let v = v as NodeId;
+                if min_unselected == u32::MAX {
+                    min_unselected = v;
+                }
+                let g = gain[v as usize].load(Relaxed);
+                if g > 0 && best.is_none_or(|b| (g, v) > b) {
+                    best = Some((g, v));
+                }
+            }
+            let slot = &slots[t];
+            let (bg, bv) = best.unwrap_or((0, u32::MAX));
+            slot.best_gain.store(bg, Relaxed);
+            slot.best_node.store(bv, Relaxed);
+            slot.min_unselected.store(min_unselected, Relaxed);
+            barrier.wait();
+
+            // Merge phase, replicated: every worker decodes the same
+            // votes and reduces them identically.
+            let votes: Vec<ShardVote> = slots
+                .iter()
+                .map(|s| {
+                    let g = s.best_gain.load(Relaxed);
+                    let min = s.min_unselected.load(Relaxed);
+                    ShardVote {
+                        best: (g > 0).then(|| (g, s.best_node.load(Relaxed))),
+                        min_unselected: (min != u32::MAX).then_some(min),
+                    }
+                })
+                .collect();
+            let pick = merge_votes(&votes);
+
+            // Apply phase: mark the pick selected in its owner's range,
+            // and cover the chosen node's sets within this worker's
+            // set-id slice, decrementing member gains atomically.
+            let chosen = match pick {
+                RoundPick::Select { node, .. } => {
+                    let mut newly = 0usize;
+                    for &set_id in sets_in_range(collection, node, &sets) {
+                        let s = set_id as usize;
+                        if !covered[s - sets.start] {
+                            covered[s - sets.start] = true;
+                            newly += 1;
+                            for &u in collection.set(s) {
+                                gain[u as usize].fetch_sub(1, Relaxed);
+                            }
+                        }
+                    }
+                    slot.newly.store(newly, Relaxed);
+                    node
+                }
+                RoundPick::Pad(node) => node,
+                // k is clamped to n and every round selects a distinct
+                // node, so rounds never outrun the universe.
+                RoundPick::Exhausted => unreachable!("fewer rounds than nodes"),
+            };
+            if nodes.contains(&(chosen as usize)) {
+                selected[chosen as usize - nodes.start] = true;
+            }
+            barrier.wait();
+
+            // Record phase (worker 0 only): the merged marginal is the
+            // sum of the per-worker newly-covered counts — the other
+            // workers are already voting on the next round, which cannot
+            // touch the `newly` slots before the next barrier.
+            if let Some(rec) = recorder.as_deref_mut() {
+                match pick {
+                    RoundPick::Select { node, .. } => {
+                        let newly: usize = slots.iter().map(|s| s.newly.load(Relaxed)).sum();
+                        debug_assert_eq!(gain[node as usize].load(Relaxed), 0);
+                        rec.covered += newly;
+                        rec.seeds.push(node);
+                        rec.marginal.push(newly);
+                    }
+                    RoundPick::Pad(node) => {
+                        rec.seeds.push(node);
+                        rec.marginal.push(0);
+                    }
+                    RoundPick::Exhausted => unreachable!(),
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for t in 1..threads {
+            let worker = &run_worker;
+            scope.spawn(move || worker(t, None));
+        }
+        run_worker(0, Some(&mut result));
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_max_cover;
+    use tim_rng::{RandomSource, Rng};
+
+    fn collection(sets: &[&[NodeId]], n: usize) -> SetCollection {
+        let mut c = SetCollection::new(n);
+        for s in sets {
+            c.push(s);
+        }
+        c
+    }
+
+    fn random_collection(rng: &mut Rng, n: usize, sets: usize, max_size: usize) -> SetCollection {
+        let mut c = SetCollection::new(n);
+        for _ in 0..sets {
+            let size = rng.next_index(max_size + 1);
+            let mut members: Vec<NodeId> = (0..size).map(|_| rng.next_index(n) as u32).collect();
+            members.sort_unstable();
+            members.dedup();
+            c.push(&members);
+        }
+        c
+    }
+
+    #[test]
+    fn shard_prefix_ranges_are_balanced_and_cover() {
+        for (len, shards) in [(0, 4), (1, 4), (7, 3), (64, 64), (100, 64), (5, 8)] {
+            let ranges = shard_prefix_ranges(len, shards);
+            assert_eq!(ranges.len(), shards);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+            let mut total = 0;
+            let mut prev_end = 0;
+            for r in &ranges {
+                assert_eq!(r.start, prev_end, "ranges must be contiguous");
+                prev_end = r.end;
+                total += r.len();
+                assert!(r.len() == len / shards || r.len() == len / shards + 1);
+            }
+            assert_eq!(total, len);
+        }
+    }
+
+    #[test]
+    fn worker_set_ranges_cover_and_respect_shard_boundaries() {
+        for (len, threads) in [(0, 2), (100, 1), (100, 2), (100, 8), (100, 100), (3, 4)] {
+            let ranges = worker_set_ranges(len, threads);
+            assert_eq!(ranges.len(), threads);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+            let shards = shard_prefix_ranges(len, SELECT_SHARDS);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+                // Worker boundaries always land on shard boundaries.
+                assert!(
+                    w[0].end == len || shards.iter().any(|s| s.start == w[0].end),
+                    "len={len} threads={threads}: boundary {} off-shard",
+                    w[0].end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sets_in_range_partitions_the_membership_list() {
+        let mut c = collection(&[&[1], &[0, 1], &[1, 2], &[2], &[1]], 3);
+        c.ensure_inverted_index();
+        assert_eq!(c.sets_containing(1), &[0, 1, 2, 4]);
+        assert_eq!(sets_in_range(&c, 1, &(0..2)), &[0, 1]);
+        assert_eq!(sets_in_range(&c, 1, &(2..5)), &[2, 4]);
+        assert_eq!(sets_in_range(&c, 1, &(3..4)), &[] as &[u32]);
+        assert_eq!(sets_in_range(&c, 1, &(0..5)), &[0, 1, 2, 4]);
+        // Any partition of 0..len splits the list without loss.
+        for mid in 0..=5 {
+            let left = sets_in_range(&c, 1, &(0..mid)).len();
+            let right = sets_in_range(&c, 1, &(mid..5)).len();
+            assert_eq!(left + right, 4);
+        }
+    }
+
+    #[test]
+    fn merge_votes_reduces_like_the_serial_heap() {
+        // Max (gain, node), ties toward the larger id.
+        let pick = merge_votes(&[
+            ShardVote {
+                best: Some((3, 7)),
+                min_unselected: Some(0),
+            },
+            ShardVote {
+                best: Some((3, 9)),
+                min_unselected: Some(8),
+            },
+            ShardVote {
+                best: Some((2, 11)),
+                min_unselected: None,
+            },
+        ]);
+        assert_eq!(pick, RoundPick::Select { node: 9, gain: 3 });
+        // All-zero gains pad with the globally smallest unselected id.
+        let pick = merge_votes(&[
+            ShardVote {
+                best: None,
+                min_unselected: Some(5),
+            },
+            ShardVote {
+                best: None,
+                min_unselected: Some(2),
+            },
+        ]);
+        assert_eq!(pick, RoundPick::Pad(2));
+        // Nothing left anywhere.
+        assert_eq!(merge_votes(&[ShardVote::default()]), RoundPick::Exhausted);
+        assert_eq!(merge_votes(&[]), RoundPick::Exhausted);
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_fixed_instances() {
+        let cases: &[(&[&[NodeId]], usize, usize)] = &[
+            (&[&[9, 0], &[9, 1], &[9, 2], &[3]], 10, 2),
+            (&[&[0, 1], &[1, 2], &[2, 0], &[3, 1]], 4, 4),
+            (&[&[0]], 5, 3),                // padding rounds
+            (&[&[0, 1, 2], &[2, 3]], 5, 5), // covers everything then pads
+        ];
+        for &(sets, n, k) in cases {
+            let mut c = collection(sets, n);
+            let want = greedy_max_cover(&mut c, k);
+            for threads in [1, 2, 3, 4, 8, 64, 100] {
+                let got = greedy_max_cover_sharded_indexed(&c, k, threads);
+                assert_eq!(got, want, "threads={threads} n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_random_instances() {
+        let mut rng = Rng::seed_from_u64(0x5EED);
+        for trial in 0..30 {
+            let n = 2 + rng.next_index(60);
+            let sets = rng.next_index(120);
+            let mut c = random_collection(&mut rng, n, sets, 6);
+            let k = 1 + rng.next_index(n);
+            let want = greedy_max_cover(&mut c, k);
+            for threads in [2, 3, 4, 7, 8] {
+                let got = greedy_max_cover_sharded_indexed(&c, k, threads);
+                assert_eq!(got, want, "trial={trial} threads={threads} n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn mut_entry_point_builds_the_index() {
+        let mut c = collection(&[&[0, 1], &[1, 2]], 3);
+        assert!(!c.has_inverted_index());
+        let got = greedy_max_cover_sharded(&mut c, 2, 4);
+        assert!(c.has_inverted_index());
+        assert_eq!(got, greedy_max_cover_indexed(&c, 2));
+    }
+
+    #[test]
+    fn empty_collection_pads_identically() {
+        let mut c = SetCollection::new(4);
+        c.ensure_inverted_index();
+        let want = greedy_max_cover_indexed(&c, 3);
+        for threads in [2, 4] {
+            assert_eq!(greedy_max_cover_sharded_indexed(&c, 3, threads), want);
+        }
+        assert_eq!(want.seeds, vec![0, 1, 2], "padding picks smallest ids");
+    }
+
+    #[test]
+    fn k_larger_than_universe_is_clamped() {
+        let mut c = collection(&[&[0, 1]], 2);
+        c.ensure_inverted_index();
+        let got = greedy_max_cover_sharded_indexed(&c, 10, 4);
+        assert_eq!(got.seeds.len(), 2);
+        assert_eq!(got, greedy_max_cover_indexed(&c, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_index_panics() {
+        let c = collection(&[&[0, 1]], 3);
+        let _ = greedy_max_cover_sharded_indexed(&c, 1, 2);
+    }
+}

@@ -5,8 +5,12 @@ use crate::pool::{PoolMeta, RrPool};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tim_core::parallel::{generate_rr_sets, shard_layout};
+use tim_core::select::resolve_select_threads;
 use tim_core::{select_stream_seed, SamplingPlan, TimPlus};
-use tim_coverage::{greedy_max_cover, greedy_max_cover_indexed, CoverResult, SetCollection};
+use tim_coverage::{
+    greedy_max_cover, greedy_max_cover_indexed, greedy_max_cover_sharded,
+    greedy_max_cover_sharded_indexed, CoverResult, SetCollection,
+};
 use tim_diffusion::BackingModel;
 use tim_graph::{CsrView, Graph, GraphStore, NodeId};
 
@@ -87,6 +91,7 @@ pub struct QueryEngine<M> {
     ell: f64,
     seed: u64,
     threads: usize,
+    select_threads: usize,
     k_max: usize,
     select_seed: u64,
     pool: SetCollection,
@@ -134,6 +139,7 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
             ell: 1.0,
             seed: 0,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            select_threads: 1,
             k_max: 50,
             select_seed: select_stream_seed(0),
             pool: SetCollection::new(n),
@@ -173,6 +179,15 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
     pub fn threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "threads must be positive");
         self.threads = threads;
+        self
+    }
+
+    /// Worker threads for the greedy selection phase (default 1 = serial;
+    /// 0 = all cores). The sharded solver is byte-identical to the serial
+    /// one, so this never changes answers — only latency.
+    #[must_use]
+    pub fn select_threads(mut self, select_threads: usize) -> Self {
+        self.select_threads = select_threads;
         self
     }
 
@@ -458,11 +473,20 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
     fn answer_plan(&self, plan: &SamplingPlan, resampled: bool) -> QueryOutcome {
         debug_assert!(plan.theta <= self.pool_theta);
         let n = self.store.n() as f64;
+        let t = resolve_select_threads(self.select_threads);
         let cover = if plan.theta == self.pool_theta {
-            greedy_max_cover_indexed(&self.pool, plan.k)
+            if t > 1 {
+                greedy_max_cover_sharded_indexed(&self.pool, plan.k, t)
+            } else {
+                greedy_max_cover_indexed(&self.pool, plan.k)
+            }
         } else {
             let mut sub = self.subset(plan.theta);
-            greedy_max_cover(&mut sub, plan.k)
+            if t > 1 {
+                greedy_max_cover_sharded(&mut sub, plan.k, t)
+            } else {
+                greedy_max_cover(&mut sub, plan.k)
+            }
         };
         let frac = cover.coverage_fraction(plan.theta as usize);
         QueryOutcome {
@@ -526,7 +550,12 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
             None => true,
         };
         if stale {
-            let cover = greedy_max_cover(&mut self.pool, depth);
+            let t = resolve_select_threads(self.select_threads);
+            let cover = if t > 1 {
+                greedy_max_cover_sharded(&mut self.pool, depth, t)
+            } else {
+                greedy_max_cover(&mut self.pool, depth)
+            };
             self.fast = Some(FastCover {
                 pool_theta: self.pool_theta,
                 cover,
@@ -731,6 +760,30 @@ mod tests {
         assert_eq!(out.seeds, seeds);
         assert!(!out.resampled);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn select_threads_never_changes_answers() {
+        // Exercises all three greedy call sites: the full-pool indexed
+        // path (k = k_max), the subset path (k < k_max), and select_fast.
+        let mut serial = engine(7);
+        serial.warm();
+        for select_threads in [2usize, 4, 0] {
+            let mut sharded = engine(7).select_threads(select_threads);
+            sharded.warm();
+            for k in [1usize, 6, 12] {
+                let a = serial.select(k);
+                let b = sharded.select(k);
+                assert_eq!(a.seeds, b.seeds, "t={select_threads} k={k}");
+                assert_eq!(a.estimated_spread, b.estimated_spread);
+                assert!(!b.resampled);
+            }
+            assert_eq!(
+                serial.select_fast(9).seeds,
+                sharded.select_fast(9).seeds,
+                "t={select_threads} fast"
+            );
+        }
     }
 
     #[test]

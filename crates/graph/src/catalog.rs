@@ -120,6 +120,9 @@ pub struct GraphOverrides {
     /// Backing override (`mmap=on` / `mmap=off`): serve this tenant as a
     /// zero-copy view over a v2 snapshot instead of decoding to the heap.
     pub mmap: Option<bool>,
+    /// Greedy-selection thread override (`select_threads=4`; 0 = all
+    /// cores). Never changes answers, only per-query latency.
+    pub select_threads: Option<usize>,
 }
 
 impl GraphOverrides {
@@ -209,9 +212,19 @@ impl GraphOverrides {
                     return Err(dup(key));
                 }
             }
+            "select_threads" => {
+                let v: usize = value.parse().map_err(|_| {
+                    bad(format!(
+                        "select_threads override '{value}' must be a thread count (0 = all cores)"
+                    ))
+                })?;
+                if self.select_threads.replace(v).is_some() {
+                    return Err(dup(key));
+                }
+            }
             other => {
                 return Err(bad(format!(
-                "unknown graph override '{other}' (known: model, eps, ell, seed, k, weights, mmap)"
+                "unknown graph override '{other}' (known: model, eps, ell, seed, k, weights, mmap, select_threads)"
             )))
             }
         }
@@ -342,8 +355,10 @@ mod tests {
 
     #[test]
     fn overrides_parse_validate_and_reject() {
-        let o =
-            GraphOverrides::parse("model=lt,eps=0.2,ell=2,seed=9,k=20,weights=lt,mmap=on").unwrap();
+        let o = GraphOverrides::parse(
+            "model=lt,eps=0.2,ell=2,seed=9,k=20,weights=lt,mmap=on,select_threads=4",
+        )
+        .unwrap();
         assert_eq!(o.model.as_deref(), Some("lt"));
         assert_eq!(o.epsilon, Some(0.2));
         assert_eq!(o.ell, Some(2.0));
@@ -351,7 +366,14 @@ mod tests {
         assert_eq!(o.k_max, Some(20));
         assert_eq!(o.weights.as_deref(), Some("lt"));
         assert_eq!(o.mmap, Some(true));
+        assert_eq!(o.select_threads, Some(4));
         assert_eq!(GraphOverrides::parse("mmap=off").unwrap().mmap, Some(false));
+        assert_eq!(
+            GraphOverrides::parse("select_threads=0")
+                .unwrap()
+                .select_threads,
+            Some(0)
+        );
         assert!(!o.is_empty());
         assert!(GraphOverrides::parse("").unwrap().is_empty());
         for bad in [
@@ -369,6 +391,8 @@ mod tests {
             "weights=const:x",
             "mmap=maybe",
             "mmap=on,mmap=off",
+            "select_threads=x",
+            "select_threads=2,select_threads=4",
         ] {
             assert!(GraphOverrides::parse(bad).is_err(), "{bad:?} accepted");
         }

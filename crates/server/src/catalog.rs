@@ -203,7 +203,8 @@ impl<M: BackingModel + Send + Clone + 'static> GraphState<M> {
         .epsilon(eps)
         .ell(ell)
         .seed(self.config.seed)
-        .k_max(self.config.k_max);
+        .k_max(self.config.k_max)
+        .select_threads(self.config.select_threads);
         if self.config.sample_threads > 0 {
             engine = engine.threads(self.config.sample_threads);
         }
@@ -223,6 +224,7 @@ impl<M: BackingModel + Send + Clone + 'static> GraphState<M> {
             pool,
         )
         .map_err(|e| e.to_string())?;
+        engine = engine.select_threads(self.config.select_threads);
         if self.config.sample_threads > 0 {
             engine = engine.threads(self.config.sample_threads);
         }
@@ -708,6 +710,9 @@ impl<M: BackingModel + Send + Clone + 'static> GraphCatalog<M> {
         }
         if let Some(mmap) = overrides.mmap {
             config.mmap = mmap;
+        }
+        if let Some(t) = overrides.select_threads {
+            config.select_threads = t;
         }
         Arc::new(config)
     }

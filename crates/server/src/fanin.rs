@@ -30,6 +30,14 @@ pub struct SessionOutcome {
     pub transcript: Vec<u8>,
     /// Connect initiation to server EOF.
     pub latency: Duration,
+    /// Connect initiation to the first answer byte, if any arrived.
+    ///
+    /// Under an everything-at-once fan-in the EOF `latency` of every
+    /// session converges on the whole run's wall clock (each session
+    /// spends most of its life queued behind the others), so it says
+    /// nothing about per-session responsiveness. First-byte is the
+    /// number that stays comparable across admission disciplines.
+    pub first_byte: Option<Duration>,
 }
 
 /// The result of a full fan-in run: one outcome per script, in script
@@ -51,6 +59,7 @@ enum Client {
         shut: bool,
         transcript: Vec<u8>,
         started: Instant,
+        first_byte: Option<Duration>,
     },
     Done(SessionOutcome),
 }
@@ -96,6 +105,7 @@ pub fn drive_sessions(
                 shut: false,
                 transcript: Vec::new(),
                 started: Instant::now(),
+                first_byte: None,
             };
             *open += 1;
         }
@@ -125,6 +135,7 @@ pub fn drive_sessions(
                 shut,
                 transcript,
                 started,
+                first_byte,
             }) = clients.get_mut(idx)
             else {
                 continue;
@@ -179,10 +190,16 @@ pub fn drive_sessions(
                             finished = Some(SessionOutcome {
                                 transcript: std::mem::take(transcript),
                                 latency: started.elapsed(),
+                                first_byte: *first_byte,
                             });
                             break;
                         }
-                        Ok(n) => transcript.extend_from_slice(&buf[..n]),
+                        Ok(n) => {
+                            if first_byte.is_none() {
+                                *first_byte = Some(started.elapsed());
+                            }
+                            transcript.extend_from_slice(&buf[..n]);
+                        }
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                         Err(e) => {
@@ -212,4 +229,112 @@ pub fn drive_sessions(
         })
         .collect();
     Ok(FaninReport { outcomes, wall })
+}
+
+/// Latency percentiles extracted from a batch of session outcomes:
+/// end-to-end (connect → EOF) alongside first-byte (connect → first
+/// answer byte). First-byte percentiles cover only the sessions that
+/// received at least one byte and are `None` when no session did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Median connect → EOF, in milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile connect → EOF, in milliseconds.
+    pub p99_ms: f64,
+    /// Median connect → first answer byte, in milliseconds.
+    pub first_byte_p50_ms: Option<f64>,
+    /// 99th percentile connect → first answer byte, in milliseconds.
+    pub first_byte_p99_ms: Option<f64>,
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) over a **sorted** sample,
+/// in milliseconds. Panics on an empty sample.
+pub fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+/// Extracts [`LatencyStats`] from a run's outcomes. Panics if `outcomes`
+/// is empty (a measurement with no sessions is a bug, not a data point).
+pub fn latency_stats(outcomes: &[SessionOutcome]) -> LatencyStats {
+    let mut eof: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
+    eof.sort_unstable();
+    let mut first: Vec<Duration> = outcomes.iter().filter_map(|o| o.first_byte).collect();
+    first.sort_unstable();
+    LatencyStats {
+        p50_ms: percentile_ms(&eof, 0.50),
+        p99_ms: percentile_ms(&eof, 0.99),
+        first_byte_p50_ms: (!first.is_empty()).then(|| percentile_ms(&first, 0.50)),
+        first_byte_p99_ms: (!first.is_empty()).then(|| percentile_ms(&first, 0.99)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(latency_ms: u64, first_byte_ms: Option<u64>) -> SessionOutcome {
+        SessionOutcome {
+            transcript: Vec::new(),
+            latency: Duration::from_millis(latency_ms),
+            first_byte: first_byte_ms.map(Duration::from_millis),
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile_ms(&ms, 0.0), 1.0);
+        assert_eq!(percentile_ms(&ms, 0.50), 51.0); // rank round(99*0.5)=50
+        assert_eq!(percentile_ms(&ms, 0.99), 99.0);
+        assert_eq!(percentile_ms(&ms, 1.0), 100.0);
+        assert_eq!(percentile_ms(&[Duration::from_millis(7)], 0.99), 7.0);
+    }
+
+    #[test]
+    fn stats_separate_first_byte_from_session_lifetime() {
+        // The admission-queueing shape from an everything-at-once fan-in:
+        // every session's EOF lands near the run's wall clock, but each
+        // got its first answer byte quickly. First-byte must report the
+        // small numbers while EOF reports the big ones.
+        let outcomes: Vec<SessionOutcome> = (0..100)
+            .map(|i| outcome(25_000 + i, Some(5 + i % 10)))
+            .collect();
+        let stats = latency_stats(&outcomes);
+        assert_eq!(stats.p50_ms, 25_050.0);
+        assert_eq!(stats.p99_ms, 25_098.0); // nearest rank: round(99·0.99) = 98
+        assert_eq!(stats.first_byte_p50_ms, Some(10.0));
+        assert_eq!(stats.first_byte_p99_ms, Some(14.0));
+    }
+
+    #[test]
+    fn sessions_without_answer_bytes_are_excluded_from_first_byte() {
+        let outcomes = vec![
+            outcome(40, Some(10)),
+            outcome(50, None), // e.g. a script of writes only
+            outcome(60, Some(30)),
+        ];
+        let stats = latency_stats(&outcomes);
+        assert_eq!(stats.p50_ms, 50.0);
+        assert_eq!(stats.first_byte_p50_ms, Some(30.0));
+        assert_eq!(stats.first_byte_p99_ms, Some(30.0));
+
+        let silent = vec![outcome(40, None), outcome(50, None)];
+        let stats = latency_stats(&silent);
+        assert_eq!(stats.first_byte_p50_ms, None);
+        assert_eq!(stats.first_byte_p99_ms, None);
+    }
+
+    #[test]
+    fn first_byte_never_exceeds_session_latency_in_driver_outcomes() {
+        // The driver records first_byte from the same clock as latency,
+        // strictly earlier — the extraction must preserve that ordering.
+        let outcomes: Vec<SessionOutcome> =
+            (1..=9).map(|i| outcome(i * 100, Some(i * 10))).collect();
+        let stats = latency_stats(&outcomes);
+        assert!(stats.first_byte_p50_ms.unwrap() <= stats.p50_ms);
+        assert!(stats.first_byte_p99_ms.unwrap() <= stats.p99_ms);
+        assert!(stats.first_byte_p50_ms.unwrap() <= stats.first_byte_p99_ms.unwrap());
+    }
 }

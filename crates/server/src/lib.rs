@@ -86,7 +86,7 @@ pub use catalog::{CatalogStats, GraphCatalog, GraphState};
 #[cfg(target_os = "linux")]
 pub use event_loop::{AT_CAPACITY_REPLY, IDLE_TIMEOUT_REPLY};
 #[cfg(target_os = "linux")]
-pub use fanin::{drive_sessions, FaninReport, SessionOutcome};
+pub use fanin::{drive_sessions, latency_stats, FaninReport, LatencyStats, SessionOutcome};
 pub use protocol::{
     execute, parse_query, parse_request, CappedLine, CappedLineReader, LabelMap, ParsedLine,
     ParsedRequest, PollLine, Query, QueryBackend, Reply, Request, MAX_BATCH, MAX_BATCH_BYTES,
