@@ -760,6 +760,7 @@ fn ablation(opts: &Opts) {
                 opts.seed ^ 0x77,
                 1,
                 1,
+                tim_core::SelectStrategy::Auto,
                 tim_core::GreedyImpl::LazyHeap,
             );
             let spread = est.estimate(&g, &sel.seeds);

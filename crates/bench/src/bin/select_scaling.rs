@@ -1,37 +1,49 @@
-//! Sharded-selection scaling benchmark: serial vs sharded greedy
-//! max-coverage over one RR-set pool, at 1/2/4/8 worker threads.
+//! Sharded-selection scaling benchmark: serial lazy greedy vs the
+//! sharded solver under both worker strategies (eager scan and lazy
+//! CELF-style heaps), at 1/2/4/8 worker threads over one RR-set pool.
 //!
 //! ```text
 //! cargo run --release -p tim_bench --bin select_scaling -- [flags]
 //!
 //! flags:
 //!   --quick        kick-tires scale only (CI artifact)
-//!   --out <path>   where to write the JSON report (default BENCH_8.json)
+//!   --out <path>   where to write the JSON report (default BENCH_9.json)
 //! ```
 //!
 //! The harness builds the paper-scale weighted graph (~1.3M arcs in full
 //! mode), samples one deterministic RR-set pool through the production
 //! sharded generator, and then times seed selection over that *same*
 //! pool: the serial `greedy_max_cover_indexed` baseline against
-//! `greedy_max_cover_sharded_indexed` at each thread count. Every
-//! sharded result is compared against the serial `CoverResult` — seeds,
-//! marginals, and coverage must be identical, or the run fails loudly
-//! (`identical`). A thread count is allowed to change latency and
-//! nothing else; that is the determinism contract the differential
-//! suite pins, and this bench re-checks it at measurement scale.
+//! `greedy_max_cover_sharded_indexed_stats` at each thread count under
+//! each strategy. Every sharded result is compared against the serial
+//! `CoverResult` — seeds, marginals, and coverage must be identical, or
+//! the run fails loudly (`identical`). Thread count and strategy are
+//! allowed to change latency and evaluation counts and nothing else;
+//! that is the determinism contract the differential suite pins, and
+//! this bench re-checks it at measurement scale.
 //!
-//! The report is machine readable (schema `tim-bench-select/1`);
-//! `bench_schema_check` validates it in CI and the full-scale run is
-//! checked in at the repo root so the trajectory is diffable across PRs.
-//! Speedups are hardware-relative: on a single-core runner the sharded
-//! solver pays its barrier overhead without any parallelism to show for
-//! it, so the schema only enforces shape and identity, not a speedup
+//! Beyond latency, the report records *work*: `evals_per_round` is how
+//! many candidate gains each configuration inspected per greedy round
+//! ([`EvalStats`]), which is hardware-independent — the lazy strategy's
+//! acceptance bar (≥ 5× fewer evaluations than eager at the full scale)
+//! holds on any machine, single-core CI runners included. `threads = 1`
+//! delegates to the serial solver under either strategy, so its two
+//! blocks coincide and its `lazy_eval_ratio` is 1.
+//!
+//! The report is machine readable (schema `tim-bench-select/2`);
+//! `bench_schema_check` validates it in CI (older `tim-bench-select/1`
+//! reports like the checked-in BENCH_8.json stay valid) and the
+//! full-scale run is checked in at the repo root so the trajectory is
+//! diffable across PRs. Speedups are hardware-relative, so the schema
+//! enforces shape, identity, and the eval-ratio bar — not a speedup
 //! floor.
 
 use std::time::Instant;
 use tim_core::parallel::generate_rr_sets;
-use tim_coverage::sharded::greedy_max_cover_sharded_indexed;
-use tim_coverage::{greedy_max_cover_indexed, CoverResult, SetCollection};
+use tim_coverage::sharded::greedy_max_cover_sharded_indexed_stats;
+use tim_coverage::{
+    greedy_max_cover_indexed_stats, CoverResult, EvalStats, SelectStrategy, SetCollection,
+};
 use tim_diffusion::IndependentCascade;
 use tim_graph::{gen, weights};
 
@@ -43,18 +55,33 @@ struct Opts {
     out: String,
 }
 
-/// One thread count's measurement.
-struct ThreadReport {
-    threads: usize,
+/// One (strategy, thread count) measurement.
+struct StrategyReport {
     select_ms: f64,
     speedup: f64,
+    stats: EvalStats,
     identical: bool,
+}
+
+/// One thread count's pair of strategy measurements.
+struct ThreadReport {
+    threads: usize,
+    eager: StrategyReport,
+    lazy: StrategyReport,
+}
+
+impl ThreadReport {
+    /// How many times fewer candidate evaluations the lazy strategy
+    /// needed per round — the hardware-independent win.
+    fn lazy_eval_ratio(&self) -> f64 {
+        self.eager.stats.evals_per_round() / self.lazy.stats.evals_per_round().max(1e-9)
+    }
 }
 
 fn parse_opts() -> Opts {
     let mut opts = Opts {
         quick: false,
-        out: "BENCH_8.json".to_string(),
+        out: "BENCH_9.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -89,6 +116,20 @@ fn same_answer(a: &CoverResult, b: &CoverResult) -> bool {
     a.seeds == b.seeds && a.marginal == b.marginal && a.covered == b.covered
 }
 
+fn strategy_json(s: &StrategyReport) -> String {
+    format!(
+        "{{\"select_ms\": {:.3}, \"speedup\": {:.2}, \"evals_per_round\": {:.1}, \
+         \"repushes\": {}, \"dirty\": {}, \"identical\": {}}}",
+        s.select_ms,
+        s.speedup,
+        s.stats.evals_per_round(),
+        s.stats.repushes,
+        s.stats.dirty,
+        s.identical,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn emit_json(
     quick: bool,
     nodes: usize,
@@ -96,11 +137,12 @@ fn emit_json(
     theta: u64,
     k: usize,
     serial_ms: f64,
+    serial_stats: &EvalStats,
     threads: &[ThreadReport],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"tim-bench-select/1\",\n");
+    out.push_str("  \"schema\": \"tim-bench-select/2\",\n");
     out.push_str("  \"bench\": \"select_scaling\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str(&format!(
@@ -108,16 +150,21 @@ fn emit_json(
     ));
     out.push_str(&format!("  \"theta\": {theta},\n"));
     out.push_str(&format!("  \"k\": {k},\n"));
-    out.push_str(&format!("  \"serial_ms\": {serial_ms:.3},\n"));
+    out.push_str(&format!(
+        "  \"serial\": {{\"select_ms\": {:.3}, \"evals_per_round\": {:.1}, \"repushes\": {}}},\n",
+        serial_ms,
+        serial_stats.evals_per_round(),
+        serial_stats.repushes,
+    ));
     out.push_str("  \"threads\": [\n");
     for (i, t) in threads.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"threads\": {}, \"select_ms\": {:.3}, \"speedup\": {:.2}, \
-             \"identical\": {}}}{}\n",
+            "    {{\"threads\": {},\n     \"eager\": {},\n     \"lazy\": {},\n     \
+             \"lazy_eval_ratio\": {:.1}}}{}\n",
             t.threads,
-            t.select_ms,
-            t.speedup,
-            t.identical,
+            strategy_json(&t.eager),
+            strategy_json(&t.lazy),
+            t.lazy_eval_ratio(),
             if i + 1 < threads.len() { "," } else { "" },
         ));
     }
@@ -154,37 +201,80 @@ fn main() {
     let pool: SetCollection = pool;
 
     let runs = if opts.quick { 5 } else { 3 };
-    let (serial_ms, serial) = median_ms(runs, || greedy_max_cover_indexed(&pool, k));
+    let (serial_ms, (serial, serial_stats)) =
+        median_ms(runs, || greedy_max_cover_indexed_stats(&pool, k));
     eprintln!(
-        "  serial:     {serial_ms:>9.3} ms  (k={k}, coverage {})",
-        serial.covered
+        "  serial:       {serial_ms:>9.3} ms  (k={k}, coverage {}, {:.1} evals/round)",
+        serial.covered,
+        serial_stats.evals_per_round()
     );
 
     let mut threads = Vec::new();
     for t in THREAD_COUNTS {
-        let (select_ms, result) = median_ms(runs, || greedy_max_cover_sharded_indexed(&pool, k, t));
-        let identical = same_answer(&result, &serial);
-        eprintln!(
-            "  sharded x{t}: {select_ms:>9.3} ms  ({:.2}x vs serial)  identical={identical}",
-            serial_ms / select_ms.max(1e-9)
-        );
+        let measure = |strategy: SelectStrategy| -> StrategyReport {
+            let (select_ms, (result, stats)) = median_ms(runs, || {
+                greedy_max_cover_sharded_indexed_stats(&pool, k, t, strategy)
+            });
+            let identical = same_answer(&result, &serial);
+            eprintln!(
+                "  {strategy:>5} x{t}:     {select_ms:>9.3} ms  ({:.2}x vs serial)  \
+                 {:.1} evals/round  identical={identical}",
+                serial_ms / select_ms.max(1e-9),
+                stats.evals_per_round(),
+            );
+            StrategyReport {
+                select_ms,
+                speedup: serial_ms / select_ms.max(1e-9),
+                stats,
+                identical,
+            }
+        };
+        let eager = measure(SelectStrategy::Eager);
+        let lazy = measure(SelectStrategy::Lazy);
         threads.push(ThreadReport {
             threads: t,
-            select_ms,
-            speedup: serial_ms / select_ms.max(1e-9),
-            identical,
+            eager,
+            lazy,
         });
     }
 
-    let json = emit_json(opts.quick, nodes, arcs, theta, k, serial_ms, &threads);
+    let json = emit_json(
+        opts.quick,
+        nodes,
+        arcs,
+        theta,
+        k,
+        serial_ms,
+        &serial_stats,
+        &threads,
+    );
     // Self-check the emitter against our own parser before writing: a
     // malformed report should fail here, not in CI.
     tim_bench::json::parse(&json).expect("emitted JSON must parse");
     std::fs::write(&opts.out, &json).expect("write report");
     eprintln!("wrote {}", opts.out);
 
-    if threads.iter().any(|t| !t.identical) {
+    if threads
+        .iter()
+        .any(|t| !t.eager.identical || !t.lazy.identical)
+    {
         eprintln!("error: sharded selection diverged from serial — see report");
         std::process::exit(1);
+    }
+    // The tentpole's acceptance bar, enforced at measurement scale: the
+    // lazy strategy must evaluate ≥ 5× fewer candidates per round than
+    // the eager scan wherever real sharding happens (t ≥ 2; t = 1
+    // delegates to the serial solver under either strategy).
+    if !opts.quick {
+        for t in threads.iter().filter(|t| t.threads >= 2) {
+            if t.lazy_eval_ratio() < 5.0 {
+                eprintln!(
+                    "error: lazy/eager eval ratio at t={} is only {:.1}x (need >= 5x)",
+                    t.threads,
+                    t.lazy_eval_ratio()
+                );
+                std::process::exit(1);
+            }
+        }
     }
 }

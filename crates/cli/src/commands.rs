@@ -41,7 +41,8 @@ usage:
                [--default-graph <name>] [--max-loaded 8] [--pool <path.timp>]
                [--pool-dir <dir>] [--persist-pools] [--admin] [--mmap]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
-               [--seed 0] [--pool-cache 4] [--select-threads 1] [--undirected] [--quiet]
+               [--seed 0] [--pool-cache 4] [--select-threads 1]
+               [--select-strategy eager|lazy|auto] [--undirected] [--quiet]
                (reads line-delimited tim/3 queries from stdin:
                   select <k> [fast] [eps=<v>] [ell=<v>]
                   eval <id,id,...>
@@ -56,7 +57,7 @@ usage:
                [--event-loop] [--idle-timeout <secs>] [--max-conns <n>]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
                [--seed 0] [--pool <path.timp>] [--select-threads 1]
-               [--undirected] [--quiet]
+               [--select-strategy eager|lazy|auto] [--undirected] [--quiet]
                (serves the tim/3 query protocol over TCP; prints
                 `listening on <addr>` on stdout when bound — see docs/PROTOCOL.md;
                 --event-loop serves via epoll reactor shards instead of
@@ -74,11 +75,15 @@ usage:
   each --graph adds a lazily loaded named graph, and --graphs scans a
   directory of .timg/.txt/.edges files (stems become names). A --graph
   spec may carry per-graph overrides after `::` (model=ic|lt, eps=, ell=,
-  seed=, k=, weights=, mmap=true|false, select_threads=), replacing the
-  global defaults for that graph.
+  seed=, k=, weights=, mmap=true|false, select_threads=,
+  select_strategy=), replacing the global defaults for that graph.
   --select-threads shards each query's greedy selection phase across N
   worker threads (0 = all cores; default 1 = serial); answers are
   byte-identical at any thread count, so it only changes latency.
+  --select-strategy picks how those workers search: eager scans every
+  node each round, lazy keeps CELF-style per-worker heaps (auto, the
+  default, picks lazy). Strategy never changes answers either — only
+  the number of gain evaluations per round.
   With --pool-dir every graph keeps its RR-set pools in <dir>/<name>/
   (read on start — a warm restart skips the pool builds); --persist-pools
   additionally writes newly built or grown pools back automatically.
@@ -412,6 +417,10 @@ fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
         k_max: args.get_parsed("k", 50usize)?,
         sample_threads: 0,
         select_threads: args.get_parsed("select-threads", 1usize)?,
+        select_strategy: match args.get("select-strategy") {
+            None => tim_core::SelectStrategy::Auto,
+            Some(v) => v.parse().map_err(|e| format!("--select-strategy: {e}"))?,
+        },
         verbose: !quiet,
         // `--mmap` flips the weights default to "keep": a mapped graph
         // serves the probabilities baked into its v2 snapshot verbatim.

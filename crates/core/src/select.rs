@@ -8,7 +8,8 @@
 use crate::parallel::{generate_rr_sets, BulkStats};
 use crate::tim::GreedyImpl;
 use tim_coverage::{
-    greedy_max_cover, greedy_max_cover_bucket, greedy_max_cover_sharded, CoverResult, SetCollection,
+    greedy_max_cover, greedy_max_cover_bucket, greedy_max_cover_sharded_with, CoverResult,
+    SelectStrategy, SetCollection,
 };
 use tim_diffusion::DiffusionModel;
 use tim_graph::{CsrAccess, NodeId};
@@ -29,18 +30,20 @@ pub fn resolve_select_threads(select_threads: usize) -> usize {
 
 /// Runs the configured greedy solver over `collection`, sharding the
 /// lazy-heap solver across [`resolve_select_threads`]`(select_threads)`
-/// workers. Thread count never changes the result — the sharded solver is
-/// byte-identical to the serial one — so callers may tune it freely.
+/// workers finding their per-round argmax per `select_strategy`. Neither
+/// thread count nor strategy ever changes the result — the sharded solver
+/// is byte-identical to the serial one — so callers may tune both freely.
 pub(crate) fn run_greedy(
     collection: &mut SetCollection,
     k: usize,
     greedy: GreedyImpl,
     select_threads: usize,
+    select_strategy: SelectStrategy,
 ) -> CoverResult {
     match greedy {
         GreedyImpl::LazyHeap => match resolve_select_threads(select_threads) {
             0 | 1 => greedy_max_cover(collection, k),
-            t => greedy_max_cover_sharded(collection, k, t),
+            t => greedy_max_cover_sharded_with(collection, k, t, select_strategy),
         },
         GreedyImpl::BucketQueue => greedy_max_cover_bucket(collection, k),
     }
@@ -66,8 +69,9 @@ pub struct Selection {
 
 /// Runs Algorithm 1: samples `theta` RR sets under `model` and greedily
 /// selects `k` nodes. `threads` drives sampling, `select_threads` the
-/// greedy phase ([`resolve_select_threads`]; 1 = serial, 0 = all cores);
-/// neither ever changes the answer.
+/// greedy phase ([`resolve_select_threads`]; 1 = serial, 0 = all cores)
+/// and `select_strategy` how its workers search (eager scan or lazy
+/// heap); none of the three ever changes the answer.
 #[allow(clippy::too_many_arguments)]
 pub fn node_selection<G: CsrAccess, M: DiffusionModel<G> + Sync>(
     graph: &G,
@@ -77,11 +81,13 @@ pub fn node_selection<G: CsrAccess, M: DiffusionModel<G> + Sync>(
     seed: u64,
     threads: usize,
     select_threads: usize,
+    select_strategy: SelectStrategy,
     greedy: GreedyImpl,
 ) -> Selection {
     let (mut collection, stats) = generate_rr_sets(graph, model, theta, seed, threads);
     let rr_memory_bytes = collection.memory_bytes();
-    let cover: CoverResult = run_greedy(&mut collection, k, greedy, select_threads);
+    let cover: CoverResult =
+        run_greedy(&mut collection, k, greedy, select_threads, select_strategy);
     let frac = cover.coverage_fraction(collection.len());
     Selection {
         estimated_spread: frac * graph.n() as f64,
@@ -111,6 +117,7 @@ mod tests {
             2,
             1,
             1,
+            SelectStrategy::Auto,
             GreedyImpl::LazyHeap,
         );
         assert_eq!(sel.seeds.len(), 10);
@@ -138,6 +145,7 @@ mod tests {
             3,
             1,
             1,
+            SelectStrategy::Auto,
             GreedyImpl::LazyHeap,
         );
         assert_eq!(sel.seeds, vec![0]);
@@ -157,6 +165,7 @@ mod tests {
             5,
             2,
             2,
+            SelectStrategy::Auto,
             GreedyImpl::LazyHeap,
         );
         let mc = SpreadEstimator::new(IndependentCascade)
@@ -184,6 +193,7 @@ mod tests {
             8,
             1,
             1,
+            SelectStrategy::Auto,
             GreedyImpl::LazyHeap,
         );
         let b = node_selection(
@@ -194,6 +204,7 @@ mod tests {
             8,
             1,
             1,
+            SelectStrategy::Auto,
             GreedyImpl::BucketQueue,
         );
         let rel = (a.coverage_fraction - b.coverage_fraction).abs() / a.coverage_fraction.max(1e-9);
@@ -217,6 +228,7 @@ mod tests {
             10,
             1,
             1,
+            SelectStrategy::Auto,
             GreedyImpl::LazyHeap,
         );
         // Both sampling and selection thread counts vary; the answer may
@@ -230,6 +242,7 @@ mod tests {
                 10,
                 threads,
                 select_threads,
+                SelectStrategy::Auto,
                 GreedyImpl::LazyHeap,
             );
             assert_eq!(a.seeds, b.seeds, "select_threads={select_threads}");

@@ -1,6 +1,22 @@
 //! Flat arena storage for node-set collections (the set `R` of RR sets).
 
+use std::cell::RefCell;
 use tim_graph::NodeId;
+
+/// Reusable per-thread scratch for [`SetCollection::count_covered`]'s
+/// index-backed path: a stamped bitmap over set ids. Bumping the stamp
+/// "clears" the map in O(1); the vec itself is only rewritten on the
+/// (practically unreachable) stamp wraparound, and grows monotonically to
+/// the largest collection the thread has evaluated.
+#[derive(Default)]
+struct CoverScratch {
+    stamp: u32,
+    mark: Vec<u32>,
+}
+
+thread_local! {
+    static COVER_SCRATCH: RefCell<CoverScratch> = RefCell::new(CoverScratch::default());
+}
 
 /// A collection of node sets over the universe `0..n`, stored as one flat
 /// arena plus offsets, with a lazily built inverted index.
@@ -211,10 +227,46 @@ impl SetCollection {
     }
 
     /// Number of stored sets intersecting `seeds`.
+    ///
+    /// With the inverted index built this walks only the seeds' posting
+    /// lists — O(Σ|sets_containing(seed)|) with a reusable per-thread
+    /// scratch bitmap, which is what keeps protocol `eval`/`marginal`
+    /// lines cheap against big warm pools. Without the index it falls
+    /// back to scanning every member (this method never mutates the
+    /// collection, so it cannot build the index itself).
     pub fn count_covered(&self, seeds: &[NodeId]) -> usize {
-        let mut in_seed = vec![false; self.n];
         for &s in seeds {
             assert!((s as usize) < self.n, "seed {s} out of universe");
+        }
+        if self.has_inverted_index() {
+            return COVER_SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                if scratch.mark.len() < self.len() {
+                    scratch.mark.resize(self.len(), 0);
+                }
+                scratch.stamp = match scratch.stamp.checked_add(1) {
+                    Some(s) => s,
+                    None => {
+                        scratch.mark.fill(0);
+                        1
+                    }
+                };
+                let stamp = scratch.stamp;
+                let mut count = 0usize;
+                for &s in seeds {
+                    for &set_id in self.sets_containing(s) {
+                        let mark = &mut scratch.mark[set_id as usize];
+                        if *mark != stamp {
+                            *mark = stamp;
+                            count += 1;
+                        }
+                    }
+                }
+                count
+            });
+        }
+        let mut in_seed = vec![false; self.n];
+        for &s in seeds {
             in_seed[s as usize] = true;
         }
         (0..self.len())
@@ -343,5 +395,67 @@ mod tests {
     fn coverage_with_bad_seed_panics() {
         let c = sample();
         c.coverage_fraction(&[10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn indexed_coverage_with_bad_seed_panics() {
+        let mut c = sample();
+        c.ensure_inverted_index();
+        c.coverage_fraction(&[10]);
+    }
+
+    /// Counts intersections the slow way, bypassing the index path — the
+    /// oracle the index-backed fast path must agree with.
+    fn count_covered_slow(c: &SetCollection, seeds: &[NodeId]) -> usize {
+        (0..c.len())
+            .filter(|&i| c.set(i).iter().any(|&v| seeds.contains(&v)))
+            .count()
+    }
+
+    #[test]
+    fn indexed_count_covered_matches_the_slow_path() {
+        let mut c = sample();
+        let seed_sets: &[&[NodeId]] = &[&[], &[0], &[1], &[1, 3], &[0, 1, 2, 3, 4], &[4, 2]];
+        for &seeds in seed_sets {
+            let slow = c.count_covered(seeds);
+            assert_eq!(slow, count_covered_slow(&c, seeds), "oracle disagrees");
+            c.ensure_inverted_index();
+            assert_eq!(c.count_covered(seeds), slow, "seeds {seeds:?}");
+            assert_eq!(
+                c.coverage_fraction(seeds),
+                slow as f64 / c.len() as f64,
+                "seeds {seeds:?}"
+            );
+            // Drop back to the slow path for the next iteration.
+            c.push(&[2]);
+        }
+    }
+
+    #[test]
+    fn indexed_count_covered_matches_on_random_instances() {
+        use tim_rng::{RandomSource, Rng};
+        let mut rng = Rng::seed_from_u64(0xC0FE);
+        for _ in 0..30 {
+            let n = 2 + rng.next_index(40);
+            let mut c = SetCollection::new(n);
+            for _ in 0..rng.next_index(80) {
+                let size = rng.next_index(6);
+                let mut m: Vec<NodeId> = (0..size).map(|_| rng.next_index(n) as u32).collect();
+                m.sort_unstable();
+                m.dedup();
+                c.push(&m);
+            }
+            let mut seeds: Vec<NodeId> = (0..rng.next_index(n + 1))
+                .map(|_| rng.next_index(n) as u32)
+                .collect();
+            seeds.sort_unstable();
+            seeds.dedup();
+            let slow = c.count_covered(&seeds);
+            c.ensure_inverted_index();
+            // Repeated calls exercise the scratch's stamp reuse.
+            assert_eq!(c.count_covered(&seeds), slow);
+            assert_eq!(c.count_covered(&seeds), slow);
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! - [`greedy_max_cover_bucket`]: bucket queue indexed by count, giving the
 //!   O(Σ|R|) linear-time bound quoted in §3.1.
 
+use crate::strategy::EvalStats;
 use crate::SetCollection;
 use std::collections::BinaryHeap;
 use tim_graph::NodeId;
@@ -74,6 +75,21 @@ pub fn greedy_max_cover(collection: &mut SetCollection, k: usize) -> CoverResult
 /// Panics if the inverted index is stale
 /// ([`SetCollection::has_inverted_index`] is false).
 pub fn greedy_max_cover_indexed(collection: &SetCollection, k: usize) -> CoverResult {
+    greedy_max_cover_indexed_stats(collection, k).0
+}
+
+/// [`greedy_max_cover_indexed`] with its [`EvalStats`] work counters:
+/// `evals` counts heap pops whose gain was compared against the current
+/// table, `repushes` the stale entries refiled. The `CoverResult` is the
+/// same object the uninstrumented entry point returns.
+///
+/// # Panics
+/// Panics if the inverted index is stale
+/// ([`SetCollection::has_inverted_index`] is false).
+pub fn greedy_max_cover_indexed_stats(
+    collection: &SetCollection,
+    k: usize,
+) -> (CoverResult, EvalStats) {
     assert!(
         collection.has_inverted_index(),
         "inverted index is stale; call ensure_inverted_index first"
@@ -98,20 +114,24 @@ pub fn greedy_max_cover_indexed(collection: &SetCollection, k: usize) -> CoverRe
         marginal: Vec::with_capacity(k),
         covered: 0,
     };
+    let mut stats = EvalStats::default();
 
     while result.seeds.len() < k {
+        stats.rounds += 1;
         let best = loop {
             match heap.pop() {
                 Some((stored, v)) => {
                     if selected[v as usize] {
                         continue;
                     }
+                    stats.evals += 1;
                     let current = gain[v as usize];
                     if stored == current {
                         break Some(v);
                     }
                     if current > 0 {
                         heap.push((current, v));
+                        stats.repushes += 1;
                     }
                 }
                 None => break None,
@@ -146,12 +166,17 @@ pub fn greedy_max_cover_indexed(collection: &SetCollection, k: usize) -> CoverRe
                         result.seeds.push(v);
                         result.marginal.push(0);
                     }
-                    None => break,
+                    None => {
+                        // The universe ran out before round k: the round
+                        // did no work, so do not count it.
+                        stats.rounds -= 1;
+                        break;
+                    }
                 }
             }
         }
     }
-    result
+    (result, stats)
 }
 
 /// Greedy max-coverage with a bucket queue (linear-time variant).
@@ -406,6 +431,24 @@ mod tests {
         let shared: &SetCollection = &c;
         assert_eq!(greedy_max_cover_indexed(shared, 3), want_heap);
         assert_eq!(greedy_max_cover_bucket_indexed(shared, 3), want_bucket);
+    }
+
+    #[test]
+    fn stats_variant_counts_lazy_heap_work() {
+        let mut c = collection(&[&[9, 0], &[9, 1], &[9, 2], &[3], &[1, 2]], 10);
+        c.ensure_inverted_index();
+        let (result, stats) = greedy_max_cover_indexed_stats(&c, 3);
+        assert_eq!(result, greedy_max_cover_indexed(&c, 3));
+        assert_eq!(stats.rounds, 3);
+        // Every selected round evaluates at least the fresh argmax pop.
+        assert!(stats.evals >= stats.rounds, "{stats:?}");
+        assert_eq!(stats.dirty, 0, "serial solver tracks no dirt");
+        // Padding rounds (everything covered) still count as rounds.
+        let mut tiny = collection(&[&[0]], 5);
+        tiny.ensure_inverted_index();
+        let (r, s) = greedy_max_cover_indexed_stats(&tiny, 4);
+        assert_eq!(r.seeds.len(), 4);
+        assert_eq!(s.rounds, 4);
     }
 
     #[test]

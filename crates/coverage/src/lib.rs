@@ -17,7 +17,11 @@
 //!   bound of \[3\]'s Step 2.
 //! - [`greedy_max_cover_sharded`] — the lazy-heap contract parallelized
 //!   across worker threads (see [`sharded`]), **byte-identical** to
-//!   [`greedy_max_cover_indexed`] at any thread count.
+//!   [`greedy_max_cover_indexed`] at any thread count. A
+//!   [`SelectStrategy`] knob picks how each worker finds its local argmax
+//!   — an eager full-range scan or a CELF-style lazy heap with dirty-node
+//!   invalidation — without changing a single answer byte; [`EvalStats`]
+//!   counts the algorithmic work either way.
 //!
 //! The heap and bucket solvers return identical coverage values
 //! (tie-breaking may differ); the criterion bench `max_cover` compares
@@ -32,10 +36,16 @@
 mod collection;
 mod greedy;
 pub mod sharded;
+mod strategy;
 
 pub use collection::SetCollection;
 pub use greedy::{
     greedy_max_cover, greedy_max_cover_bucket, greedy_max_cover_bucket_indexed,
-    greedy_max_cover_indexed, CoverResult,
+    greedy_max_cover_indexed, greedy_max_cover_indexed_stats, CoverResult,
 };
-pub use sharded::{greedy_max_cover_sharded, greedy_max_cover_sharded_indexed};
+pub use sharded::{
+    greedy_max_cover_sharded, greedy_max_cover_sharded_indexed,
+    greedy_max_cover_sharded_indexed_stats, greedy_max_cover_sharded_indexed_with,
+    greedy_max_cover_sharded_with,
+};
+pub use strategy::{EvalStats, SelectStrategy};

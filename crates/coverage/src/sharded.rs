@@ -2,7 +2,7 @@
 //!
 //! [`greedy_max_cover_sharded`] parallelizes the greedy solver across
 //! worker threads while returning results **byte-identical** to
-//! [`greedy_max_cover_indexed`] at any
+//! [`greedy_max_cover_indexed`](crate::greedy_max_cover_indexed) at any
 //! thread count. The serial solver's lazy max-heap converges, each round,
 //! to the node maximizing the `(current_gain, node_id)` tuple — ties
 //! break toward the **largest** id — and pads with the **smallest**
@@ -10,8 +10,8 @@
 //! makes that contract explicit and distributes the two phases of each
 //! round:
 //!
-//! 1. **Vote** — every worker scans its contiguous node range for the
-//!    local `(gain, node)` maximum (and its smallest unselected id, for
+//! 1. **Vote** — every worker finds its contiguous node range's local
+//!    `(gain, node)` maximum (and its smallest unselected id, for
 //!    padding) and publishes a [`ShardVote`].
 //! 2. **Merge + apply** — the votes merge through the deterministic
 //!    reduction [`merge_votes`] (replicated on every worker: the merge is
@@ -22,18 +22,38 @@
 //!    ([`shard_prefix_ranges`]) — marking newly covered sets and
 //!    decrementing member gains atomically.
 //!
-//! Determinism survives sharding because both halves of the round are
-//! order-free: the merged argmax is a pure reduction over the votes, and
-//! the gain updates are sums of decrements (commutative, applied through
-//! atomics), so at the barrier between rounds every worker observes
-//! exactly the gains the serial solver would hold. The partition affects
-//! only *which worker* does the arithmetic, never its result.
+//! *How* a worker finds its local argmax is the [`SelectStrategy`] knob:
+//!
+//! - **Eager** scans the full node range every round — O(n/threads) gain
+//!   loads per worker per round, no state between rounds.
+//! - **Lazy** keeps a CELF-style max-heap of `(cached_gain, node)` per
+//!   worker. Coverage gain is submodular (gains only ever decrease), so a
+//!   cached entry is an upper bound on the node's current gain and a
+//!   popped entry whose cached value is still current is *exactly* the
+//!   range argmax — the same staleness trick the serial solver plays.
+//!   Between rounds workers exchange **dirty-node lists** — the only
+//!   gains that change are members of sets newly covered by the last
+//!   pick, computed for free during the apply phase's posting-list walk —
+//!   so a worker whose cached vote's node is untouched re-publishes it
+//!   without touching its heap at all.
+//!
+//! Either way the vote values are identical, so the merged pick — and
+//! with it seeds, marginals, and covered counts — cannot depend on the
+//! strategy. Determinism survives sharding because both halves of the
+//! round are order-free: the merged argmax is a pure reduction over the
+//! votes, and the gain updates are sums of decrements (commutative,
+//! applied through atomics), so at the barrier between rounds every
+//! worker observes exactly the gains the serial solver would hold. The
+//! partition affects only *which worker* does the arithmetic, never its
+//! result.
 
-use crate::greedy::{greedy_max_cover_indexed, CoverResult};
+use crate::greedy::{greedy_max_cover_indexed_stats, CoverResult};
+use crate::strategy::{EvalStats, SelectStrategy};
 use crate::SetCollection;
+use std::collections::BinaryHeap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering::Relaxed};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 use tim_graph::NodeId;
 
 /// Number of balanced shards the RR-set space is partitioned into —
@@ -80,6 +100,20 @@ pub fn worker_set_ranges(len: usize, threads: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
+/// The worker index owning node `u` under [`shard_prefix_ranges`]`(n,
+/// threads)`, in O(1): the first `extra = n % threads` ranges hold `per +
+/// 1` nodes, the rest `per`. Lazy workers use this to route each dirty
+/// node to the one consumer whose range holds it.
+fn node_owner(per: usize, extra: usize, u: usize) -> usize {
+    debug_assert!(per >= 1, "threads are clamped to the universe");
+    let cut = (per + 1) * extra;
+    if u < cut {
+        u / (per + 1)
+    } else {
+        extra + (u - cut) / per
+    }
+}
+
 /// The ids of the sets containing `v` whose id falls in `range` — one
 /// worker's slice of the apply phase. The inverted index stores set ids
 /// ascending, so this is two binary searches on
@@ -97,6 +131,48 @@ pub fn sets_in_range<'a>(
     let lo = ids.partition_point(|&s| (s as usize) < range.start);
     let hi = ids.partition_point(|&s| (s as usize) < range.end);
     &ids[lo..hi]
+}
+
+/// One worker's slice of the apply phase: covers `node`'s still-uncovered
+/// sets within `sets` (a `covered[set_id - sets.start]` bitmap slice) and
+/// decrements every member's gain atomically. When `dirty` is given it is
+/// reset to the slice's **dirty nodes** — the distinct members whose gain
+/// this call changed, sorted ascending — which is the invalidation set
+/// the lazy strategy ships between workers: a node outside it cannot have
+/// changed gain this round. Returns the newly covered count.
+///
+/// # Panics
+/// Panics if the collection's inverted index is stale.
+pub fn apply_pick_in_range(
+    collection: &SetCollection,
+    node: NodeId,
+    sets: &Range<usize>,
+    covered: &mut [bool],
+    gain: &[AtomicUsize],
+    mut dirty: Option<&mut Vec<NodeId>>,
+) -> usize {
+    if let Some(d) = dirty.as_deref_mut() {
+        d.clear();
+    }
+    let mut newly = 0usize;
+    for &set_id in sets_in_range(collection, node, sets) {
+        let s = set_id as usize;
+        if !covered[s - sets.start] {
+            covered[s - sets.start] = true;
+            newly += 1;
+            for &u in collection.set(s) {
+                gain[u as usize].fetch_sub(1, Relaxed);
+                if let Some(d) = dirty.as_deref_mut() {
+                    d.push(u);
+                }
+            }
+        }
+    }
+    if let Some(d) = dirty {
+        d.sort_unstable();
+        d.dedup();
+    }
+    newly
 }
 
 /// One worker's report for one greedy round, over its node range.
@@ -162,19 +238,31 @@ struct WorkerSlot {
 
 /// [`greedy_max_cover_sharded_indexed`] over a `&mut` collection,
 /// building the inverted index first (the exact analogue of
-/// [`greedy_max_cover`](crate::greedy_max_cover)).
+/// [`greedy_max_cover`](crate::greedy_max_cover)). Runs the **eager**
+/// strategy; see [`greedy_max_cover_sharded_with`] for the knob.
 pub fn greedy_max_cover_sharded(
     collection: &mut SetCollection,
     k: usize,
     threads: usize,
 ) -> CoverResult {
+    greedy_max_cover_sharded_with(collection, k, threads, SelectStrategy::Eager)
+}
+
+/// [`greedy_max_cover_sharded_indexed_with`] over a `&mut` collection,
+/// building the inverted index first.
+pub fn greedy_max_cover_sharded_with(
+    collection: &mut SetCollection,
+    k: usize,
+    threads: usize,
+    strategy: SelectStrategy,
+) -> CoverResult {
     collection.ensure_inverted_index();
-    greedy_max_cover_sharded_indexed(collection, k, threads)
+    greedy_max_cover_sharded_indexed_with(collection, k, threads, strategy)
 }
 
 /// Sharded greedy max-coverage over a shared collection with a built
-/// inverted index. Byte-identical to
-/// [`greedy_max_cover_indexed`] —
+/// inverted index, using the **eager** full-scan strategy (PR 8's
+/// original solver). Byte-identical to [`greedy_max_cover_indexed`](crate::greedy_max_cover_indexed) —
 /// seeds, marginals, and covered count — at **any** `threads` value;
 /// `threads <= 1` runs the serial solver directly.
 ///
@@ -186,6 +274,40 @@ pub fn greedy_max_cover_sharded_indexed(
     k: usize,
     threads: usize,
 ) -> CoverResult {
+    greedy_max_cover_sharded_indexed_with(collection, k, threads, SelectStrategy::Eager)
+}
+
+/// Sharded greedy max-coverage with an explicit [`SelectStrategy`].
+/// Strategy and thread count may only ever change latency — the result
+/// stays byte-identical to [`greedy_max_cover_indexed`](crate::greedy_max_cover_indexed).
+///
+/// # Panics
+/// Panics if the inverted index is stale
+/// ([`SetCollection::has_inverted_index`] is false).
+pub fn greedy_max_cover_sharded_indexed_with(
+    collection: &SetCollection,
+    k: usize,
+    threads: usize,
+    strategy: SelectStrategy,
+) -> CoverResult {
+    greedy_max_cover_sharded_indexed_stats(collection, k, threads, strategy).0
+}
+
+/// [`greedy_max_cover_sharded_indexed_with`] plus the run's [`EvalStats`]
+/// (candidate evaluations, heap re-pushes, and dirty-set sizes summed
+/// over workers). `threads <= 1` and `k == 0` delegate to the serial
+/// instrumented solver, so the stats stay comparable across the whole
+/// `select_threads` range.
+///
+/// # Panics
+/// Panics if the inverted index is stale
+/// ([`SetCollection::has_inverted_index`] is false).
+pub fn greedy_max_cover_sharded_indexed_stats(
+    collection: &SetCollection,
+    k: usize,
+    threads: usize,
+    strategy: SelectStrategy,
+) -> (CoverResult, EvalStats) {
     assert!(
         collection.has_inverted_index(),
         "inverted index is stale; call ensure_inverted_index first"
@@ -195,11 +317,13 @@ pub fn greedy_max_cover_sharded_indexed(
     // More workers than nodes would leave some with nothing to vote on.
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 || k == 0 {
-        return greedy_max_cover_indexed(collection, k);
+        return greedy_max_cover_indexed_stats(collection, k);
     }
+    let lazy = strategy.is_lazy();
 
     let node_ranges = shard_prefix_ranges(n, threads);
     let set_ranges = worker_set_ranges(collection.len(), threads);
+    let (per, extra) = (n / threads, n % threads);
     let gain: Vec<AtomicUsize> = (0..n as NodeId)
         .map(|v| AtomicUsize::new(collection.degree(v)))
         .collect();
@@ -211,7 +335,17 @@ pub fn greedy_max_cover_sharded_indexed(
             newly: AtomicUsize::new(0),
         })
         .collect();
+    // Dirty mailboxes, one per (producer, consumer) pair: producer `p`
+    // appends into `dirty[p * threads + c]` during its apply phase, the
+    // single consumer `c` drains it during its next vote phase. The round
+    // barriers order every write before every read (and every drain
+    // before the next write), so a plain Mutex per cell suffices and is
+    // never contended.
+    let dirty: Vec<Mutex<Vec<NodeId>>> = (0..threads * threads)
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
     let barrier = Barrier::new(threads);
+    let total_stats = Mutex::new(EvalStats::default());
 
     let mut result = CoverResult {
         seeds: Vec::with_capacity(k),
@@ -226,24 +360,113 @@ pub fn greedy_max_cover_sharded_indexed(
         let sets = set_ranges[t].clone();
         let mut selected = vec![false; nodes.len()];
         let mut covered = vec![false; sets.len()];
+        let mut stats = EvalStats::default();
         let mut recorder = result;
+
+        // Lazy-strategy state: the CELF heap over this worker's range,
+        // the vote carried from the previous round (`None` = not yet
+        // computed, `Some(None)` = no positive-gain candidate — reusable
+        // forever, since gains never increase), the monotone padding
+        // cursor, and reusable dirty buffers.
+        let mut heap: BinaryHeap<(usize, NodeId)> = if lazy {
+            nodes
+                .clone()
+                .filter(|&v| collection.degree(v as NodeId) > 0)
+                .map(|v| (collection.degree(v as NodeId), v as NodeId))
+                .collect()
+        } else {
+            BinaryHeap::new()
+        };
+        let mut cached: Option<Option<(usize, NodeId)>> = None;
+        let mut pad_cursor = nodes.start;
+        let mut dirty_local: Vec<NodeId> = Vec::new();
+        let mut outbox: Vec<Vec<NodeId>> = vec![Vec::new(); if lazy { threads } else { 0 }];
+
         for _round in 0..k {
             // Vote phase: local argmax and local padding candidate.
-            let mut best: Option<(usize, NodeId)> = None;
-            let mut min_unselected = u32::MAX;
-            for v in nodes.clone() {
-                if selected[v - nodes.start] {
-                    continue;
+            let (best, min_unselected) = if lazy {
+                // Drain incoming dirt from the previous apply phase. The
+                // cached vote survives only if its node's gain is
+                // untouched (gains elsewhere in the range can only have
+                // decreased, so they cannot overtake it).
+                let mut cached_node_dirty = false;
+                for p in 0..threads {
+                    let mut cell = dirty[p * threads + t].lock().unwrap();
+                    // A cell holds one producer's single sorted append
+                    // per round (drained here before the next), so a
+                    // binary search suffices.
+                    if let Some(Some((_, v))) = cached {
+                        if cell.binary_search(&v).is_ok() {
+                            cached_node_dirty = true;
+                        }
+                    }
+                    cell.clear();
                 }
-                let v = v as NodeId;
-                if min_unselected == u32::MAX {
-                    min_unselected = v;
+                let reusable = match cached {
+                    Some(Some((_, v))) => !cached_node_dirty && !selected[v as usize - nodes.start],
+                    Some(None) => true,
+                    None => false,
+                };
+                let best = if reusable {
+                    cached.unwrap()
+                } else {
+                    // CELF lazy pops: a popped entry whose cached gain is
+                    // still current is the exact range argmax, because
+                    // every other entry's cached gain is an upper bound
+                    // on its current gain (submodularity).
+                    let found = loop {
+                        match heap.pop() {
+                            Some((stored, v)) => {
+                                if selected[v as usize - nodes.start] {
+                                    continue;
+                                }
+                                stats.evals += 1;
+                                let current = gain[v as usize].load(Relaxed);
+                                if stored == current {
+                                    // Fresh: keep the entry for later
+                                    // rounds and vote with it.
+                                    heap.push((current, v));
+                                    break Some((current, v));
+                                }
+                                if current > 0 {
+                                    heap.push((current, v));
+                                    stats.repushes += 1;
+                                }
+                            }
+                            None => break None,
+                        }
+                    };
+                    cached = Some(found);
+                    found
+                };
+                while pad_cursor < nodes.end && selected[pad_cursor - nodes.start] {
+                    pad_cursor += 1;
                 }
-                let g = gain[v as usize].load(Relaxed);
-                if g > 0 && best.is_none_or(|b| (g, v) > b) {
-                    best = Some((g, v));
+                let min = if pad_cursor < nodes.end {
+                    pad_cursor as NodeId
+                } else {
+                    u32::MAX
+                };
+                (best, min)
+            } else {
+                let mut best: Option<(usize, NodeId)> = None;
+                let mut min_unselected = u32::MAX;
+                for v in nodes.clone() {
+                    if selected[v - nodes.start] {
+                        continue;
+                    }
+                    let v = v as NodeId;
+                    if min_unselected == u32::MAX {
+                        min_unselected = v;
+                    }
+                    stats.evals += 1;
+                    let g = gain[v as usize].load(Relaxed);
+                    if g > 0 && best.is_none_or(|b| (g, v) > b) {
+                        best = Some((g, v));
+                    }
                 }
-            }
+                (best, min_unselected)
+            };
             let slot = &slots[t];
             let (bg, bv) = best.unwrap_or((0, u32::MAX));
             slot.best_gain.store(bg, Relaxed);
@@ -268,21 +491,30 @@ pub fn greedy_max_cover_sharded_indexed(
 
             // Apply phase: mark the pick selected in its owner's range,
             // and cover the chosen node's sets within this worker's
-            // set-id slice, decrementing member gains atomically.
+            // set-id slice, decrementing member gains atomically. Lazy
+            // workers also route each dirty node to its owner's mailbox.
             let chosen = match pick {
                 RoundPick::Select { node, .. } => {
-                    let mut newly = 0usize;
-                    for &set_id in sets_in_range(collection, node, &sets) {
-                        let s = set_id as usize;
-                        if !covered[s - sets.start] {
-                            covered[s - sets.start] = true;
-                            newly += 1;
-                            for &u in collection.set(s) {
-                                gain[u as usize].fetch_sub(1, Relaxed);
+                    let newly = apply_pick_in_range(
+                        collection,
+                        node,
+                        &sets,
+                        &mut covered,
+                        &gain,
+                        lazy.then_some(&mut dirty_local),
+                    );
+                    slot.newly.store(newly, Relaxed);
+                    if lazy {
+                        stats.dirty += dirty_local.len();
+                        for &u in &dirty_local {
+                            outbox[node_owner(per, extra, u as usize)].push(u);
+                        }
+                        for (c, buf) in outbox.iter_mut().enumerate() {
+                            if !buf.is_empty() {
+                                dirty[t * threads + c].lock().unwrap().append(buf);
                             }
                         }
                     }
-                    slot.newly.store(newly, Relaxed);
                     node
                 }
                 RoundPick::Pad(node) => node,
@@ -316,6 +548,8 @@ pub fn greedy_max_cover_sharded_indexed(
                 }
             }
         }
+        stats.rounds = k;
+        total_stats.lock().unwrap().absorb(&stats);
     };
 
     std::thread::scope(|scope| {
@@ -325,13 +559,14 @@ pub fn greedy_max_cover_sharded_indexed(
         }
         run_worker(0, Some(&mut result));
     });
-    result
+    let stats = total_stats.into_inner().unwrap();
+    (result, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::greedy_max_cover;
+    use crate::greedy::{greedy_max_cover, greedy_max_cover_indexed};
     use tim_rng::{RandomSource, Rng};
 
     fn collection(sets: &[&[NodeId]], n: usize) -> SetCollection {
@@ -354,6 +589,12 @@ mod tests {
         c
     }
 
+    const STRATEGIES: [SelectStrategy; 3] = [
+        SelectStrategy::Eager,
+        SelectStrategy::Lazy,
+        SelectStrategy::Auto,
+    ];
+
     #[test]
     fn shard_prefix_ranges_are_balanced_and_cover() {
         for (len, shards) in [(0, 4), (1, 4), (7, 3), (64, 64), (100, 64), (5, 8)] {
@@ -370,6 +611,22 @@ mod tests {
                 assert!(r.len() == len / shards || r.len() == len / shards + 1);
             }
             assert_eq!(total, len);
+        }
+    }
+
+    #[test]
+    fn node_owner_matches_the_prefix_ranges() {
+        for (n, threads) in [(1, 1), (7, 3), (8, 3), (64, 8), (100, 7), (5, 5)] {
+            let ranges = shard_prefix_ranges(n, threads);
+            let (per, extra) = (n / threads, n % threads);
+            for u in 0..n {
+                let want = ranges.iter().position(|r| r.contains(&u)).unwrap();
+                assert_eq!(
+                    node_owner(per, extra, u),
+                    want,
+                    "n={n} threads={threads} u={u}"
+                );
+            }
         }
     }
 
@@ -407,6 +664,25 @@ mod tests {
             let left = sets_in_range(&c, 1, &(0..mid)).len();
             let right = sets_in_range(&c, 1, &(mid..5)).len();
             assert_eq!(left + right, 4);
+        }
+    }
+
+    #[test]
+    fn apply_pick_collects_exactly_the_changed_gains() {
+        let mut c = collection(&[&[1], &[0, 1], &[1, 2], &[2], &[1]], 3);
+        c.ensure_inverted_index();
+        let gain: Vec<AtomicUsize> = (0..3).map(|v| AtomicUsize::new(c.degree(v))).collect();
+        let before: Vec<usize> = gain.iter().map(|g| g.load(Relaxed)).collect();
+        let mut covered = vec![false; c.len()];
+        // Pre-cover set 1 so node 0 must stay clean.
+        covered[1] = true;
+        let mut dirty = vec![99u32]; // stale content must be cleared
+        let newly = apply_pick_in_range(&c, 1, &(0..5), &mut covered, &gain, Some(&mut dirty));
+        assert_eq!(newly, 3, "sets 0, 2, 4 newly covered");
+        assert_eq!(dirty, vec![1, 2], "members of newly covered sets only");
+        for v in 0..3u32 {
+            let changed = gain[v as usize].load(Relaxed) != before[v as usize];
+            assert_eq!(changed, dirty.contains(&v), "node {v}");
         }
     }
 
@@ -457,8 +733,10 @@ mod tests {
             let mut c = collection(sets, n);
             let want = greedy_max_cover(&mut c, k);
             for threads in [1, 2, 3, 4, 8, 64, 100] {
-                let got = greedy_max_cover_sharded_indexed(&c, k, threads);
-                assert_eq!(got, want, "threads={threads} n={n} k={k}");
+                for strategy in STRATEGIES {
+                    let got = greedy_max_cover_sharded_indexed_with(&c, k, threads, strategy);
+                    assert_eq!(got, want, "threads={threads} {strategy} n={n} k={k}");
+                }
             }
         }
     }
@@ -473,10 +751,35 @@ mod tests {
             let k = 1 + rng.next_index(n);
             let want = greedy_max_cover(&mut c, k);
             for threads in [2, 3, 4, 7, 8] {
-                let got = greedy_max_cover_sharded_indexed(&c, k, threads);
-                assert_eq!(got, want, "trial={trial} threads={threads} n={n} k={k}");
+                for strategy in STRATEGIES {
+                    let got = greedy_max_cover_sharded_indexed_with(&c, k, threads, strategy);
+                    assert_eq!(got, want, "trial={trial} threads={threads} {strategy}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn lazy_evaluates_fewer_candidates_than_eager() {
+        // A skewed instance with many rounds: the eager scan pays the
+        // full range every round, the lazy heap a handful of pops.
+        let mut rng = Rng::seed_from_u64(0xCE1F);
+        let mut c = random_collection(&mut rng, 400, 2_000, 8);
+        c.ensure_inverted_index();
+        let (eager, es) = greedy_max_cover_sharded_indexed_stats(&c, 40, 4, SelectStrategy::Eager);
+        let (lazy, ls) = greedy_max_cover_sharded_indexed_stats(&c, 40, 4, SelectStrategy::Lazy);
+        assert_eq!(eager, lazy);
+        assert_eq!(es.rounds, 40);
+        assert_eq!(ls.rounds, 40);
+        assert_eq!(es.repushes, 0, "the eager scan keeps no heap");
+        assert_eq!(es.dirty, 0, "the eager scan tracks no dirt");
+        assert!(ls.dirty > 0, "selected rounds must report dirty nodes");
+        assert!(
+            ls.evals * 5 <= es.evals,
+            "lazy {} vs eager {} evaluations",
+            ls.evals,
+            es.evals
+        );
     }
 
     #[test]
@@ -486,6 +789,9 @@ mod tests {
         let got = greedy_max_cover_sharded(&mut c, 2, 4);
         assert!(c.has_inverted_index());
         assert_eq!(got, greedy_max_cover_indexed(&c, 2));
+        let mut c2 = collection(&[&[0, 1], &[1, 2]], 3);
+        let lazy = greedy_max_cover_sharded_with(&mut c2, 2, 4, SelectStrategy::Lazy);
+        assert_eq!(lazy, got);
     }
 
     #[test]
@@ -494,7 +800,12 @@ mod tests {
         c.ensure_inverted_index();
         let want = greedy_max_cover_indexed(&c, 3);
         for threads in [2, 4] {
-            assert_eq!(greedy_max_cover_sharded_indexed(&c, 3, threads), want);
+            for strategy in STRATEGIES {
+                assert_eq!(
+                    greedy_max_cover_sharded_indexed_with(&c, 3, threads, strategy),
+                    want
+                );
+            }
         }
         assert_eq!(want.seeds, vec![0, 1, 2], "padding picks smallest ids");
     }
@@ -506,6 +817,17 @@ mod tests {
         let got = greedy_max_cover_sharded_indexed(&c, 10, 4);
         assert_eq!(got.seeds.len(), 2);
         assert_eq!(got, greedy_max_cover_indexed(&c, 10));
+    }
+
+    #[test]
+    fn single_thread_stats_match_the_serial_solver() {
+        let mut c = collection(&[&[9, 0], &[9, 1], &[9, 2], &[3], &[1, 2]], 10);
+        c.ensure_inverted_index();
+        let want = greedy_max_cover_indexed_stats(&c, 3);
+        for strategy in STRATEGIES {
+            let got = greedy_max_cover_sharded_indexed_stats(&c, 3, 1, strategy);
+            assert_eq!(got, want, "{strategy}");
+        }
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! The selection-strategy knob and the solver work counters.
+//!
+//! [`SelectStrategy`] picks how the sharded greedy solver finds each
+//! round's per-worker argmax — an eager full-range scan or a CELF-style
+//! lazy heap — and [`EvalStats`] measures the algorithmic work either way
+//! (candidates evaluated, heap re-pushes, dirty-set sizes), so the lazy
+//! win is visible as an evaluation-count reduction even on a single-core
+//! box where wall-clock cannot show it. The strategy never changes an
+//! answer byte; it only changes how much work finding the answer takes.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How the sharded greedy solver locates each round's local argmax.
+///
+/// Both strategies produce **byte-identical** results (seeds, marginals,
+/// covered counts) — the vote/merge/apply protocol and its deterministic
+/// tie-breaks are shared — so this knob, like `select_threads`, may be
+/// tuned freely per deployment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SelectStrategy {
+    /// Full node-range scan every round: O(n/threads) gain loads per
+    /// worker per round, no per-worker state between rounds.
+    Eager,
+    /// CELF-style lazy max-heap per worker with dirty-node invalidation:
+    /// pops re-evaluate only entries whose cached gain still exceeds the
+    /// worker's best, and untouched workers reuse last round's vote
+    /// without touching their heap at all.
+    Lazy,
+    /// Let the library choose; currently resolves to [`Lazy`](SelectStrategy::Lazy)
+    /// (`SelectStrategy::Lazy`), the strategy that wins at every k on the
+    /// bench pools.
+    #[default]
+    Auto,
+}
+
+impl SelectStrategy {
+    /// True when the resolved strategy is the lazy solver (`Auto`
+    /// resolves to `Lazy`).
+    #[inline]
+    pub fn is_lazy(self) -> bool {
+        !matches!(self, SelectStrategy::Eager)
+    }
+
+    /// The canonical spelling accepted by [`FromStr`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SelectStrategy::Eager => "eager",
+            SelectStrategy::Lazy => "lazy",
+            SelectStrategy::Auto => "auto",
+        }
+    }
+}
+
+impl fmt::Display for SelectStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for SelectStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "eager" => Ok(SelectStrategy::Eager),
+            "lazy" => Ok(SelectStrategy::Lazy),
+            "auto" => Ok(SelectStrategy::Auto),
+            other => Err(format!(
+                "unknown select strategy '{other}' (expected eager, lazy, or auto)"
+            )),
+        }
+    }
+}
+
+/// Work counters for one greedy max-coverage run.
+///
+/// The counters measure *algorithmic* work, not wall-clock: `evals` is
+/// the number of candidate nodes whose current gain was inspected while
+/// searching for an argmax (the serial CELF heap and the lazy sharded
+/// solver keep this near O(1) per round; the eager scan pays the full
+/// range every round), `repushes` counts stale heap entries refiled at
+/// their current gain, and `dirty` counts the distinct nodes per worker
+/// slice whose gain the apply phase changed (the invalidation traffic the
+/// lazy solver pays instead of rescanning).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Greedy rounds run (selected seeds plus padding rounds).
+    pub rounds: usize,
+    /// Candidate gain evaluations across all rounds and workers.
+    pub evals: usize,
+    /// Stale lazy-heap entries re-pushed at their current gain.
+    pub repushes: usize,
+    /// Gain-invalidation events: distinct dirty nodes per worker slice,
+    /// summed over rounds (0 for solvers that do not track dirt).
+    pub dirty: usize,
+}
+
+impl EvalStats {
+    /// Mean candidate evaluations per greedy round (0 when no rounds ran).
+    pub fn evals_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.evals as f64 / self.rounds as f64
+        }
+    }
+
+    /// Accumulates another worker's counters into this one. `rounds` is
+    /// taken as the max, not the sum — workers run the same rounds.
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.rounds = self.rounds.max(other.rounds);
+        self.evals += other.evals;
+        self.repushes += other.repushes;
+        self.dirty += other.dirty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_round_trips_through_strings() {
+        for s in [
+            SelectStrategy::Eager,
+            SelectStrategy::Lazy,
+            SelectStrategy::Auto,
+        ] {
+            assert_eq!(s.as_str().parse::<SelectStrategy>().unwrap(), s);
+            assert_eq!(format!("{s}"), s.as_str());
+        }
+        assert_eq!(SelectStrategy::default(), SelectStrategy::Auto);
+        let err = "greedy".parse::<SelectStrategy>().unwrap_err();
+        assert!(err.contains("greedy") && err.contains("eager"), "{err}");
+    }
+
+    #[test]
+    fn auto_resolves_to_lazy() {
+        assert!(SelectStrategy::Auto.is_lazy());
+        assert!(SelectStrategy::Lazy.is_lazy());
+        assert!(!SelectStrategy::Eager.is_lazy());
+    }
+
+    #[test]
+    fn stats_absorb_sums_work_and_maxes_rounds() {
+        let mut a = EvalStats {
+            rounds: 5,
+            evals: 10,
+            repushes: 2,
+            dirty: 7,
+        };
+        let b = EvalStats {
+            rounds: 5,
+            evals: 4,
+            repushes: 1,
+            dirty: 3,
+        };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            EvalStats {
+                rounds: 5,
+                evals: 14,
+                repushes: 3,
+                dirty: 10,
+            }
+        );
+        assert_eq!(a.evals_per_round(), 14.0 / 5.0);
+        assert_eq!(EvalStats::default().evals_per_round(), 0.0);
+    }
+}

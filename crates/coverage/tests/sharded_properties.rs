@@ -14,11 +14,13 @@
 //! and the sharded solver agreeing on a *wrong* order.
 
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use tim_coverage::sharded::{
-    greedy_max_cover_sharded_indexed, merge_votes, sets_in_range, shard_prefix_ranges,
-    worker_set_ranges, RoundPick, ShardVote, SELECT_SHARDS,
+    apply_pick_in_range, greedy_max_cover_sharded_indexed, greedy_max_cover_sharded_indexed_stats,
+    merge_votes, sets_in_range, shard_prefix_ranges, worker_set_ranges, RoundPick, ShardVote,
+    SELECT_SHARDS,
 };
-use tim_coverage::{greedy_max_cover, SetCollection};
+use tim_coverage::{greedy_max_cover, SelectStrategy, SetCollection};
 use tim_rng::{RandomSource, Rng};
 
 /// Builds a random collection: `sets` sets over universe `n`, each with
@@ -151,6 +153,114 @@ proptest! {
         let got = greedy_max_cover_sharded_indexed(&c, k, threads);
         prop_assert_eq!(&got, &want, "threads {}", threads);
         prop_assert_eq!(got.seeds.len(), k.min(n));
+    }
+
+    /// The lazy solver agrees with the independent reference oracle at
+    /// **every round**: replaying the lazy run's seed sequence against a
+    /// plain gain table must reproduce both the pick (with the largest-id
+    /// tie-break and smallest-id padding) and the recorded marginal.
+    /// This would catch a stale heap entry surviving a round it should
+    /// not, even if eager and lazy happened to agree on a wrong order.
+    #[test]
+    fn lazy_rounds_match_the_reference_oracle(
+        seed in 0u64..1_000_000,
+        n in 2usize..50,
+        sets in 0usize..100,
+        k_frac in 0.0f64..1.0,
+        threads in 2usize..10,
+    ) {
+        let c = random_collection(seed, n, sets, 6);
+        let k = 1 + (k_frac * (n - 1) as f64) as usize;
+        let (got, stats) =
+            greedy_max_cover_sharded_indexed_stats(&c, k, threads, SelectStrategy::Lazy);
+        prop_assert_eq!(got.seeds.len(), k.min(n));
+        prop_assert_eq!(stats.rounds, k.min(n));
+
+        let mut gain: Vec<usize> = (0..n as u32).map(|v| c.degree(v)).collect();
+        let mut selected = vec![false; n];
+        let mut covered = vec![false; c.len()];
+        for (round, &node) in got.seeds.iter().enumerate() {
+            match reference_pick(&gain, &selected) {
+                RoundPick::Select { node: want, gain: marginal } => {
+                    prop_assert_eq!(node, want, "round {}", round);
+                    prop_assert_eq!(got.marginal[round], marginal, "round {}", round);
+                    for &s in c.sets_containing(node) {
+                        if !covered[s as usize] {
+                            covered[s as usize] = true;
+                            for &u in c.set(s as usize) {
+                                gain[u as usize] -= 1;
+                            }
+                        }
+                    }
+                }
+                RoundPick::Pad(want) => {
+                    prop_assert_eq!(node, want, "round {} (pad)", round);
+                    prop_assert_eq!(got.marginal[round], 0, "round {} (pad)", round);
+                }
+                RoundPick::Exhausted => prop_assert!(false, "round {}: oracle exhausted", round),
+            }
+            selected[node as usize] = true;
+        }
+    }
+
+    /// Dirty-set soundness: at every greedy round, every node whose true
+    /// gain changed during the apply phase appears in the dirty set the
+    /// apply phase computed — and (completeness, which the lazy solver
+    /// does not strictly need but the implementation guarantees) no node
+    /// whose gain did not change does. Each per-worker dirty list must
+    /// come back sorted and deduplicated, since the lazy vote phase
+    /// binary-searches it.
+    #[test]
+    fn dirty_sets_are_sound_over_full_runs(
+        seed in 0u64..1_000_000,
+        n in 2usize..40,
+        sets in 0usize..80,
+        threads in 1usize..6,
+    ) {
+        let c = random_collection(seed, n, sets, 5);
+        let set_ranges = worker_set_ranges(c.len(), threads);
+        let gain: Vec<AtomicUsize> =
+            (0..n as u32).map(|v| AtomicUsize::new(c.degree(v))).collect();
+        let mut covered = vec![false; c.len()];
+        let mut selected = vec![false; n];
+        let mut scratch = Vec::new();
+
+        for round in 0..n {
+            let before: Vec<usize> = gain.iter().map(|g| g.load(Relaxed)).collect();
+            let node = match reference_pick(&before, &selected) {
+                RoundPick::Select { node, .. } => node,
+                RoundPick::Pad(node) => node,
+                RoundPick::Exhausted => break,
+            };
+            let mut dirty_union: Vec<u32> = Vec::new();
+            for r in &set_ranges {
+                apply_pick_in_range(
+                    &c,
+                    node,
+                    r,
+                    &mut covered[r.start..r.end],
+                    &gain,
+                    Some(&mut scratch),
+                );
+                prop_assert!(
+                    scratch.windows(2).all(|w| w[0] < w[1]),
+                    "round {}: worker dirty list not sorted+deduped", round
+                );
+                dirty_union.extend_from_slice(&scratch);
+            }
+            dirty_union.sort_unstable();
+            dirty_union.dedup();
+            let after: Vec<usize> = gain.iter().map(|g| g.load(Relaxed)).collect();
+            for u in 0..n {
+                let changed = before[u] != after[u];
+                let flagged = dirty_union.binary_search(&(u as u32)).is_ok();
+                prop_assert_eq!(
+                    changed, flagged,
+                    "round {}, node {}: gain {} -> {}", round, u, before[u], after[u]
+                );
+            }
+            selected[node as usize] = true;
+        }
     }
 
     /// The set-space partition is sound for arbitrary sizes: contiguous,

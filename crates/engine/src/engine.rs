@@ -6,10 +6,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use tim_core::parallel::{generate_rr_sets, shard_layout};
 use tim_core::select::resolve_select_threads;
-use tim_core::{select_stream_seed, SamplingPlan, TimPlus};
+use tim_core::{select_stream_seed, SamplingPlan, SelectStrategy, TimPlus};
 use tim_coverage::{
-    greedy_max_cover, greedy_max_cover_indexed, greedy_max_cover_sharded,
-    greedy_max_cover_sharded_indexed, CoverResult, SetCollection,
+    greedy_max_cover, greedy_max_cover_indexed, greedy_max_cover_sharded_indexed_with,
+    greedy_max_cover_sharded_with, CoverResult, SetCollection,
 };
 use tim_diffusion::BackingModel;
 use tim_graph::{CsrView, Graph, GraphStore, NodeId};
@@ -92,6 +92,7 @@ pub struct QueryEngine<M> {
     seed: u64,
     threads: usize,
     select_threads: usize,
+    select_strategy: SelectStrategy,
     k_max: usize,
     select_seed: u64,
     pool: SetCollection,
@@ -140,6 +141,7 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
             seed: 0,
             threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
             select_threads: 1,
+            select_strategy: SelectStrategy::Auto,
             k_max: 50,
             select_seed: select_stream_seed(0),
             pool: SetCollection::new(n),
@@ -188,6 +190,16 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
     #[must_use]
     pub fn select_threads(mut self, select_threads: usize) -> Self {
         self.select_threads = select_threads;
+        self
+    }
+
+    /// How sharded selection workers search their node range (default
+    /// [`SelectStrategy::Auto`], which picks the lazy CELF-style heaps).
+    /// Strategy never changes answers — lazy and eager votes are
+    /// byte-identical — only the number of gain evaluations per round.
+    #[must_use]
+    pub fn select_strategy(mut self, select_strategy: SelectStrategy) -> Self {
+        self.select_strategy = select_strategy;
         self
     }
 
@@ -476,14 +488,14 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
         let t = resolve_select_threads(self.select_threads);
         let cover = if plan.theta == self.pool_theta {
             if t > 1 {
-                greedy_max_cover_sharded_indexed(&self.pool, plan.k, t)
+                greedy_max_cover_sharded_indexed_with(&self.pool, plan.k, t, self.select_strategy)
             } else {
                 greedy_max_cover_indexed(&self.pool, plan.k)
             }
         } else {
             let mut sub = self.subset(plan.theta);
             if t > 1 {
-                greedy_max_cover_sharded(&mut sub, plan.k, t)
+                greedy_max_cover_sharded_with(&mut sub, plan.k, t, self.select_strategy)
             } else {
                 greedy_max_cover(&mut sub, plan.k)
             }
@@ -552,7 +564,7 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
         if stale {
             let t = resolve_select_threads(self.select_threads);
             let cover = if t > 1 {
-                greedy_max_cover_sharded(&mut self.pool, depth, t)
+                greedy_max_cover_sharded_with(&mut self.pool, depth, t, self.select_strategy)
             } else {
                 greedy_max_cover(&mut self.pool, depth)
             };
@@ -766,23 +778,33 @@ mod tests {
     fn select_threads_never_changes_answers() {
         // Exercises all three greedy call sites: the full-pool indexed
         // path (k = k_max), the subset path (k < k_max), and select_fast.
+        // Strategy varies alongside thread count — neither knob may
+        // change an answer.
         let mut serial = engine(7);
         serial.warm();
         for select_threads in [2usize, 4, 0] {
-            let mut sharded = engine(7).select_threads(select_threads);
-            sharded.warm();
-            for k in [1usize, 6, 12] {
-                let a = serial.select(k);
-                let b = sharded.select(k);
-                assert_eq!(a.seeds, b.seeds, "t={select_threads} k={k}");
-                assert_eq!(a.estimated_spread, b.estimated_spread);
-                assert!(!b.resampled);
+            for strategy in [
+                SelectStrategy::Eager,
+                SelectStrategy::Lazy,
+                SelectStrategy::Auto,
+            ] {
+                let mut sharded = engine(7)
+                    .select_threads(select_threads)
+                    .select_strategy(strategy);
+                sharded.warm();
+                for k in [1usize, 6, 12] {
+                    let a = serial.select(k);
+                    let b = sharded.select(k);
+                    assert_eq!(a.seeds, b.seeds, "t={select_threads} {strategy} k={k}");
+                    assert_eq!(a.estimated_spread, b.estimated_spread);
+                    assert!(!b.resampled);
+                }
+                assert_eq!(
+                    serial.select_fast(9).seeds,
+                    sharded.select_fast(9).seeds,
+                    "t={select_threads} {strategy} fast"
+                );
             }
-            assert_eq!(
-                serial.select_fast(9).seeds,
-                sharded.select_fast(9).seeds,
-                "t={select_threads} fast"
-            );
         }
     }
 

@@ -123,6 +123,12 @@ pub struct GraphOverrides {
     /// Greedy-selection thread override (`select_threads=4`; 0 = all
     /// cores). Never changes answers, only per-query latency.
     pub select_threads: Option<usize>,
+    /// Greedy-selection strategy override
+    /// (`select_strategy=eager|lazy|auto`). Stored as the validated
+    /// spelling — this crate sits below the solver crate, so the server
+    /// parses it into its own strategy enum. Never changes answers,
+    /// only how many gains the sharded workers evaluate.
+    pub select_strategy: Option<String>,
 }
 
 impl GraphOverrides {
@@ -222,9 +228,19 @@ impl GraphOverrides {
                     return Err(dup(key));
                 }
             }
+            "select_strategy" => {
+                if !matches!(value, "eager" | "lazy" | "auto") {
+                    return Err(bad(format!(
+                        "select_strategy override '{value}' must be eager, lazy, or auto"
+                    )));
+                }
+                if self.select_strategy.replace(value.to_string()).is_some() {
+                    return Err(dup(key));
+                }
+            }
             other => {
                 return Err(bad(format!(
-                "unknown graph override '{other}' (known: model, eps, ell, seed, k, weights, mmap, select_threads)"
+                "unknown graph override '{other}' (known: model, eps, ell, seed, k, weights, mmap, select_threads, select_strategy)"
             )))
             }
         }
@@ -356,7 +372,7 @@ mod tests {
     #[test]
     fn overrides_parse_validate_and_reject() {
         let o = GraphOverrides::parse(
-            "model=lt,eps=0.2,ell=2,seed=9,k=20,weights=lt,mmap=on,select_threads=4",
+            "model=lt,eps=0.2,ell=2,seed=9,k=20,weights=lt,mmap=on,select_threads=4,select_strategy=lazy",
         )
         .unwrap();
         assert_eq!(o.model.as_deref(), Some("lt"));
@@ -367,7 +383,17 @@ mod tests {
         assert_eq!(o.weights.as_deref(), Some("lt"));
         assert_eq!(o.mmap, Some(true));
         assert_eq!(o.select_threads, Some(4));
+        assert_eq!(o.select_strategy.as_deref(), Some("lazy"));
         assert_eq!(GraphOverrides::parse("mmap=off").unwrap().mmap, Some(false));
+        for s in ["eager", "lazy", "auto"] {
+            assert_eq!(
+                GraphOverrides::parse(&format!("select_strategy={s}"))
+                    .unwrap()
+                    .select_strategy
+                    .as_deref(),
+                Some(s)
+            );
+        }
         assert_eq!(
             GraphOverrides::parse("select_threads=0")
                 .unwrap()
@@ -393,6 +419,8 @@ mod tests {
             "mmap=on,mmap=off",
             "select_threads=x",
             "select_threads=2,select_threads=4",
+            "select_strategy=greedy",
+            "select_strategy=lazy,select_strategy=eager",
         ] {
             assert!(GraphOverrides::parse(bad).is_err(), "{bad:?} accepted");
         }

@@ -53,6 +53,10 @@ pub struct ServerConfig {
     /// 0 means all cores (default 1 = serial). The sharded solver is
     /// byte-identical to the serial one, so this never changes answers.
     pub select_threads: usize,
+    /// How sharded selection workers search their node range: eager
+    /// full scans, lazy CELF-style heaps, or auto (default; picks lazy).
+    /// Strategy never changes answers — only evaluation counts.
+    pub select_strategy: tim_core::SelectStrategy,
     /// Log per-query progress notes to stderr (default false).
     pub verbose: bool,
     /// Weight-model spec applied to lazily loaded catalog graphs
@@ -111,6 +115,7 @@ impl Default for ServerConfig {
             k_max: 50,
             sample_threads: 0,
             select_threads: 1,
+            select_strategy: tim_core::SelectStrategy::Auto,
             verbose: false,
             weights: "wc".to_string(),
             undirected: false,
