@@ -2,9 +2,11 @@
 //! report's `schema` string: `tim-bench-fanin/1` (`BENCH_6.json`, the
 //! `c10k_fanin` bin), `tim-bench-graph-load/1` (`BENCH_7.json`, the
 //! `graph_load` bin), `tim-bench-select/1` (`BENCH_8.json`, the
-//! original `select_scaling` shape), or `tim-bench-select/2`
+//! original `select_scaling` shape), `tim-bench-select/2`
 //! (`BENCH_9.json`, the per-strategy shape with `evals_per_round` work
-//! counters and the lazy-vs-eager evaluation-ratio bar).
+//! counters and the lazy-vs-eager evaluation-ratio bar), or
+//! `tim-bench-pool-load/1` (`BENCH_10.json`, the `pool_load` bin: v1
+//! heap restore vs v2 mmap open of spilled RR-set pools).
 //!
 //! ```text
 //! cargo run -p tim_bench --bin bench_schema_check -- <report.json>
@@ -161,6 +163,85 @@ fn check_graph_load(doc: &Value, path: &str, schema: &str) {
             fail(&format!(
                 "million-arc scale: v2 open+first-query is only {speedup:.1}x \
                  faster than the v1 parse (need >= 5x)"
+            ));
+        }
+    }
+    println!("{path}: ok ({schema}, {} scales)", scales.len());
+}
+
+/// `tim-bench-pool-load/…`: the v1-restore vs v2-mmap pool report
+/// shape. Same bones as `check_graph_load`, pool-flavored fields: the
+/// restore-to-first-answer pair (`v1_restore_plus_select_ms` vs
+/// `v2_open_plus_select_ms`) carries the acceptance bar, and every
+/// scale must have re-verified its seed sets (`answers_match`) and
+/// provenance header (`provenance_match`) across backings.
+fn check_pool_load(doc: &Value, path: &str, schema: &str) {
+    let quick = doc
+        .get("quick")
+        .and_then(Value::as_bool)
+        .unwrap_or_else(|| fail("missing boolean 'quick'"));
+    let scales = doc
+        .get("scales")
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| fail("missing 'scales' array"));
+    if scales.is_empty() {
+        fail("'scales' is empty");
+    }
+    for scale in scales {
+        let name = scale
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail("scale: missing 'name' string"));
+        let what = format!("scale '{name}'");
+        for key in ["nodes", "arcs", "sets", "members", "v1_bytes", "v2_bytes"] {
+            let v = require_f64(scale, key, &what);
+            if v < 1.0 || v.fract() != 0.0 {
+                fail(&format!(
+                    "{what}: '{key}' must be a positive integer, got {v}"
+                ));
+            }
+        }
+        for key in [
+            "v1_load_ms",
+            "v1_restore_plus_select_ms",
+            "v2_open_ms",
+            "v2_verify_ms",
+            "v2_open_plus_select_ms",
+            "speedup",
+        ] {
+            if require_f64(scale, key, &what) <= 0.0 {
+                fail(&format!("{what}: '{key}' must be positive"));
+            }
+        }
+        // The composite timings contain their components.
+        if require_f64(scale, "v1_restore_plus_select_ms", &what)
+            < require_f64(scale, "v1_load_ms", &what)
+        {
+            fail(&format!(
+                "{what}: v1 restore+select is faster than the v1 load it contains"
+            ));
+        }
+        for key in ["answers_match", "provenance_match"] {
+            if scale.get(key).and_then(Value::as_bool) != Some(true) {
+                fail(&format!("{what}: '{key}' must be true — the run diverged"));
+            }
+        }
+    }
+    // Full-mode runs carry the acceptance bar: at the ~1.3M-arc /
+    // 200k-set scale, v2 open+first-select must beat the v1
+    // restore+first-select by ≥ 5×.
+    if !quick {
+        let Some(big) = scales.iter().find(|s| {
+            require_f64(s, "arcs", "scale") >= 1_000_000.0
+                && require_f64(s, "sets", "scale") >= 200_000.0
+        }) else {
+            fail("full-mode report has no million-arc / 200k-set scale");
+        };
+        let speedup = require_f64(big, "speedup", "million-arc scale");
+        if speedup < 5.0 {
+            fail(&format!(
+                "million-arc scale: v2 open+first-select is only {speedup:.1}x \
+                 faster than the v1 restore+first-select (need >= 5x)"
             ));
         }
     }
@@ -348,6 +429,8 @@ fn main() {
         check_select(&doc, &path, &schema);
     } else if schema == "tim-bench-select/2" {
         check_select_v2(&doc, &path, &schema);
+    } else if schema.starts_with("tim-bench-pool-load/") {
+        check_pool_load(&doc, &path, &schema);
     } else {
         fail(&format!("unknown schema '{schema}'"));
     }

@@ -1,0 +1,295 @@
+//! Out-of-core pool restore benchmark: v1 heap decode vs v2 mmap open.
+//!
+//! ```text
+//! cargo run --release -p tim_bench --bin pool_load -- [flags]
+//!
+//! flags:
+//!   --quick        kick-tires scale only (CI artifact)
+//!   --out <path>   where to write the JSON report (default BENCH_10.json)
+//! ```
+//!
+//! For each scale the harness samples one real RR-set pool (the exact
+//! sets `generate_rr_sets` produces for the graph), spills it in both
+//! `.timp` formats, and measures the restore-to-first-answer story end
+//! to end: the v1 path reads the whole file, decodes every set onto the
+//! heap, and rebuilds the inverted index before greedy can run; the v2
+//! path maps the file — the persisted inverted index included — and the
+//! first `select` runs greedy straight over the mapped posting lists.
+//! Both paths answer the same first query and their seed sets are
+//! compared — a mapping that is fast but wrong fails loudly
+//! (`answers_match`), as does a restore that loses provenance
+//! (`provenance_match`). The deferred full-checksum scan the server runs
+//! under `--mmap-pools` (`PoolMmap::verify`) is timed separately so the
+//! open number stays honest about what it skips.
+//!
+//! The report is machine readable (schema `tim-bench-pool-load/1`);
+//! `bench_schema_check` validates it in CI, and the full-scale run —
+//! which must show the v2 open+first-select beating the v1
+//! restore+first-select by ≥ 5× at the ~1.3M-arc / 200k-set scale — is
+//! checked in at the repo root so the trajectory is diffable across PRs.
+
+use std::time::Instant;
+use tim_core::parallel::generate_rr_sets;
+use tim_coverage::greedy_max_cover_indexed;
+use tim_diffusion::IndependentCascade;
+use tim_engine::{PoolMeta, PoolMmap, RrPool};
+use tim_graph::{gen, snapshot, weights, Graph};
+
+struct Opts {
+    quick: bool,
+    out: String,
+}
+
+/// One benched scale.
+struct ScaleReport {
+    name: &'static str,
+    nodes: usize,
+    arcs: usize,
+    sets: u64,
+    members: usize,
+    v1_bytes: u64,
+    v2_bytes: u64,
+    v1_load_ms: f64,
+    v1_restore_plus_select_ms: f64,
+    v2_open_ms: f64,
+    v2_verify_ms: f64,
+    v2_open_plus_select_ms: f64,
+    speedup: f64,
+    answers_match: bool,
+    provenance_match: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        out: "BENCH_10.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = it.next().expect("--out requires a value"),
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Median of `runs` timed executions of `f`, in milliseconds.
+fn median_ms<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(runs >= 1);
+    let mut samples = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let v = f();
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(v);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples[samples.len() / 2], last.unwrap())
+}
+
+const SEED: u64 = 0xB7;
+const K: usize = 10;
+
+fn run_scale(
+    name: &'static str,
+    mut graph: Graph,
+    weigh: impl FnOnce(&mut Graph),
+    theta: u64,
+    dir: &std::path::Path,
+) -> ScaleReport {
+    weigh(&mut graph);
+    let graph_checksum = snapshot::graph_checksum(&graph);
+
+    // One real pool: the exact RR sets the sampler draws for this graph,
+    // at a pinned θ so the two formats serialize identical content.
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let (sets, _) = generate_rr_sets(&graph, &IndependentCascade, theta, SEED, threads);
+    let members = sets.total_members();
+    let pool = RrPool {
+        meta: PoolMeta {
+            graph_checksum,
+            model: "ic".into(),
+            epsilon: 0.25,
+            ell: 1.0,
+            seed: SEED,
+            k_max: K as u32,
+            theta,
+            select_seed: tim_core::select_stream_seed(SEED),
+        },
+        sets,
+    };
+    let v1_path = dir.join(format!("{name}.v1.timp"));
+    let v2_path = dir.join(format!("{name}.v2.timp"));
+    pool.save(&v1_path).expect("write v1");
+    pool.save_v2(&v2_path).expect("write v2");
+    let v1_bytes = std::fs::metadata(&v1_path).map(|m| m.len()).unwrap_or(0);
+    let v2_bytes = std::fs::metadata(&v2_path).map(|m| m.len()).unwrap_or(0);
+
+    // v1 restore: full read + checksum + per-set decode onto the heap.
+    // Median of 3 over a warm page cache — the same cache the mmap path
+    // gets, so the comparison is file-format work, not disk speed.
+    let (v1_load_ms, _) = median_ms(3, || RrPool::load(&v1_path).expect("v1"));
+
+    // …then answer the first selection: the full-pool greedy the engine's
+    // `select_fast` runs. Greedy needs the inverted index, which a v1
+    // restore must rebuild (O(members)) before the first answer — that
+    // cost lands here. (The engine's sampling-plan replay is identical
+    // work on either backing and is deliberately outside the clock.)
+    let (v1_restore_plus_select_ms, heap_seeds) = median_ms(3, || {
+        let mut loaded = RrPool::load(&v1_path).expect("v1");
+        loaded.sets.ensure_inverted_index();
+        greedy_max_cover_indexed(&loaded.sets, K).seeds
+    });
+    let v1_meta = RrPool::load(&v1_path).expect("v1").meta;
+
+    // v2 cold start: map + validate the layout (no per-member work), then
+    // greedy straight over the mapped posting lists — the inverted index
+    // is read from the file, never rebuilt — faulting pages in on demand.
+    // A fresh mapping per run keeps the "open" honest.
+    let (v2_open_ms, _) = median_ms(3, || PoolMmap::open(&v2_path).expect("open v2"));
+    let (v2_open_plus_select_ms, mapped_seeds) = median_ms(3, || {
+        let view = PoolMmap::open(&v2_path).expect("open v2");
+        greedy_max_cover_indexed(view.sets().as_ref(), K).seeds
+    });
+
+    // The deferred integrity scan (`--mmap-pools` runs it once per
+    // restore before serving): one sequential FNV pass over every
+    // section, doubling as prefault.
+    let mapped = PoolMmap::open(&v2_path).expect("open v2");
+    let (v2_verify_ms, _) = median_ms(3, || mapped.verify().expect("verify v2"));
+    let provenance_match = *mapped.meta() == v1_meta;
+
+    ScaleReport {
+        name,
+        nodes: graph.n(),
+        arcs: graph.m(),
+        sets: theta,
+        members,
+        v1_bytes,
+        v2_bytes,
+        v1_load_ms,
+        v1_restore_plus_select_ms,
+        v2_open_ms,
+        v2_verify_ms,
+        v2_open_plus_select_ms,
+        speedup: v1_restore_plus_select_ms / v2_open_plus_select_ms.max(1e-9),
+        answers_match: heap_seeds == mapped_seeds,
+        provenance_match,
+    }
+}
+
+fn emit_json(quick: bool, scales: &[ScaleReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"tim-bench-pool-load/1\",\n");
+    out.push_str("  \"bench\": \"pool_load\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"scales\": [\n");
+    for (i, s) in scales.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"arcs\": {}, \
+             \"sets\": {}, \"members\": {}, \
+             \"v1_bytes\": {}, \"v2_bytes\": {}, \
+             \"v1_load_ms\": {:.3}, \"v1_restore_plus_select_ms\": {:.3}, \
+             \"v2_open_ms\": {:.3}, \"v2_verify_ms\": {:.3}, \
+             \"v2_open_plus_select_ms\": {:.3}, \"speedup\": {:.1}, \
+             \"answers_match\": {}, \"provenance_match\": {}}}{}\n",
+            s.name,
+            s.nodes,
+            s.arcs,
+            s.sets,
+            s.members,
+            s.v1_bytes,
+            s.v2_bytes,
+            s.v1_load_ms,
+            s.v1_restore_plus_select_ms,
+            s.v2_open_ms,
+            s.v2_verify_ms,
+            s.v2_open_plus_select_ms,
+            s.speedup,
+            s.answers_match,
+            s.provenance_match,
+            if i + 1 < scales.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let opts = parse_opts();
+    let dir = std::env::temp_dir().join(format!("tim_pool_load_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+
+    let mut scales = Vec::new();
+
+    // The kick-tires graph: the same shape scripts/kick-tires.sh drills,
+    // under the paper's weighted-cascade arc weights.
+    eprintln!("pool_load: kick_tires scale");
+    let small = gen::barabasi_albert(2_000, 4, 0.0, 1);
+    scales.push(run_scale(
+        "kick_tires",
+        small,
+        weights::assign_weighted_cascade,
+        20_000,
+        &dir,
+    ));
+
+    if !opts.quick {
+        // ~1.3M arcs / 200k sets: the scale the acceptance bar is set
+        // at. Uniform-p IC near the percolation threshold (in-degree ≈ 8,
+        // p = 0.13; the lattice clustering keeps it subcritical) — the
+        // classic IC benchmark
+        // setting, and it produces the wide RR sets the out-of-core
+        // format exists for (~10× denser than weighted cascade on the
+        // same arc budget, where sets collapse to a couple of members).
+        eprintln!("pool_load: paper_1m scale (~1.3M arcs, 200k sets)");
+        let big = gen::watts_strogatz(160_000, 4, 0.1, 2);
+        scales.push(run_scale(
+            "paper_1m",
+            big,
+            |g| weights::assign_constant(g, 0.13),
+            200_000,
+            &dir,
+        ));
+    }
+
+    for s in &scales {
+        eprintln!(
+            "  {:<10}  {:>7} sets/{:>9} members  v1 load {:>9.3} ms, +select {:>9.3} ms \
+             | v2 open {:>7.3} ms, +select {:>8.3} ms ({:.1}x), verify {:>7.3} ms  ok={}",
+            s.name,
+            s.sets,
+            s.members,
+            s.v1_load_ms,
+            s.v1_restore_plus_select_ms,
+            s.v2_open_ms,
+            s.v2_open_plus_select_ms,
+            s.speedup,
+            s.v2_verify_ms,
+            s.answers_match && s.provenance_match,
+        );
+    }
+
+    let json = emit_json(opts.quick, &scales);
+    // Self-check the emitter against our own parser before writing: a
+    // malformed report should fail here, not in CI.
+    tim_bench::json::parse(&json).expect("emitted JSON must parse");
+    std::fs::write(&opts.out, &json).expect("write report");
+    eprintln!("wrote {}", opts.out);
+    std::fs::remove_dir_all(&dir).ok();
+
+    if scales
+        .iter()
+        .any(|s| !s.answers_match || !s.provenance_match)
+    {
+        eprintln!("error: mmap answers or provenance diverged from the heap path — see report");
+        std::process::exit(1);
+    }
+}

@@ -20,6 +20,7 @@ const SWITCHES: &[&str] = &[
     "persist-pools",
     "event-loop",
     "mmap",
+    "mmap-pools",
 ];
 
 impl Args {

@@ -39,7 +39,7 @@ usage:
                 snapshot, so this is also the v1 -> v2 migration)
   tim query    [<graph>] [--graph <name>=<path>[::<k=v,...>]]... [--graphs <dir>]
                [--default-graph <name>] [--max-loaded 8] [--pool <path.timp>]
-               [--pool-dir <dir>] [--persist-pools] [--admin] [--mmap]
+               [--pool-dir <dir>] [--persist-pools] [--mmap-pools] [--admin] [--mmap]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
                [--seed 0] [--pool-cache 4] [--select-threads 1]
                [--select-strategy eager|lazy|auto] [--undirected] [--quiet]
@@ -52,7 +52,7 @@ usage:
                   persist | stats pools         [admin verbs; need --admin])
   tim serve    [<graph>] [--graph <name>=<path>[::<k=v,...>]]... [--graphs <dir>]
                [--default-graph <name>] [--max-loaded 8]
-               [--pool-dir <dir>] [--persist-pools] [--admin] [--mmap]
+               [--pool-dir <dir>] [--persist-pools] [--mmap-pools] [--admin] [--mmap]
                [--addr 127.0.0.1:7171] [--threads 4] [--pool-cache 4]
                [--event-loop] [--idle-timeout <secs>] [--max-conns <n>]
                [-k <K=50>] [--model ic|lt] [--weights wc|...] [--eps 0.1] [--ell 1.0]
@@ -75,8 +75,9 @@ usage:
   each --graph adds a lazily loaded named graph, and --graphs scans a
   directory of .timg/.txt/.edges files (stems become names). A --graph
   spec may carry per-graph overrides after `::` (model=ic|lt, eps=, ell=,
-  seed=, k=, weights=, mmap=true|false, select_threads=,
-  select_strategy=), replacing the global defaults for that graph.
+  seed=, k=, weights=, mmap=true|false, mmap_pools=true|false,
+  select_threads=, select_strategy=), replacing the global defaults
+  for that graph.
   --select-threads shards each query's greedy selection phase across N
   worker threads (0 = all cores; default 1 = serial); answers are
   byte-identical at any thread count, so it only changes latency.
@@ -86,7 +87,12 @@ usage:
   the number of gain evaluations per round.
   With --pool-dir every graph keeps its RR-set pools in <dir>/<name>/
   (read on start — a warm restart skips the pool builds); --persist-pools
-  additionally writes newly built or grown pools back automatically.
+  additionally writes newly built or grown pools back automatically;
+  --mmap-pools restores v2 (.timp) spills as zero-copy read-only
+  mappings — restore cost is the header plus a few sequential scans
+  instead of decode + index rebuild, answers stay byte-identical, v1
+  spills fall back to the heap path, and pool growth always happens
+  heap-side (per-graph `mmap_pools=` overrides flip it per graph).
   With --mmap every path-backed graph (the positional one included) must
   be a v2 snapshot and is served as a zero-copy mmap view instead of
   being decoded onto the heap — answers are byte-identical to heap
@@ -435,6 +441,7 @@ fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
         admin: args.switch("admin"),
         event_loop: args.switch("event-loop"),
         mmap: args.switch("mmap"),
+        mmap_pools: args.switch("mmap-pools"),
         idle_timeout: match args.get("idle-timeout") {
             None => None,
             Some(v) => {
@@ -470,6 +477,11 @@ fn server_config(args: &Args, quiet: bool) -> Result<ServerConfig, String> {
     }
     if config.persist_pools && config.pool_dir.is_none() {
         return Err("--persist-pools requires --pool-dir <dir>".into());
+    }
+    if config.mmap_pools && config.pool_dir.is_none() {
+        return Err("--mmap-pools requires --pool-dir <dir> (it changes how \
+             persisted pools are restored)"
+            .into());
     }
     if config.idle_timeout.is_some() && !config.event_loop {
         return Err("--idle-timeout requires --event-loop".into());
@@ -652,7 +664,7 @@ fn query_with(model: ModelKind, model_name: &str, args: &Args) -> Result<(), Str
                 }
                 shared
                     .to_pool()
-                    .save(p)
+                    .save_v2(p)
                     .map_err(|e| format!("saving pool {p}: {e}"))?;
                 if !quiet {
                     eprintln!("saved pool to {p}");
@@ -1390,22 +1402,32 @@ mod tests {
 
     #[test]
     fn pool_dir_flags_wire_into_the_config() {
-        let args = Args::parse(&argv("g.txt --pool-dir /tmp/pd --persist-pools --admin")).unwrap();
+        let args = Args::parse(&argv(
+            "g.txt --pool-dir /tmp/pd --persist-pools --mmap-pools --admin",
+        ))
+        .unwrap();
         let config = server_config(&args, true).unwrap();
         assert_eq!(
             config.pool_dir.as_deref(),
             Some(std::path::Path::new("/tmp/pd"))
         );
         assert!(config.persist_pools);
+        assert!(config.mmap_pools);
         assert!(config.admin);
         let plain = Args::parse(&argv("g.txt")).unwrap();
         let config = server_config(&plain, true).unwrap();
         assert!(config.pool_dir.is_none() && !config.persist_pools && !config.admin);
-        // Write-back without a store location is a config error.
+        assert!(!config.mmap_pools);
+        // Write-back without a store location is a config error, and so is
+        // asking for mapped restores with nowhere to restore from.
         let bad = Args::parse(&argv("g.txt --persist-pools")).unwrap();
         assert!(server_config(&bad, true)
             .unwrap_err()
             .contains("requires --pool-dir"));
+        let bad = Args::parse(&argv("g.txt --mmap-pools")).unwrap();
+        assert!(server_config(&bad, true)
+            .unwrap_err()
+            .contains("--mmap-pools requires --pool-dir"));
     }
 
     #[test]
@@ -1452,6 +1474,22 @@ mod tests {
         assert_eq!(warm, cold, "restart answers byte-identical");
         let s = warm_state.default_state().cache_stats();
         assert_eq!((s.builds, s.loads), (0, 1), "warm run loads, never builds");
+        drop(warm_state);
+
+        // Warm restart with --mmap-pools: the v2 spill is served as a
+        // zero-copy mapping instead of being decoded — same answers, still
+        // zero builds.
+        let args = Args::parse(&argv(&format!("{flags} --mmap-pools"))).unwrap();
+        let config = server_config(&args, true).unwrap();
+        let mapped_state = build_state(ModelKind::IndependentCascade, "ic", &args, config).unwrap();
+        let mapped = run_session(&mapped_state, session);
+        assert_eq!(mapped, cold, "mapped restart answers byte-identical");
+        let s = mapped_state.default_state().cache_stats();
+        assert_eq!(
+            (s.builds, s.loads),
+            (0, 1),
+            "mapped run opens, never builds"
+        );
         std::fs::remove_file(&graph).ok();
         std::fs::remove_dir_all(&pool_dir).ok();
     }

@@ -1,7 +1,64 @@
-//! Flat arena storage for node-set collections (the set `R` of RR sets).
+//! Flat arena storage for node-set collections (the set `R` of RR sets),
+//! and the [`SetsAccess`] seam the greedy solvers are generic over.
 
 use std::cell::RefCell;
 use tim_graph::NodeId;
+
+/// Read-only access to an indexed collection of node sets over the
+/// universe `0..universe()` — the seam between the greedy max-coverage
+/// solvers and the storage backing.
+///
+/// Two backings implement it: the heap [`SetCollection`] and the
+/// zero-copy [`MmapSets`](crate::MmapSets) view over a mapped `.timp` v2
+/// pool file. The `*_indexed` solver entry points are generic over this
+/// trait, so each backing gets its own monomorphized hot loops;
+/// [`SetsView`](crate::SetsView) carries the dispatch to the call
+/// boundary.
+///
+/// Every method is `&self` and the contract is strictly read-only —
+/// which is why a `PROT_READ` file mapping can serve concurrent sharded
+/// selections directly (the `Sync` supertrait is what the sharded
+/// solver's scoped workers rely on).
+pub trait SetsAccess: Sync {
+    /// Universe size `n`; members are node ids in `0..n`.
+    fn universe(&self) -> usize;
+
+    /// Number of sets stored.
+    fn len(&self) -> usize;
+
+    /// True when no sets are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of members across all sets (arena length).
+    fn total_members(&self) -> usize;
+
+    /// The members of set `i`.
+    fn set(&self, i: usize) -> &[NodeId];
+
+    /// True when [`sets_containing`](Self::sets_containing) may be
+    /// called. Mapped backings persist their index, so this is
+    /// constant-true there; heap collections build it lazily.
+    fn has_inverted_index(&self) -> bool;
+
+    /// Ids of the sets containing `v`, ascending.
+    ///
+    /// # Panics
+    /// May panic if the index is stale
+    /// ([`has_inverted_index`](Self::has_inverted_index) is false) or
+    /// `v` is outside the universe.
+    fn sets_containing(&self, v: NodeId) -> &[u32];
+
+    /// Number of sets containing `v` (its coverage count / hypergraph
+    /// degree).
+    ///
+    /// # Panics
+    /// As [`sets_containing`](Self::sets_containing).
+    fn degree(&self, v: NodeId) -> usize {
+        self.sets_containing(v).len()
+    }
+}
 
 /// Reusable per-thread scratch for [`SetCollection::count_covered`]'s
 /// index-backed path: a stamped bitmap over set ids. Bumping the stamp
@@ -173,24 +230,22 @@ impl SetCollection {
         if self.inv_built_for == self.len() {
             return;
         }
-        let mut counts = vec![0usize; self.n + 1];
-        for &v in &self.data {
-            counts[v as usize + 1] += 1;
-        }
-        for i in 0..self.n {
-            counts[i + 1] += counts[i];
-        }
-        self.inv_offsets = counts.clone();
-        self.inv_data = vec![0u32; self.data.len()];
-        let mut cursor = counts;
-        for set_id in 0..self.len() {
-            for idx in self.offsets[set_id]..self.offsets[set_id + 1] {
-                let v = self.data[idx] as usize;
-                self.inv_data[cursor[v]] = set_id as u32;
-                cursor[v] += 1;
-            }
-        }
+        let (inv_offsets, inv_data) = build_inverted_index(self.n, &self.data, &self.offsets);
+        self.inv_offsets = inv_offsets;
+        self.inv_data = inv_data;
         self.inv_built_for = self.len();
+    }
+
+    /// The built inverted index as its raw arrays `(inv_offsets,
+    /// inv_data)`: node `v`'s posting list is
+    /// `inv_data[inv_offsets[v]..inv_offsets[v + 1]]`, set ids strictly
+    /// ascending within each list. `None` while the index is stale.
+    ///
+    /// This is what the `.timp` v2 pool format persists, so a mapped
+    /// pool can skip the counting-sort rebuild entirely.
+    pub fn raw_inverted(&self) -> Option<(&[usize], &[u32])> {
+        self.has_inverted_index()
+            .then_some((self.inv_offsets.as_slice(), self.inv_data.as_slice()))
     }
 
     /// Ids of the sets containing `v`.
@@ -235,35 +290,11 @@ impl SetCollection {
     /// back to scanning every member (this method never mutates the
     /// collection, so it cannot build the index itself).
     pub fn count_covered(&self, seeds: &[NodeId]) -> usize {
+        if self.has_inverted_index() {
+            return count_covered_indexed(self, seeds);
+        }
         for &s in seeds {
             assert!((s as usize) < self.n, "seed {s} out of universe");
-        }
-        if self.has_inverted_index() {
-            return COVER_SCRATCH.with(|cell| {
-                let scratch = &mut *cell.borrow_mut();
-                if scratch.mark.len() < self.len() {
-                    scratch.mark.resize(self.len(), 0);
-                }
-                scratch.stamp = match scratch.stamp.checked_add(1) {
-                    Some(s) => s,
-                    None => {
-                        scratch.mark.fill(0);
-                        1
-                    }
-                };
-                let stamp = scratch.stamp;
-                let mut count = 0usize;
-                for &s in seeds {
-                    for &set_id in self.sets_containing(s) {
-                        let mark = &mut scratch.mark[set_id as usize];
-                        if *mark != stamp {
-                            *mark = stamp;
-                            count += 1;
-                        }
-                    }
-                }
-                count
-            });
         }
         let mut in_seed = vec![false; self.n];
         for &s in seeds {
@@ -273,6 +304,120 @@ impl SetCollection {
             .filter(|&i| self.set(i).iter().any(|&v| in_seed[v as usize]))
             .count()
     }
+}
+
+impl SetsAccess for SetCollection {
+    #[inline]
+    fn universe(&self) -> usize {
+        SetCollection::universe(self)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        SetCollection::len(self)
+    }
+
+    #[inline]
+    fn total_members(&self) -> usize {
+        SetCollection::total_members(self)
+    }
+
+    #[inline]
+    fn set(&self, i: usize) -> &[NodeId] {
+        SetCollection::set(self, i)
+    }
+
+    #[inline]
+    fn has_inverted_index(&self) -> bool {
+        SetCollection::has_inverted_index(self)
+    }
+
+    #[inline]
+    fn sets_containing(&self, v: NodeId) -> &[u32] {
+        SetCollection::sets_containing(self, v)
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        SetCollection::degree(self, v)
+    }
+}
+
+/// Counting-sort construction of the inverted index for an arena layout
+/// (`data`/`offsets` as in [`SetCollection::raw_data`] /
+/// [`SetCollection::raw_offsets`]): returns `(inv_offsets, inv_data)`
+/// where node `v`'s posting list is
+/// `inv_data[inv_offsets[v]..inv_offsets[v + 1]]`, with set ids strictly
+/// ascending within each list (set ids are appended in increasing
+/// order). Shared by [`SetCollection::ensure_inverted_index`] and the
+/// `.timp` v2 pool writer in `tim_engine`, which persists the arrays so
+/// a mapped pool never pays this build.
+pub fn build_inverted_index(
+    n: usize,
+    data: &[NodeId],
+    offsets: &[usize],
+) -> (Vec<usize>, Vec<u32>) {
+    let mut counts = vec![0usize; n + 1];
+    for &v in data {
+        counts[v as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let inv_offsets = counts.clone();
+    let mut inv_data = vec![0u32; data.len()];
+    let mut cursor = counts;
+    for set_id in 0..offsets.len() - 1 {
+        for &v in &data[offsets[set_id]..offsets[set_id + 1]] {
+            inv_data[cursor[v as usize]] = set_id as u32;
+            cursor[v as usize] += 1;
+        }
+    }
+    (inv_offsets, inv_data)
+}
+
+/// Number of sets in `collection` intersecting `seeds`, walking the
+/// seeds' posting lists with a reusable per-thread scratch bitmap — the
+/// index-backed counting path shared by every [`SetsAccess`] backing
+/// (see [`SetCollection::count_covered`] for the cost model).
+///
+/// # Panics
+/// Panics if the inverted index is not built or a seed falls outside the
+/// universe.
+pub fn count_covered_indexed<C: SetsAccess>(collection: &C, seeds: &[NodeId]) -> usize {
+    assert!(
+        collection.has_inverted_index(),
+        "inverted index is stale; call ensure_inverted_index first"
+    );
+    let n = collection.universe();
+    for &s in seeds {
+        assert!((s as usize) < n, "seed {s} out of universe");
+    }
+    COVER_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        if scratch.mark.len() < collection.len() {
+            scratch.mark.resize(collection.len(), 0);
+        }
+        scratch.stamp = match scratch.stamp.checked_add(1) {
+            Some(s) => s,
+            None => {
+                scratch.mark.fill(0);
+                1
+            }
+        };
+        let stamp = scratch.stamp;
+        let mut count = 0usize;
+        for &s in seeds {
+            for &set_id in collection.sets_containing(s) {
+                let mark = &mut scratch.mark[set_id as usize];
+                if *mark != stamp {
+                    *mark = stamp;
+                    count += 1;
+                }
+            }
+        }
+        count
+    })
 }
 
 #[cfg(test)]
@@ -327,6 +472,39 @@ mod tests {
         c.ensure_inverted_index();
         c.push(&[2]);
         let _ = c.sets_containing(2);
+    }
+
+    #[test]
+    fn raw_inverted_exposes_the_built_index() {
+        let mut c = sample();
+        assert!(c.raw_inverted().is_none(), "index not built yet");
+        c.ensure_inverted_index();
+        let (inv_offsets, inv_data) = c.raw_inverted().unwrap();
+        assert_eq!(inv_offsets.len(), c.universe() + 1);
+        assert_eq!(inv_data.len(), c.total_members());
+        for v in 0..c.universe() {
+            assert_eq!(
+                &inv_data[inv_offsets[v]..inv_offsets[v + 1]],
+                c.sets_containing(v as NodeId),
+            );
+        }
+        c.push(&[2]);
+        assert!(c.raw_inverted().is_none(), "push invalidates the index");
+    }
+
+    #[test]
+    fn build_inverted_index_matches_ensure() {
+        let mut c = sample();
+        let (inv_offsets, inv_data) =
+            build_inverted_index(c.universe(), c.raw_data(), c.raw_offsets());
+        c.ensure_inverted_index();
+        assert_eq!(c.raw_inverted(), Some((&inv_offsets[..], &inv_data[..])));
+        // Posting lists come out strictly ascending — the invariant the
+        // mapped backing validates at open.
+        for v in 0..c.universe() {
+            let list = &inv_data[inv_offsets[v]..inv_offsets[v + 1]];
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "node {v}: {list:?}");
+        }
     }
 
     #[test]

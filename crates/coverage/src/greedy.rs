@@ -15,7 +15,7 @@
 //!   O(Σ|R|) linear-time bound quoted in §3.1.
 
 use crate::strategy::EvalStats;
-use crate::SetCollection;
+use crate::{SetCollection, SetsAccess};
 use std::collections::BinaryHeap;
 use tim_graph::NodeId;
 
@@ -64,7 +64,9 @@ pub fn greedy_max_cover(collection: &mut SetCollection, k: usize) -> CoverResult
 }
 
 /// [`greedy_max_cover`] over a shared (`&`) collection whose inverted
-/// index is already built.
+/// index is already built — generic over the [`SetsAccess`] backing, so
+/// the same monomorphized loop serves heap collections and mapped
+/// `.timp` v2 pools.
 ///
 /// The solver itself never mutates the collection — the `&mut` in
 /// [`greedy_max_cover`] exists only to build the lazy index. Hot query
@@ -73,8 +75,8 @@ pub fn greedy_max_cover(collection: &mut SetCollection, k: usize) -> CoverResult
 ///
 /// # Panics
 /// Panics if the inverted index is stale
-/// ([`SetCollection::has_inverted_index`] is false).
-pub fn greedy_max_cover_indexed(collection: &SetCollection, k: usize) -> CoverResult {
+/// ([`SetsAccess::has_inverted_index`] is false).
+pub fn greedy_max_cover_indexed<C: SetsAccess>(collection: &C, k: usize) -> CoverResult {
     greedy_max_cover_indexed_stats(collection, k).0
 }
 
@@ -85,9 +87,9 @@ pub fn greedy_max_cover_indexed(collection: &SetCollection, k: usize) -> CoverRe
 ///
 /// # Panics
 /// Panics if the inverted index is stale
-/// ([`SetCollection::has_inverted_index`] is false).
-pub fn greedy_max_cover_indexed_stats(
-    collection: &SetCollection,
+/// ([`SetsAccess::has_inverted_index`] is false).
+pub fn greedy_max_cover_indexed_stats<C: SetsAccess>(
+    collection: &C,
     k: usize,
 ) -> (CoverResult, EvalStats) {
     assert!(
@@ -190,12 +192,12 @@ pub fn greedy_max_cover_bucket(collection: &mut SetCollection, k: usize) -> Cove
 
 /// [`greedy_max_cover_bucket`] over a shared (`&`) collection whose
 /// inverted index is already built; see [`greedy_max_cover_indexed`] for
-/// why the `&self` variant exists.
+/// why the `&self` variant exists and what the generic parameter buys.
 ///
 /// # Panics
 /// Panics if the inverted index is stale
-/// ([`SetCollection::has_inverted_index`] is false).
-pub fn greedy_max_cover_bucket_indexed(collection: &SetCollection, k: usize) -> CoverResult {
+/// ([`SetsAccess::has_inverted_index`] is false).
+pub fn greedy_max_cover_bucket_indexed<C: SetsAccess>(collection: &C, k: usize) -> CoverResult {
     assert!(
         collection.has_inverted_index(),
         "inverted index is stale; call ensure_inverted_index first"

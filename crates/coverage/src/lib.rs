@@ -32,20 +32,32 @@
 //! `*_indexed` variants solve the same instance through a shared `&`
 //! reference — which is what lets `tim_engine`/`tim_server` answer many
 //! queries concurrently against one immutable pool.
+//!
+//! The `*_indexed` solvers are generic over the [`SetsAccess`] backing
+//! seam: [`SetCollection`] serves from the heap, [`MmapSets`] serves
+//! zero-copy from a mapped `.timp` v2 pool file whose inverted index was
+//! persisted at spill time, and [`SetsStore`]/[`SetsView`] carry the
+//! dispatch (mirroring `tim_graph::GraphStore`/`CsrView`). Selection
+//! never mutates a collection, so a read-only mapping answers the same
+//! queries — byte-identically — without loading the pool onto the heap.
 
 mod collection;
 mod greedy;
+mod mmap_sets;
 pub mod sharded;
+mod store;
 mod strategy;
 
-pub use collection::SetCollection;
+pub use collection::{build_inverted_index, count_covered_indexed, SetCollection, SetsAccess};
 pub use greedy::{
     greedy_max_cover, greedy_max_cover_bucket, greedy_max_cover_bucket_indexed,
     greedy_max_cover_indexed, greedy_max_cover_indexed_stats, CoverResult,
 };
+pub use mmap_sets::{MmapSets, MmapSetsLayout, SETS_SECTION_COUNT, SETS_SECTION_NAMES};
 pub use sharded::{
     greedy_max_cover_sharded, greedy_max_cover_sharded_indexed,
     greedy_max_cover_sharded_indexed_stats, greedy_max_cover_sharded_indexed_with,
     greedy_max_cover_sharded_with,
 };
+pub use store::{SetsStore, SetsView};
 pub use strategy::{EvalStats, SelectStrategy};

@@ -49,7 +49,7 @@
 
 use crate::greedy::{greedy_max_cover_indexed_stats, CoverResult};
 use crate::strategy::{EvalStats, SelectStrategy};
-use crate::SetCollection;
+use crate::{SetCollection, SetsAccess};
 use std::collections::BinaryHeap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering::Relaxed};
@@ -116,13 +116,14 @@ fn node_owner(per: usize, extra: usize, u: usize) -> usize {
 
 /// The ids of the sets containing `v` whose id falls in `range` — one
 /// worker's slice of the apply phase. The inverted index stores set ids
-/// ascending, so this is two binary searches on
-/// [`SetCollection::sets_containing`].
+/// ascending (heap builds produce them so; the mapped backing validates
+/// it at open), so this is two binary searches on
+/// [`SetsAccess::sets_containing`].
 ///
 /// # Panics
 /// Panics if the collection's inverted index is stale.
-pub fn sets_in_range<'a>(
-    collection: &'a SetCollection,
+pub fn sets_in_range<'a, C: SetsAccess>(
+    collection: &'a C,
     v: NodeId,
     range: &Range<usize>,
 ) -> &'a [u32] {
@@ -143,8 +144,8 @@ pub fn sets_in_range<'a>(
 ///
 /// # Panics
 /// Panics if the collection's inverted index is stale.
-pub fn apply_pick_in_range(
-    collection: &SetCollection,
+pub fn apply_pick_in_range<C: SetsAccess>(
+    collection: &C,
     node: NodeId,
     sets: &Range<usize>,
     covered: &mut [bool],
@@ -268,9 +269,9 @@ pub fn greedy_max_cover_sharded_with(
 ///
 /// # Panics
 /// Panics if the inverted index is stale
-/// ([`SetCollection::has_inverted_index`] is false).
-pub fn greedy_max_cover_sharded_indexed(
-    collection: &SetCollection,
+/// ([`SetsAccess::has_inverted_index`] is false).
+pub fn greedy_max_cover_sharded_indexed<C: SetsAccess>(
+    collection: &C,
     k: usize,
     threads: usize,
 ) -> CoverResult {
@@ -283,9 +284,9 @@ pub fn greedy_max_cover_sharded_indexed(
 ///
 /// # Panics
 /// Panics if the inverted index is stale
-/// ([`SetCollection::has_inverted_index`] is false).
-pub fn greedy_max_cover_sharded_indexed_with(
-    collection: &SetCollection,
+/// ([`SetsAccess::has_inverted_index`] is false).
+pub fn greedy_max_cover_sharded_indexed_with<C: SetsAccess>(
+    collection: &C,
     k: usize,
     threads: usize,
     strategy: SelectStrategy,
@@ -301,9 +302,9 @@ pub fn greedy_max_cover_sharded_indexed_with(
 ///
 /// # Panics
 /// Panics if the inverted index is stale
-/// ([`SetCollection::has_inverted_index`] is false).
-pub fn greedy_max_cover_sharded_indexed_stats(
-    collection: &SetCollection,
+/// ([`SetsAccess::has_inverted_index`] is false).
+pub fn greedy_max_cover_sharded_indexed_stats<C: SetsAccess>(
+    collection: &C,
     k: usize,
     threads: usize,
     strategy: SelectStrategy,

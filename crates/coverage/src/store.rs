@@ -1,0 +1,343 @@
+//! Backing-agnostic handles over heap and mapped set collections.
+//!
+//! The pool-side analogue of `tim_graph`'s `GraphStore`/`CsrView`:
+//! [`SetsStore`] owns a collection with either backing, [`SetsView`]
+//! borrows one for the duration of an operation. Code that merely reads
+//! takes a view (and either dispatches per call through the trait impl
+//! or matches once to hand the concrete backing to a generic solver);
+//! code that must mutate — pool growth — calls
+//! [`SetsStore::make_heap`], which detaches from a read-only mapping by
+//! materializing a heap copy.
+
+use crate::collection::{SetCollection, SetsAccess};
+use crate::mmap_sets::MmapSets;
+use std::sync::Arc;
+use tim_graph::NodeId;
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Heap(SetCollection),
+    Mmap(Arc<MmapSets>),
+}
+
+/// Owner of an RR-set collection served from the heap or from a mapped
+/// `.timp` v2 pool file, presenting one API either way.
+///
+/// The mapped arm is an `Arc` because a mapping is shared, not cloned:
+/// `Clone` on a mapped store is a refcount bump, while `Clone` on a
+/// heap store copies the arenas (exactly like cloning the collection
+/// itself).
+#[derive(Debug, Clone)]
+pub struct SetsStore {
+    inner: Inner,
+}
+
+impl SetsStore {
+    /// Wraps a heap collection.
+    pub fn heap(collection: SetCollection) -> Self {
+        Self {
+            inner: Inner::Heap(collection),
+        }
+    }
+
+    /// Wraps a mapped collection.
+    pub fn mapped(sets: Arc<MmapSets>) -> Self {
+        Self {
+            inner: Inner::Mmap(sets),
+        }
+    }
+
+    /// A borrowed view for the duration of one operation.
+    #[inline]
+    pub fn view(&self) -> SetsView<'_> {
+        match &self.inner {
+            Inner::Heap(c) => SetsView::Heap(c),
+            Inner::Mmap(m) => SetsView::Mmap(m),
+        }
+    }
+
+    /// True when the backing is a file mapping.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.inner, Inner::Mmap(_))
+    }
+
+    /// The heap collection, if that is the current backing.
+    pub fn as_heap(&self) -> Option<&SetCollection> {
+        match &self.inner {
+            Inner::Heap(c) => Some(c),
+            Inner::Mmap(_) => None,
+        }
+    }
+
+    /// The mapped collection, if that is the current backing.
+    pub fn as_mapped(&self) -> Option<&Arc<MmapSets>> {
+        match &self.inner {
+            Inner::Heap(_) => None,
+            Inner::Mmap(m) => Some(m),
+        }
+    }
+
+    /// Mutable access to the heap backing, converting a mapped backing
+    /// into a heap collection in place first (a full materialization:
+    /// arena copy plus index rebuild). This is how pool growth detaches
+    /// from an immutable mapping before appending fresh sets.
+    pub fn make_heap(&mut self) -> &mut SetCollection {
+        if let Inner::Mmap(m) = &self.inner {
+            self.inner = Inner::Heap(m.to_collection());
+        }
+        match &mut self.inner {
+            Inner::Heap(c) => c,
+            Inner::Mmap(_) => unreachable!("converted above"),
+        }
+    }
+
+    /// Builds the heap backing's inverted index if stale; mapped
+    /// backings persist theirs, so this is a no-op there.
+    pub fn ensure_inverted_index(&mut self) {
+        if let Inner::Heap(c) = &mut self.inner {
+            c.ensure_inverted_index();
+        }
+    }
+
+    /// True when [`SetsAccess::sets_containing`] may be served.
+    pub fn has_inverted_index(&self) -> bool {
+        match &self.inner {
+            Inner::Heap(c) => c.has_inverted_index(),
+            Inner::Mmap(_) => true,
+        }
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.view().universe()
+    }
+
+    /// Number of sets stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.view().len()
+    }
+
+    /// True when no sets are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.view().is_empty()
+    }
+
+    /// Total number of members across all sets.
+    #[inline]
+    pub fn total_members(&self) -> usize {
+        self.view().total_members()
+    }
+
+    /// Number of stored sets intersecting `seeds`.
+    pub fn count_covered(&self, seeds: &[NodeId]) -> usize {
+        self.view().count_covered(seeds)
+    }
+
+    /// `F_R(S)`: the fraction of stored sets covered by `seeds`.
+    pub fn coverage_fraction(&self, seeds: &[NodeId]) -> f64 {
+        self.view().coverage_fraction(seeds)
+    }
+
+    /// Heap bytes held by the backing (a mapped backing holds its
+    /// arenas in the page cache, not on the heap — see
+    /// [`mapped_bytes`](Self::mapped_bytes)).
+    pub fn memory_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Heap(c) => c.memory_bytes(),
+            Inner::Mmap(_) => 0,
+        }
+    }
+
+    /// Bytes of the underlying file mapping (0 for a heap backing).
+    pub fn mapped_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Heap(_) => 0,
+            Inner::Mmap(m) => m.mapped_bytes(),
+        }
+    }
+}
+
+impl From<SetCollection> for SetsStore {
+    fn from(collection: SetCollection) -> Self {
+        Self::heap(collection)
+    }
+}
+
+impl From<Arc<MmapSets>> for SetsStore {
+    fn from(sets: Arc<MmapSets>) -> Self {
+        Self::mapped(sets)
+    }
+}
+
+impl From<MmapSets> for SetsStore {
+    fn from(sets: MmapSets) -> Self {
+        Self::mapped(Arc::new(sets))
+    }
+}
+
+/// A borrowed view of either backing.
+///
+/// Implements [`SetsAccess`] by dispatching per call — fine for
+/// metadata and one-shot lookups. Hot paths (a whole greedy selection)
+/// should instead match once and hand the concrete backing to the
+/// generic solver, so the inner loops monomorphize:
+///
+/// ```
+/// use tim_coverage::{greedy_max_cover_indexed, SetsView};
+/// # use tim_coverage::SetCollection;
+/// # let mut c = SetCollection::new(3);
+/// # c.push(&[0, 1]);
+/// # c.ensure_inverted_index();
+/// # let view = SetsView::Heap(&c);
+/// let cover = match view {
+///     SetsView::Heap(c) => greedy_max_cover_indexed(c, 2),
+///     SetsView::Mmap(m) => greedy_max_cover_indexed(m, 2),
+/// };
+/// assert_eq!(cover.seeds.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub enum SetsView<'a> {
+    /// Heap arenas.
+    Heap(&'a SetCollection),
+    /// A mapped `.timp` v2 file.
+    Mmap(&'a MmapSets),
+}
+
+impl SetsView<'_> {
+    /// Number of stored sets intersecting `seeds` (monomorphized per
+    /// backing; requires the heap backing's index to be built).
+    pub fn count_covered(&self, seeds: &[NodeId]) -> usize {
+        match self {
+            SetsView::Heap(c) => c.count_covered(seeds),
+            SetsView::Mmap(m) => m.count_covered(seeds),
+        }
+    }
+
+    /// `F_R(S)`: the fraction of stored sets covered by `seeds`.
+    pub fn coverage_fraction(&self, seeds: &[NodeId]) -> f64 {
+        match self {
+            SetsView::Heap(c) => c.coverage_fraction(seeds),
+            SetsView::Mmap(m) => m.coverage_fraction(seeds),
+        }
+    }
+}
+
+impl SetsAccess for SetsView<'_> {
+    #[inline]
+    fn universe(&self) -> usize {
+        match self {
+            SetsView::Heap(c) => c.universe(),
+            SetsView::Mmap(m) => m.universe(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            SetsView::Heap(c) => c.len(),
+            SetsView::Mmap(m) => m.len(),
+        }
+    }
+
+    #[inline]
+    fn total_members(&self) -> usize {
+        match self {
+            SetsView::Heap(c) => c.total_members(),
+            SetsView::Mmap(m) => m.total_members(),
+        }
+    }
+
+    #[inline]
+    fn set(&self, i: usize) -> &[NodeId] {
+        match self {
+            SetsView::Heap(c) => c.set(i),
+            SetsView::Mmap(m) => m.set(i),
+        }
+    }
+
+    #[inline]
+    fn has_inverted_index(&self) -> bool {
+        match self {
+            SetsView::Heap(c) => c.has_inverted_index(),
+            SetsView::Mmap(_) => true,
+        }
+    }
+
+    #[inline]
+    fn sets_containing(&self, v: NodeId) -> &[u32] {
+        match self {
+            SetsView::Heap(c) => c.sets_containing(v),
+            SetsView::Mmap(m) => m.sets_containing(v),
+        }
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        match self {
+            SetsView::Heap(c) => c.degree(v),
+            SetsView::Mmap(m) => m.degree(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SetCollection {
+        let mut c = SetCollection::new(5);
+        c.push(&[0, 1]);
+        c.push(&[1, 2]);
+        c.push(&[3]);
+        c.ensure_inverted_index();
+        c
+    }
+
+    #[test]
+    fn heap_store_delegates() {
+        let c = sample();
+        let store = SetsStore::from(c.clone());
+        assert!(!store.is_mapped());
+        assert!(store.as_heap().is_some());
+        assert!(store.as_mapped().is_none());
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.universe(), 5);
+        assert_eq!(store.total_members(), 5);
+        assert!(store.has_inverted_index());
+        assert_eq!(store.count_covered(&[1]), c.count_covered(&[1]));
+        assert_eq!(store.coverage_fraction(&[3]), c.coverage_fraction(&[3]));
+        assert!(store.memory_bytes() > 0);
+        assert_eq!(store.mapped_bytes(), 0);
+        match store.view() {
+            SetsView::Heap(h) => assert_eq!(h.len(), 3),
+            SetsView::Mmap(_) => panic!("heap store must yield a heap view"),
+        }
+    }
+
+    #[test]
+    fn make_heap_is_identity_on_heap_stores() {
+        let mut store = SetsStore::heap(sample());
+        store.make_heap().push(&[4]);
+        assert_eq!(store.len(), 4);
+        assert!(!store.has_inverted_index(), "push invalidates the index");
+        store.ensure_inverted_index();
+        assert!(store.has_inverted_index());
+    }
+
+    #[test]
+    fn view_trait_dispatch_matches_inherent_access() {
+        let c = sample();
+        let view = SetsView::Heap(&c);
+        assert_eq!(SetsAccess::len(&view), 3);
+        assert_eq!(SetsAccess::universe(&view), 5);
+        assert_eq!(SetsAccess::set(&view, 0), &[0, 1]);
+        assert_eq!(SetsAccess::sets_containing(&view, 1), &[0, 1]);
+        assert_eq!(SetsAccess::degree(&view, 1), 2);
+        assert!(SetsAccess::has_inverted_index(&view));
+        assert!(!SetsAccess::is_empty(&view));
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::error::EngineError;
 use crate::pool::{PoolMeta, RrPool};
+use crate::pool_mmap::PoolMmap;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tim_core::parallel::{generate_rr_sets, shard_layout};
@@ -9,7 +10,7 @@ use tim_core::select::resolve_select_threads;
 use tim_core::{select_stream_seed, SamplingPlan, SelectStrategy, TimPlus};
 use tim_coverage::{
     greedy_max_cover, greedy_max_cover_indexed, greedy_max_cover_sharded_indexed_with,
-    greedy_max_cover_sharded_with, CoverResult, SetCollection,
+    greedy_max_cover_sharded_with, CoverResult, SetCollection, SetsAccess, SetsStore, SetsView,
 };
 use tim_diffusion::BackingModel;
 use tim_graph::{CsrView, Graph, GraphStore, NodeId};
@@ -95,7 +96,10 @@ pub struct QueryEngine<M> {
     select_strategy: SelectStrategy,
     k_max: usize,
     select_seed: u64,
-    pool: SetCollection,
+    /// The RR-set pool, served from the heap or zero-copy from a mapped
+    /// `.timp` v2 file. Every query path reads through it; growth
+    /// replaces it with a freshly sampled heap collection.
+    pool: SetsStore,
     pool_theta: u64,
     /// Plan cache keyed by `(k, ε bits, ℓ bits)`.
     plans: BTreeMap<(usize, u64, u64), SamplingPlan>,
@@ -144,7 +148,7 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
             select_strategy: SelectStrategy::Auto,
             k_max: 50,
             select_seed: select_stream_seed(0),
-            pool: SetCollection::new(n),
+            pool: SetsStore::heap(SetCollection::new(n)),
             pool_theta: 0,
             plans: BTreeMap::new(),
             fast: None,
@@ -236,7 +240,56 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
         pool: RrPool,
     ) -> Result<Self, EngineError> {
         let model_name = model_name.into();
+        Self::validate_pool_meta(&store, &model_name, &pool.meta, pool.sets.universe())?;
         let meta = &pool.meta;
+        let mut engine = QueryEngine::with_store(store, model, model_name)
+            .epsilon(meta.epsilon)
+            .ell(meta.ell)
+            .seed(meta.seed)
+            .k_max(meta.k_max.max(1) as usize);
+        engine.pool_theta = pool.meta.theta;
+        engine.pool = SetsStore::heap(pool.sets);
+        // Invariant: a non-empty pool always carries a fresh inverted
+        // index, so the read-only `try_*` paths can run greedy without
+        // mutating the collection. (Mapped pools persist theirs.)
+        engine.pool.ensure_inverted_index();
+        Ok(engine)
+    }
+
+    /// [`from_pool_store`](Self::from_pool_store) for a zero-copy mapped
+    /// `.timp` v2 pool: the same provenance chain is validated, but the
+    /// sets stay in the file mapping — no heap decode, no index rebuild
+    /// (v2 persists the inverted index). Every query class answers
+    /// byte-identically to the heap backing; growth (a tighter ε or a
+    /// larger `k`) resamples onto the heap exactly as it would have.
+    pub fn from_mapped_pool(
+        store: GraphStore,
+        model: M,
+        model_name: impl Into<String>,
+        pool: PoolMmap,
+    ) -> Result<Self, EngineError> {
+        let model_name = model_name.into();
+        Self::validate_pool_meta(&store, &model_name, pool.meta(), pool.sets().universe())?;
+        let (meta, sets) = pool.into_parts();
+        let mut engine = QueryEngine::with_store(store, model, model_name)
+            .epsilon(meta.epsilon)
+            .ell(meta.ell)
+            .seed(meta.seed)
+            .k_max(meta.k_max.max(1) as usize);
+        engine.pool_theta = meta.theta;
+        engine.pool = SetsStore::mapped(sets);
+        Ok(engine)
+    }
+
+    /// The provenance chain every pool attach validates, whatever the
+    /// backing: graph checksum, model tag, universe size, seed
+    /// derivation, and usable ε/ℓ.
+    fn validate_pool_meta(
+        store: &GraphStore,
+        model_name: &str,
+        meta: &PoolMeta,
+        universe: usize,
+    ) -> Result<(), EngineError> {
         let checksum = store.checksum();
         if meta.graph_checksum != checksum {
             return Err(EngineError::Mismatch(format!(
@@ -251,10 +304,9 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
                 meta.model
             )));
         }
-        if pool.sets.universe() != store.n() {
+        if universe != store.n() {
             return Err(EngineError::Mismatch(format!(
-                "pool universe {} != graph node count {}",
-                pool.sets.universe(),
+                "pool universe {universe} != graph node count {}",
                 store.n()
             )));
         }
@@ -265,7 +317,7 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
         }
         // f64::from_bits accepts anything, so a structurally valid pool can
         // still carry unusable parameters; reject them here rather than
-        // panicking in the builder asserts below.
+        // panicking in the builder asserts.
         if meta.epsilon <= 0.0 || !meta.epsilon.is_finite() {
             return Err(EngineError::Format(format!(
                 "pool epsilon {} is not a positive finite number",
@@ -278,18 +330,7 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
                 meta.ell
             )));
         }
-        let mut engine = QueryEngine::with_store(store, model, model_name)
-            .epsilon(meta.epsilon)
-            .ell(meta.ell)
-            .seed(meta.seed)
-            .k_max(meta.k_max.max(1) as usize);
-        engine.pool_theta = meta.theta;
-        engine.pool = pool.sets;
-        // Invariant: a non-empty pool always carries a fresh inverted
-        // index, so the read-only `try_*` paths can run greedy without
-        // mutating the collection.
-        engine.pool.ensure_inverted_index();
-        Ok(engine)
+        Ok(())
     }
 
     /// The engine's current provenance header (what
@@ -309,11 +350,38 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
     }
 
     /// Snapshots the current pool (with provenance) for persistence.
+    /// For a mapped backing this materializes a heap copy of the sets —
+    /// callers that only respill an unchanged mapped pool should skip
+    /// the spill instead (the file already holds these bytes).
     pub fn to_pool(&self) -> RrPool {
+        let sets = match self.pool.as_heap() {
+            Some(c) => c.clone(),
+            None => self
+                .pool
+                .as_mapped()
+                .expect("pool is heap or mapped")
+                .to_collection(),
+        };
         RrPool {
             meta: self.pool_meta(),
-            sets: self.pool.clone(),
+            sets,
         }
+    }
+
+    /// True when the pool is served zero-copy from a mapped `.timp` v2
+    /// file rather than the heap.
+    pub fn pool_is_mapped(&self) -> bool {
+        self.pool.is_mapped()
+    }
+
+    /// Heap bytes held by the pool backing (0 when mapped).
+    pub fn pool_memory_bytes(&self) -> usize {
+        self.pool.memory_bytes()
+    }
+
+    /// Bytes of the pool's file mapping (0 when heap-backed).
+    pub fn pool_mapped_bytes(&self) -> usize {
+        self.pool.mapped_bytes()
     }
 
     /// The backing store queries run against (heap or mmap).
@@ -414,7 +482,10 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
             return false;
         }
         // Regenerate from the fixed selection stream: deterministic, and
-        // the old pool is a shard-aligned prefix of the new one.
+        // the old pool is a shard-aligned prefix of the new one. A mapped
+        // backing is simply replaced — growth is always heap-side, and
+        // the next farewell spill persists the grown pool as a fresh v2
+        // file.
         let (pool, _) = match self.store.view() {
             CsrView::Heap(g) => {
                 generate_rr_sets(g, &self.model, theta, self.select_seed, self.threads)
@@ -423,7 +494,7 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
                 generate_rr_sets(v, &self.model, theta, self.select_seed, self.threads)
             }
         };
-        self.pool = pool;
+        self.pool = SetsStore::heap(pool);
         // Keep the inverted index fresh whenever the pool is non-empty, so
         // every subsequent same-θ greedy run — including the read-only
         // `try_*` paths used under shared references — is `&self`.
@@ -439,13 +510,14 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
         debug_assert!(theta <= self.pool_theta);
         let pool_counts = shard_layout(self.pool_theta);
         let want = shard_layout(theta);
+        let view = self.pool.view();
         let mut sub =
-            SetCollection::with_capacity(self.pool.universe(), theta as usize, theta as usize * 2);
+            SetCollection::with_capacity(view.universe(), theta as usize, theta as usize * 2);
         let mut start = 0usize;
         for (i, &pool_count) in pool_counts.iter().enumerate() {
             let take = want.get(i).copied().unwrap_or(0) as usize;
             for j in 0..take {
-                sub.push(self.pool.set(start + j));
+                sub.push(view.set(start + j));
             }
             start += pool_count as usize;
         }
@@ -487,10 +559,23 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
         let n = self.store.n() as f64;
         let t = resolve_select_threads(self.select_threads);
         let cover = if plan.theta == self.pool_theta {
-            if t > 1 {
-                greedy_max_cover_sharded_indexed_with(&self.pool, plan.k, t, self.select_strategy)
-            } else {
-                greedy_max_cover_indexed(&self.pool, plan.k)
+            // Match once so the solver's inner loops monomorphize per
+            // backing instead of dispatching per set access.
+            match self.pool.view() {
+                SetsView::Heap(c) => {
+                    if t > 1 {
+                        greedy_max_cover_sharded_indexed_with(c, plan.k, t, self.select_strategy)
+                    } else {
+                        greedy_max_cover_indexed(c, plan.k)
+                    }
+                }
+                SetsView::Mmap(m) => {
+                    if t > 1 {
+                        greedy_max_cover_sharded_indexed_with(m, plan.k, t, self.select_strategy)
+                    } else {
+                        greedy_max_cover_indexed(m, plan.k)
+                    }
+                }
             }
         } else {
             let mut sub = self.subset(plan.theta);
@@ -563,10 +648,22 @@ impl<M: BackingModel + Clone> QueryEngine<M> {
         };
         if stale {
             let t = resolve_select_threads(self.select_threads);
-            let cover = if t > 1 {
-                greedy_max_cover_sharded_with(&mut self.pool, depth, t, self.select_strategy)
-            } else {
-                greedy_max_cover(&mut self.pool, depth)
+            self.pool.ensure_inverted_index();
+            let cover = match self.pool.view() {
+                SetsView::Heap(c) => {
+                    if t > 1 {
+                        greedy_max_cover_sharded_indexed_with(c, depth, t, self.select_strategy)
+                    } else {
+                        greedy_max_cover_indexed(c, depth)
+                    }
+                }
+                SetsView::Mmap(m) => {
+                    if t > 1 {
+                        greedy_max_cover_sharded_indexed_with(m, depth, t, self.select_strategy)
+                    } else {
+                        greedy_max_cover_indexed(m, depth)
+                    }
+                }
             };
             self.fast = Some(FastCover {
                 pool_theta: self.pool_theta,
@@ -772,6 +869,79 @@ mod tests {
         assert_eq!(out.seeds, seeds);
         assert!(!out.resampled);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mapped_pool_engine_answers_identically_to_heap() {
+        // The out-of-core pool story: a pool spilled as `.timp` v2 and
+        // attached zero-copy must answer every query class — exact
+        // replay, fast prefix, spread, marginal gain — byte-identically
+        // to the heap pool it was spilled from, at any thread count and
+        // either selection strategy, with no resample.
+        let mut warm = engine(5);
+        warm.warm();
+        let dir = std::env::temp_dir().join(format!("tim_engine_poolmap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.timp");
+        warm.to_pool().save_v2(&path).unwrap();
+
+        for select_threads in [1usize, 4] {
+            for strategy in [SelectStrategy::Eager, SelectStrategy::Lazy] {
+                let mapped = crate::PoolMmap::open(&path).unwrap();
+                let mut e = QueryEngine::from_mapped_pool(
+                    GraphStore::from_arc(warm.graph_arc()),
+                    IndependentCascade,
+                    "ic",
+                    mapped,
+                )
+                .expect("spilled pool must re-attach mapped")
+                .threads(2)
+                .select_threads(select_threads)
+                .select_strategy(strategy);
+                assert!(e.pool_is_mapped());
+                assert_eq!(e.pool_theta(), warm.pool_theta());
+                assert_eq!(e.pool_memory_bytes(), 0);
+                assert!(e.pool_mapped_bytes() > 0);
+
+                let mut heap = engine(5)
+                    .select_threads(select_threads)
+                    .select_strategy(strategy);
+                heap.warm();
+                for k in [1usize, 6, 12] {
+                    let h = heap.select(k);
+                    let m = e.select(k);
+                    assert_eq!(h.seeds, m.seeds, "t={select_threads} {strategy} k={k}");
+                    assert_eq!(h.estimated_spread, m.estimated_spread);
+                    assert!(!m.resampled, "mapped pool must serve without resampling");
+                }
+                assert!(e.pool_is_mapped(), "same-θ selects keep the mapping");
+                assert_eq!(heap.select_fast(9).seeds, e.select_fast(9).seeds);
+                let seeds = heap.select(6).seeds;
+                assert_eq!(heap.spread(&seeds), e.spread(&seeds));
+                assert_eq!(heap.marginal_gain(&seeds, 99), e.marginal_gain(&seeds, 99));
+            }
+        }
+
+        // Growth detaches from the mapping: a tighter ε resamples onto
+        // the heap, byte-identically to the same growth on a heap pool.
+        let mapped = crate::PoolMmap::open(&path).unwrap();
+        let mut e = QueryEngine::from_mapped_pool(
+            GraphStore::from_arc(warm.graph_arc()),
+            IndependentCascade,
+            "ic",
+            mapped,
+        )
+        .unwrap()
+        .threads(2);
+        // θ scales as ε⁻²: 0.8 → 0.1 is a 64× demand, beyond any warm-up
+        // over-provisioning.
+        let grown = e.select_with(12, Some(0.1), None);
+        assert!(grown.resampled);
+        assert!(!e.pool_is_mapped(), "growth must move the pool heap-side");
+        let reference = warm.select_with(12, Some(0.1), None);
+        assert_eq!(grown.seeds, reference.seeds);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,7 +26,12 @@
 //! [`PoolStore`] scales the single-file story to a serving fleet's warm
 //! state: a per-tenant directory of provenance-keyed `.timp` files with
 //! atomic write-then-rename spills and quarantine of corrupt or foreign
-//! files, so every pool a process builds outlives the process.
+//! files, so every pool a process builds outlives the process. Spills
+//! default to the page-aligned `.timp` v2 layout, which persists the
+//! inverted index; [`PoolMmap`] attaches such a file zero-copy
+//! (`PROT_READ`) so restarting a service costs a header parse and a
+//! structural scan instead of a full heap decode — see
+//! [`PoolStore::probe_backed`].
 //!
 //! For concurrent serving, [`SharedEngine`] wraps a [`QueryEngine`] in an
 //! `RwLock` with a read-mostly fast path: queries answerable from the warm
@@ -37,11 +42,18 @@
 mod engine;
 mod error;
 mod pool;
+mod pool_mmap;
 mod shared;
 mod store;
 
 pub use engine::{QueryEngine, QueryOutcome};
 pub use error::EngineError;
-pub use pool::{PoolMeta, RrPool, POOL_MAGIC, POOL_VERSION};
+pub use pool::{
+    pool_version, PoolMeta, RrPool, POOL_MAGIC, POOL_V2_ALIGN, POOL_V2_HEADER_BYTES,
+    POOL_V2_MODEL_TAG_MAX, POOL_VERSION, POOL_VERSION_V2,
+};
+pub use pool_mmap::PoolMmap;
 pub use shared::{EngineReadGuard, SharedEngine};
-pub use store::{PoolId, PoolStore, StoreStats, INDEX_FILE, POOL_EXTENSION, QUARANTINE_DIR};
+pub use store::{
+    PoolId, PoolStore, ProbedPool, StoreStats, INDEX_FILE, POOL_EXTENSION, QUARANTINE_DIR,
+};

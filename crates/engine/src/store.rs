@@ -37,7 +37,8 @@
 //! rebuilds, and the evidence is preserved for inspection.
 
 use crate::error::EngineError;
-use crate::pool::{PoolMeta, RrPool};
+use crate::pool::{pool_version, PoolMeta, RrPool, POOL_V2_MODEL_TAG_MAX, POOL_VERSION_V2};
+use crate::pool_mmap::PoolMmap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -163,10 +164,41 @@ impl PoolId {
 pub struct StoreStats {
     /// Pools written (spilled) into the store.
     pub spills: u64,
-    /// Pools successfully loaded from the store.
+    /// Pools successfully restored from the store — the sum of
+    /// [`heap_loads`](Self::heap_loads) and
+    /// [`mmap_opens`](Self::mmap_opens).
     pub loads: u64,
     /// Files moved to `quarantine/` (corrupt or foreign).
     pub quarantined: u64,
+    /// Restores served zero-copy by mapping a v2 file
+    /// ([`PoolStore::probe_backed`] with `mmap`).
+    pub mmap_opens: u64,
+    /// Restores that decoded a pool onto the heap (v1 files, or heap
+    /// probes).
+    pub heap_loads: u64,
+    /// Deferred full-checksum passes run over mapped pools
+    /// ([`PoolStore::verify_mapped`]).
+    pub verifies: u64,
+}
+
+/// A pool restored by [`PoolStore::probe_backed`], in whichever backing
+/// the file's version and the caller's preference allowed.
+#[derive(Debug)]
+pub enum ProbedPool {
+    /// Eagerly decoded onto the heap (v1 files, or `mmap = false`).
+    Heap(RrPool),
+    /// Attached zero-copy from a v2 file.
+    Mapped(PoolMmap),
+}
+
+impl ProbedPool {
+    /// Provenance of the restored pool, whatever the backing.
+    pub fn meta(&self) -> &PoolMeta {
+        match self {
+            ProbedPool::Heap(p) => &p.meta,
+            ProbedPool::Mapped(m) => m.meta(),
+        }
+    }
 }
 
 /// A per-tenant on-disk pool store; see the module docs for layout,
@@ -178,6 +210,9 @@ pub struct PoolStore {
     spills: AtomicU64,
     loads: AtomicU64,
     quarantined: AtomicU64,
+    mmap_opens: AtomicU64,
+    heap_loads: AtomicU64,
+    verifies: AtomicU64,
     /// Uniquifies temp-file names across threads: the pid alone is not
     /// enough, because two sessions of one server can spill the same
     /// provenance concurrently, and a shared temp path would let one
@@ -200,6 +235,9 @@ impl PoolStore {
             spills: AtomicU64::new(0),
             loads: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            mmap_opens: AtomicU64::new(0),
+            heap_loads: AtomicU64::new(0),
+            verifies: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
             index_lock: Mutex::new(()),
         })
@@ -222,6 +260,9 @@ impl PoolStore {
             spills: self.spills.load(Ordering::Relaxed),
             loads: self.loads.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            mmap_opens: self.mmap_opens.load(Ordering::Relaxed),
+            heap_loads: self.heap_loads.load(Ordering::Relaxed),
+            verifies: self.verifies.load(Ordering::Relaxed),
         }
     }
 
@@ -239,6 +280,7 @@ impl PoolStore {
         match RrPool::read(bytes.as_slice()) {
             Ok(pool) if id.matches(&pool.meta) => {
                 self.loads.fetch_add(1, Ordering::Relaxed);
+                self.heap_loads.fetch_add(1, Ordering::Relaxed);
                 Ok(Some(pool))
             }
             Ok(pool) => {
@@ -255,11 +297,73 @@ impl PoolStore {
         }
     }
 
+    /// Like [`probe`](Self::probe), but when `mmap` is set and the
+    /// stored file is `.timp` v2, the pool is attached zero-copy as a
+    /// [`PoolMmap`] instead of being decoded onto the heap — O(header +
+    /// structural scan), with the persisted inverted index ready for the
+    /// first selection. v1 files transparently fall back to the heap
+    /// path. The same quarantine guarantees apply: a corrupt or foreign
+    /// file is moved aside and reported as a miss, never served.
+    pub fn probe_backed(&self, id: &PoolId, mmap: bool) -> Result<Option<ProbedPool>, EngineError> {
+        if !mmap {
+            return Ok(self.probe(id)?.map(ProbedPool::Heap));
+        }
+        let path = self.path_for(id);
+        match pool_version(&path) {
+            Ok(POOL_VERSION_V2) => {}
+            // v1 (or an unknown version the eager decoder will report
+            // on): the heap path handles it, quarantine included.
+            Ok(_) => return Ok(self.probe(id)?.map(ProbedPool::Heap)),
+            Err(EngineError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(EngineError::Io(e)) => return Err(e.into()),
+            Err(e) => {
+                self.quarantine(&path, &e.to_string());
+                return Ok(None);
+            }
+        }
+        match PoolMmap::open(&path) {
+            Ok(mapped) if id.matches(mapped.meta()) => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                self.mmap_opens.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(ProbedPool::Mapped(mapped)))
+            }
+            Ok(mapped) => {
+                let meta = mapped.meta();
+                self.quarantine(&path, &format!(
+                    "provenance header (model '{}', seed {}, eps {}, ell {}, graph {:#018x}) does not match its filename",
+                    meta.model, meta.seed, meta.epsilon, meta.ell, meta.graph_checksum
+                ));
+                Ok(None)
+            }
+            Err(EngineError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(EngineError::Io(e)) => Err(e.into()),
+            Err(e) => {
+                self.quarantine(&path, &e.to_string());
+                Ok(None)
+            }
+        }
+    }
+
+    /// Runs the deferred full-checksum pass over a mapped pool (the
+    /// O(file) work [`probe_backed`](Self::probe_backed) skips) and
+    /// counts it. On failure the caller should treat the pool as
+    /// corrupt — typically [`quarantine_id`](Self::quarantine_id) plus a
+    /// rebuild.
+    pub fn verify_mapped(&self, pool: &PoolMmap) -> Result<(), EngineError> {
+        self.verifies.fetch_add(1, Ordering::Relaxed);
+        pool.verify()
+    }
+
     /// Spills `pool` into the store under its own provenance, atomically
     /// (write to a temporary sibling, then rename), and refreshes the
     /// advisory index. Returns the final path. A concurrent spill of the
     /// same provenance is safe: both writers produce byte-identical
     /// files for the same θ, and rename makes the last one win whole.
+    ///
+    /// Pools are written in the mmap-able `.timp` v2 layout unless the
+    /// model tag exceeds the v2 header's fixed field, in which case the
+    /// spill transparently falls back to v1 (losing only the zero-copy
+    /// restore path for that pool).
     pub fn spill(&self, pool: &RrPool) -> Result<PathBuf, EngineError> {
         let id = PoolId::from_meta(&pool.meta);
         let path = self.path_for(&id);
@@ -273,7 +377,11 @@ impl PoolStore {
         let result = (|| -> Result<(), EngineError> {
             let file = std::fs::File::create(&tmp)?;
             let mut writer = std::io::BufWriter::new(file);
-            pool.write(&mut writer)?;
+            if pool.meta.model.len() <= POOL_V2_MODEL_TAG_MAX {
+                pool.write_v2(&mut writer)?;
+            } else {
+                pool.write(&mut writer)?;
+            }
             // BufWriter::into_inner flushes; sync so the rename never
             // publishes a name pointing at unwritten data after a crash.
             let file = writer
@@ -450,7 +558,8 @@ mod tests {
             StoreStats {
                 spills: 1,
                 loads: 1,
-                quarantined: 0
+                heap_loads: 1,
+                ..StoreStats::default()
             }
         );
         std::fs::remove_dir_all(&dir).ok();
@@ -542,6 +651,83 @@ mod tests {
         assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
         assert_eq!(store.len(), 2);
         assert!(!store.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn probe_backed_maps_v2_spills_zero_copy() {
+        let (dir, store) = tmp_store("mmap");
+        let p = pool(11, 6);
+        store.spill(&p).unwrap();
+        let id = PoolId::from_meta(&p.meta);
+
+        let got = store.probe_backed(&id, true).unwrap().expect("restored");
+        let ProbedPool::Mapped(mapped) = got else {
+            panic!("a v2 spill probed with mmap must map, not load");
+        };
+        assert_eq!(mapped.meta(), &p.meta);
+        assert_eq!(mapped.sets().len(), p.sets.len());
+        store.verify_mapped(&mapped).unwrap();
+
+        // Heap preference still decodes eagerly from the same v2 file.
+        let heap = store.probe_backed(&id, false).unwrap().expect("restored");
+        assert!(matches!(heap, ProbedPool::Heap(_)));
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                spills: 1,
+                loads: 2,
+                mmap_opens: 1,
+                heap_loads: 1,
+                verifies: 1,
+                ..StoreStats::default()
+            }
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn probe_backed_falls_back_to_heap_for_v1_files() {
+        let (dir, store) = tmp_store("mmap_v1");
+        let p = pool(12, 4);
+        let id = PoolId::from_meta(&p.meta);
+        p.save(store.path_for(&id)).unwrap(); // hand-placed v1 file
+        let got = store.probe_backed(&id, true).unwrap().expect("restored");
+        assert!(
+            matches!(got, ProbedPool::Heap(_)),
+            "a v1 file cannot be mapped; it loads eagerly"
+        );
+        assert_eq!(store.stats().mmap_opens, 0);
+        assert_eq!(store.stats().heap_loads, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn probe_backed_quarantines_corrupt_v2_files() {
+        let (dir, store) = tmp_store("mmap_bad");
+        let p = pool(13, 4);
+        let path = store.spill(&p).unwrap();
+        let id = PoolId::from_meta(&p.meta);
+        // Corrupt the header payload: the open-time checksum catches it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(store.probe_backed(&id, true).unwrap().is_none());
+        assert!(!path.exists(), "bad file moved out of the store");
+        assert_eq!(store.stats().quarantined, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_model_tags_spill_as_v1() {
+        let (dir, store) = tmp_store("v1_fallback");
+        let mut p = pool(14, 3);
+        p.meta.model = "m".repeat(crate::pool::POOL_V2_MODEL_TAG_MAX + 1);
+        let path = store.spill(&p).unwrap();
+        assert_eq!(pool_version(&path).unwrap(), crate::pool::POOL_VERSION);
+        let id = PoolId::from_meta(&p.meta);
+        let got = store.probe_backed(&id, true).unwrap().expect("restored");
+        assert!(matches!(got, ProbedPool::Heap(_)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

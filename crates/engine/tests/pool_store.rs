@@ -58,6 +58,12 @@ fn encode(pool: &RrPool) -> Vec<u8> {
     bytes
 }
 
+fn encode_v2(pool: &RrPool) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    pool.write_v2(&mut bytes).unwrap();
+    bytes
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -76,17 +82,24 @@ proptest! {
 
         let path = store.spill(&pool).unwrap();
         prop_assert_eq!(&path, &store.path_for(&id));
-        // On-disk bytes are the exact serialization.
+        // On-disk bytes are the exact (v2) serialization.
         let on_disk = std::fs::read(&path).unwrap();
-        prop_assert_eq!(&on_disk, &encode(&pool));
+        prop_assert_eq!(&on_disk, &encode_v2(&pool));
         // The scan index finds exactly this entry.
         let entries = store.entries();
         prop_assert_eq!(entries.len(), 1);
         prop_assert_eq!(&entries[0].0, &id.file_stem());
         // The probed pool re-serializes byte-identically.
         let loaded = store.probe(&id).unwrap().expect("stored pool loads");
-        prop_assert_eq!(encode(&loaded), on_disk);
+        prop_assert_eq!(&encode_v2(&loaded), &on_disk);
         prop_assert_eq!(&loaded.meta, &pool.meta);
+        // And so does a zero-copy mapped restore, through the heap.
+        match store.probe_backed(&id, true).unwrap().expect("maps") {
+            tim_engine::ProbedPool::Mapped(m) => {
+                prop_assert_eq!(&encode_v2(&m.to_pool()), &on_disk);
+            }
+            tim_engine::ProbedPool::Heap(_) => prop_assert!(false, "v2 spill must map"),
+        }
         prop_assert_eq!(store.stats().quarantined, 0);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -120,6 +120,10 @@ pub struct GraphOverrides {
     /// Backing override (`mmap=on` / `mmap=off`): serve this tenant as a
     /// zero-copy view over a v2 snapshot instead of decoding to the heap.
     pub mmap: Option<bool>,
+    /// Pool-backing override (`mmap_pools=on` / `mmap_pools=off`):
+    /// restore this tenant's persisted `.timp` v2 pools as zero-copy
+    /// read-only mappings instead of decoding them onto the heap.
+    pub mmap_pools: Option<bool>,
     /// Greedy-selection thread override (`select_threads=4`; 0 = all
     /// cores). Never changes answers, only per-query latency.
     pub select_threads: Option<usize>,
@@ -218,6 +222,20 @@ impl GraphOverrides {
                     return Err(dup(key));
                 }
             }
+            "mmap_pools" => {
+                let flag = match value {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => {
+                        return Err(bad(format!(
+                            "graph override 'mmap_pools={other}' must be on or off"
+                        )))
+                    }
+                };
+                if self.mmap_pools.replace(flag).is_some() {
+                    return Err(dup(key));
+                }
+            }
             "select_threads" => {
                 let v: usize = value.parse().map_err(|_| {
                     bad(format!(
@@ -240,7 +258,7 @@ impl GraphOverrides {
             }
             other => {
                 return Err(bad(format!(
-                "unknown graph override '{other}' (known: model, eps, ell, seed, k, weights, mmap, select_threads, select_strategy)"
+                "unknown graph override '{other}' (known: model, eps, ell, seed, k, weights, mmap, mmap_pools, select_threads, select_strategy)"
             )))
             }
         }
@@ -372,7 +390,7 @@ mod tests {
     #[test]
     fn overrides_parse_validate_and_reject() {
         let o = GraphOverrides::parse(
-            "model=lt,eps=0.2,ell=2,seed=9,k=20,weights=lt,mmap=on,select_threads=4,select_strategy=lazy",
+            "model=lt,eps=0.2,ell=2,seed=9,k=20,weights=lt,mmap=on,mmap_pools=on,select_threads=4,select_strategy=lazy",
         )
         .unwrap();
         assert_eq!(o.model.as_deref(), Some("lt"));
@@ -382,9 +400,14 @@ mod tests {
         assert_eq!(o.k_max, Some(20));
         assert_eq!(o.weights.as_deref(), Some("lt"));
         assert_eq!(o.mmap, Some(true));
+        assert_eq!(o.mmap_pools, Some(true));
         assert_eq!(o.select_threads, Some(4));
         assert_eq!(o.select_strategy.as_deref(), Some("lazy"));
         assert_eq!(GraphOverrides::parse("mmap=off").unwrap().mmap, Some(false));
+        assert_eq!(
+            GraphOverrides::parse("mmap_pools=off").unwrap().mmap_pools,
+            Some(false)
+        );
         for s in ["eager", "lazy", "auto"] {
             assert_eq!(
                 GraphOverrides::parse(&format!("select_strategy={s}"))
@@ -417,6 +440,8 @@ mod tests {
             "weights=const:x",
             "mmap=maybe",
             "mmap=on,mmap=off",
+            "mmap_pools=maybe",
+            "mmap_pools=on,mmap_pools=off",
             "select_threads=x",
             "select_threads=2,select_threads=4",
             "select_strategy=greedy",

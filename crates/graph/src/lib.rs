@@ -44,7 +44,7 @@ pub mod weights;
 pub use builder::GraphBuilder;
 pub use csr::{CsrAccess, DegreeStats, Graph};
 pub use error::GraphError;
-pub use mmap::MmapCsr;
+pub use mmap::{Mmap, MmapCsr};
 pub use store::{CsrView, GraphStore};
 
 /// A node identifier. Dense in `[0, n)`.

@@ -1,8 +1,15 @@
-//! Zero-copy, memory-mapped CSR views over v2 snapshots.
+//! Zero-copy, memory-mapped file views.
 //!
-//! [`MmapCsr`] maps a [`snapshot`] v2 file read-only and
-//! serves [`CsrAccess`] slices straight out of the mapping: the kernel
-//! pages the graph in on demand, so attaching a multi-gigabyte snapshot
+//! [`Mmap`] is the reusable primitive: a whole file mapped read-only
+//! (`PROT_READ` + `MAP_PRIVATE`) with naturally-aligned `u64`/`u32`
+//! slice carving and `madvise` paging hints. It is what every
+//! page-aligned binary format in the workspace maps through — the
+//! `.timg` v2 snapshots here and the `.timp` v2 RR-set pools in
+//! `tim_coverage`/`tim_engine`.
+//!
+//! [`MmapCsr`] builds on it: a [`snapshot`] v2 file served as
+//! [`CsrAccess`] slices straight out of the mapping. The kernel pages
+//! the graph in on demand, so attaching a multi-gigabyte snapshot
 //! costs a header parse plus one structural scan instead of a full heap
 //! decode, and graphs larger than RAM stay servable. The syscall bindings
 //! (`mmap`/`munmap`/`madvise`) follow the same dependency-free `extern
@@ -12,7 +19,7 @@
 //!
 //! Every `unsafe` block in this module rests on the same three pillars:
 //!
-//! 1. **The mapping outlives every borrow.** `MmapCsr` owns the mapping
+//! 1. **The mapping outlives every borrow.** [`Mmap`] owns the mapping
 //!    and only unmaps in `Drop`; the returned slices borrow `&self`, so
 //!    the borrow checker ties their lifetime to the mapping's.
 //! 2. **The mapping is immutable.** `PROT_READ` + `MAP_PRIVATE` means
@@ -74,66 +81,56 @@ mod sys {
     pub const MADV_WILLNEED: i32 = 3;
 }
 
-/// A read-only memory-mapped v2 snapshot serving the [`CsrAccess`] API
-/// with zero copies (labels excepted — see [`MmapCsr::labels`]).
+/// A whole file mapped read-only (`PROT_READ` + `MAP_PRIVATE`),
+/// page-aligned by the kernel.
 ///
-/// Opening validates the header, the section table, and the full CSR
-/// structure (offset monotonicity, endpoint ranges, probability ranges),
-/// so the accessors can never panic or read out of bounds for any node
-/// `v < n`. Per-section content checksums are **deferred**: call
-/// [`MmapCsr::verify`] to pay the full integrity pass when the file's
-/// provenance is in doubt. Dropping the view unmaps the file.
-pub struct MmapCsr {
+/// The reusable mapping primitive behind every zero-copy view in the
+/// workspace: [`MmapCsr`] for `.timg` graph snapshots, `MmapSets` in
+/// `tim_coverage` for `.timp` RR-set pools. [`open`](Mmap::open) rejects
+/// empty files, non-unix hosts, and big-endian hosts (the page-aligned
+/// formats are little-endian on disk, so zero-copy reinterpretation
+/// would be wrong); dropping the value unmaps the file.
+pub struct Mmap {
     /// Base address of the mapping (page-aligned, never null).
     base: *const u8,
     /// Mapped length in bytes (the whole file).
-    map_len: usize,
-    n: usize,
-    m: usize,
-    checksum: u64,
-    /// Byte offset of each section from `base`, in `v2_section` order.
-    sections: [usize; V2_SECTION_COUNT],
-    /// Per-section FNV checksums from the table, for [`MmapCsr::verify`].
-    section_fnv: [u64; V2_SECTION_COUNT],
+    len: usize,
 }
 
 // SAFETY: the mapping is PROT_READ + MAP_PRIVATE — immutable shared
-// state. All fields are plain values; the raw pointer is only ever read
-// through, never written, so &MmapCsr is as shareable as &[u8] and
-// moving the struct across threads moves only ownership of the unmap.
-unsafe impl Send for MmapCsr {}
+// state. The raw pointer is only ever read through, never written, so
+// &Mmap is as shareable as &[u8] and moving the struct across threads
+// moves only ownership of the unmap.
+unsafe impl Send for Mmap {}
 // SAFETY: as above — concurrent readers of an immutable mapping.
-unsafe impl Sync for MmapCsr {}
+unsafe impl Sync for Mmap {}
 
-impl MmapCsr {
-    /// Maps the v2 snapshot at `path` and validates everything needed to
-    /// make the accessors infallible.
+impl Mmap {
+    /// Maps the whole file at `path` read-only.
     ///
-    /// Errors with a clean [`GraphError`] when the file is not a v2
-    /// snapshot (use [`snapshot::snapshot_version`] to sniff first), when
-    /// any structural invariant fails, and on non-unix or big-endian
-    /// hosts where zero-copy mapping is not implemented (the eager heap
-    /// decoder in [`snapshot::load_snapshot`] remains fully portable).
-    pub fn open<P: AsRef<Path>>(path: P) -> Result<MmapCsr, GraphError> {
+    /// Errors cleanly on empty files, on non-unix hosts (no mapping
+    /// syscalls bound), and on big-endian hosts (callers reinterpret the
+    /// mapped bytes as little-endian `u64`/`u32` sections).
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Mmap, GraphError> {
         if cfg!(target_endian = "big") {
             return Err(snap_err(
-                "zero-copy snapshot views require a little-endian host; \
-                 load the snapshot on the heap instead",
+                "zero-copy mapped views require a little-endian host; \
+                 load the file on the heap instead",
             ));
         }
         Self::open_impl(path.as_ref())
     }
 
     #[cfg(not(unix))]
-    fn open_impl(_path: &Path) -> Result<MmapCsr, GraphError> {
+    fn open_impl(_path: &Path) -> Result<Mmap, GraphError> {
         Err(snap_err(
-            "mmap-backed graphs are only supported on unix hosts; \
-             load the snapshot on the heap instead",
+            "mapped views are only supported on unix hosts; \
+             load the file on the heap instead",
         ))
     }
 
     #[cfg(unix)]
-    fn open_impl(path: &Path) -> Result<MmapCsr, GraphError> {
+    fn open_impl(path: &Path) -> Result<Mmap, GraphError> {
         use std::os::fd::AsRawFd;
 
         let file = std::fs::File::open(path)?;
@@ -141,8 +138,8 @@ impl MmapCsr {
         if file_len == 0 {
             return Err(snap_err("cannot map an empty file"));
         }
-        let map_len = usize::try_from(file_len)
-            .map_err(|_| snap_err("snapshot is larger than the address space"))?;
+        let len = usize::try_from(file_len)
+            .map_err(|_| snap_err("file is larger than the address space"))?;
 
         // SAFETY: plain syscall; the kernel picks the address (addr =
         // null), the fd is live for the duration of the call, and a
@@ -151,7 +148,7 @@ impl MmapCsr {
         let base = unsafe {
             sys::mmap(
                 std::ptr::null_mut(),
-                map_len,
+                len,
                 sys::PROT_READ,
                 sys::MAP_PRIVATE,
                 file.as_raw_fd(),
@@ -163,51 +160,151 @@ impl MmapCsr {
         }
         // The mapping persists past the close of `file` (POSIX: the
         // mapping holds its own reference), so the File can drop freely.
+        Ok(Mmap { base, len })
+    }
 
-        // Guard so every early return below unmaps exactly once; on
-        // success we forget the guard and MmapCsr takes over the unmap.
-        struct Unmap(*mut u8, usize);
-        impl Drop for Unmap {
-            fn drop(&mut self) {
-                // SAFETY: (addr, len) is the exact mapping created above
-                // and nothing else has unmapped it.
-                unsafe {
-                    sys::munmap(self.0, self.1);
-                }
-            }
-        }
-        let guard = Unmap(base, map_len);
+    /// Mapped length in bytes (the whole file).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
 
-        // SAFETY: base..base+map_len is a live readable mapping owned by
-        // the guard; u8 has no alignment or validity requirements.
-        let bytes: &[u8] = unsafe { std::slice::from_raw_parts(base, map_len) };
-        let layout = snapshot::parse_v2_layout(bytes, file_len)?;
-        let view = Self::from_layout(base, map_len, &layout)?;
+    /// Never true: empty files are rejected at open.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 
-        // Advice is best-effort — errors deliberately ignored: the
-        // default-paging fallback is merely slower, not wrong.
-        // SAFETY: (base, map_len) is the live mapping; madvise only
-        // tunes paging policy, it cannot invalidate the mapping.
+    /// The whole mapping as bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: base..base+len is a live readable mapping owned by self
+        // (pillar 1); u8 has no alignment or validity requirements.
+        unsafe { std::slice::from_raw_parts(self.base, self.len) }
+    }
+
+    /// `count` little-endian `u64`s starting at byte `offset`.
+    ///
+    /// # Panics
+    /// Panics if `offset` is not 8-aligned or the range leaves the
+    /// mapping — callers carve sections whose bounds a format parser has
+    /// already validated, so a trip here is a caller bug, not bad data.
+    #[inline]
+    pub fn u64s(&self, offset: usize, count: usize) -> &[u64] {
+        let len = count.checked_mul(8).expect("section length overflows");
+        assert!(offset % 8 == 0, "u64 section offset must be 8-aligned");
+        assert!(offset.checked_add(len).is_some_and(|e| e <= self.len));
+        // SAFETY: in bounds and aligned per the asserts above, the
+        // mapping is live for &self's lifetime (pillar 1), and any u64
+        // bit pattern is valid (pillar 3).
+        unsafe { std::slice::from_raw_parts(self.base.add(offset).cast::<u64>(), count) }
+    }
+
+    /// `count` little-endian `u32`s starting at byte `offset`.
+    ///
+    /// # Panics
+    /// As [`u64s`](Mmap::u64s), with 4-byte alignment.
+    #[inline]
+    pub fn u32s(&self, offset: usize, count: usize) -> &[u32] {
+        let len = count.checked_mul(4).expect("section length overflows");
+        assert!(offset % 4 == 0, "u32 section offset must be 4-aligned");
+        assert!(offset.checked_add(len).is_some_and(|e| e <= self.len));
+        // SAFETY: as u64s(), for u32.
+        unsafe { std::slice::from_raw_parts(self.base.add(offset).cast::<u32>(), count) }
+    }
+
+    /// Advises the kernel the whole mapping will be accessed randomly.
+    /// Best-effort: errors are ignored — default paging is slower, not
+    /// wrong.
+    pub fn advise_random(&self) {
+        #[cfg(unix)]
+        // SAFETY: (base, len) is the live mapping; madvise only tunes
+        // paging policy, it cannot invalidate the mapping.
         unsafe {
-            sys::madvise(base, map_len, sys::MADV_RANDOM);
-            // Offsets are touched for every sampled node; fault the
-            // header and both offset sections in up front.
-            let warm = view.sections[v2_section::OUT_TARGETS];
-            sys::madvise(base, warm, sys::MADV_WILLNEED);
+            sys::madvise(self.base as *mut u8, self.len, sys::MADV_RANDOM);
         }
+    }
 
-        std::mem::forget(guard);
+    /// Advises the kernel the first `prefix` bytes are needed soon
+    /// (fault them in now). Best-effort; `prefix` is clamped to the
+    /// mapping.
+    pub fn advise_willneed_prefix(&self, prefix: usize) {
+        #[cfg(unix)]
+        // SAFETY: as advise_random(), over a clamped prefix.
+        unsafe {
+            sys::madvise(
+                self.base as *mut u8,
+                prefix.min(self.len),
+                sys::MADV_WILLNEED,
+            );
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        // SAFETY: (base, len) is the mapping created in open_impl; we are
+        // the sole owner, and no borrow of the mapping can outlive self.
+        unsafe {
+            sys::munmap(self.base as *mut u8, self.len);
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+/// A read-only memory-mapped v2 snapshot serving the [`CsrAccess`] API
+/// with zero copies (labels excepted — see [`MmapCsr::labels`]).
+///
+/// Opening validates the header, the section table, and the full CSR
+/// structure (offset monotonicity, endpoint ranges, probability ranges),
+/// so the accessors can never panic or read out of bounds for any node
+/// `v < n`. Per-section content checksums are **deferred**: call
+/// [`MmapCsr::verify`] to pay the full integrity pass when the file's
+/// provenance is in doubt. Dropping the view unmaps the file.
+#[derive(Debug)]
+pub struct MmapCsr {
+    map: Mmap,
+    n: usize,
+    m: usize,
+    checksum: u64,
+    /// Byte offset of each section from the mapping base, in
+    /// `v2_section` order.
+    sections: [usize; V2_SECTION_COUNT],
+    /// Per-section FNV checksums from the table, for [`MmapCsr::verify`].
+    section_fnv: [u64; V2_SECTION_COUNT],
+}
+
+impl MmapCsr {
+    /// Maps the v2 snapshot at `path` and validates everything needed to
+    /// make the accessors infallible.
+    ///
+    /// Errors with a clean [`GraphError`] when the file is not a v2
+    /// snapshot (use [`snapshot::snapshot_version`] to sniff first), when
+    /// any structural invariant fails, and on non-unix or big-endian
+    /// hosts where zero-copy mapping is not implemented (the eager heap
+    /// decoder in [`snapshot::load_snapshot`] remains fully portable).
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<MmapCsr, GraphError> {
+        let map = Mmap::open(path)?;
+        let layout = snapshot::parse_v2_layout(map.bytes(), map.len() as u64)?;
+        let view = Self::from_layout(map, &layout)?;
+
+        view.map.advise_random();
+        // Offsets are touched for every sampled node; fault the header
+        // and both offset sections in up front.
+        view.map
+            .advise_willneed_prefix(view.sections[v2_section::OUT_TARGETS]);
         Ok(view)
     }
 
     /// Builds the view over an already-validated layout, then runs the
     /// eager structural scan that makes the accessors infallible.
-    #[cfg(unix)]
-    fn from_layout(
-        base: *const u8,
-        map_len: usize,
-        layout: &V2Layout,
-    ) -> Result<MmapCsr, GraphError> {
+    fn from_layout(map: Mmap, layout: &V2Layout) -> Result<MmapCsr, GraphError> {
         let mut sections = [0usize; V2_SECTION_COUNT];
         let mut section_fnv = [0u64; V2_SECTION_COUNT];
         for (i, s) in layout.sections.iter().enumerate() {
@@ -217,8 +314,7 @@ impl MmapCsr {
             section_fnv[i] = s.fnv;
         }
         let view = MmapCsr {
-            base,
-            map_len,
+            map,
             n: layout.n as usize,
             m: layout.m as usize,
             checksum: layout.checksum,
@@ -240,48 +336,39 @@ impl MmapCsr {
         Ok(view)
     }
 
+    /// Byte length of section `i` (exact for `n`/`m`, validated at open).
+    fn section_len(&self, i: usize) -> usize {
+        snapshot::v2_expected_len(i, self.n as u64, self.m as u64).expect("validated at open")
+            as usize
+    }
+
     /// Raw bytes of section `i`; bounds come from the validated table.
     fn section_bytes(&self, i: usize) -> &[u8] {
-        let start = self.sections[i];
-        let len = snapshot::v2_expected_len(i, self.n as u64, self.m as u64)
-            .expect("validated at open") as usize;
-        // SAFETY: parse_v2_layout proved start + len <= map_len, the
-        // mapping is live for &self's lifetime (pillar 1), and u8 has no
-        // alignment requirement.
-        unsafe { std::slice::from_raw_parts(self.base.add(start), len) }
+        &self.map.bytes()[self.sections[i]..self.sections[i] + self.section_len(i)]
     }
 
     /// An offsets section as `&[u64]` (length `n + 1`).
     fn offsets(&self, i: usize) -> &[u64] {
-        let bytes = self.section_bytes(i);
-        // SAFETY: the section offset is 4096-aligned (validated), which
-        // satisfies u64 alignment; the length is an exact multiple of 8
-        // by construction; any u64 bit pattern is valid (pillar 3).
-        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u64>(), bytes.len() / 8) }
+        self.map.u64s(self.sections[i], self.section_len(i) / 8)
     }
 
     /// An endpoint section as `&[u32]` (length `m`).
     fn endpoints(&self, i: usize) -> &[NodeId] {
-        let bytes = self.section_bytes(i);
-        // SAFETY: 4096-aligned section, length an exact multiple of 4,
-        // any u32 bit pattern valid (pillar 3).
-        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<NodeId>(), bytes.len() / 4) }
+        self.map.u32s(self.sections[i], self.section_len(i) / 4)
     }
 
     /// A probability section as raw `&[u32]` bits (length `m`).
     fn prob_bits(&self, i: usize) -> &[u32] {
-        let bytes = self.section_bytes(i);
-        // SAFETY: as endpoints().
-        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), bytes.len() / 4) }
+        self.map.u32s(self.sections[i], self.section_len(i) / 4)
     }
 
     /// A probability section as `&[f32]` (length `m`).
     fn probs(&self, i: usize) -> &[f32] {
-        let bytes = self.section_bytes(i);
-        // SAFETY: 4096-aligned section, length an exact multiple of 4;
-        // every bit pattern is a valid f32 (NaNs were rejected by the
-        // open-time range scan, but would be *safe* regardless).
-        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), bytes.len() / 4) }
+        let bits = self.prob_bits(i);
+        // SAFETY: same base pointer and length as the validated u32
+        // view; every bit pattern is a valid f32 (NaNs were rejected by
+        // the open-time range scan, but would be *safe* regardless).
+        unsafe { std::slice::from_raw_parts(bits.as_ptr().cast::<f32>(), bits.len()) }
     }
 
     /// Edge range of node `v` in the section pair starting at `offsets`.
@@ -330,10 +417,7 @@ impl MmapCsr {
     /// label vector (an escape hatch for code that needs mutation, e.g.
     /// re-weighting).
     pub fn to_loaded(&self) -> Result<crate::io::LoadedGraph, GraphError> {
-        let bytes =
-            // SAFETY: the whole mapping, live for &self's lifetime.
-            unsafe { std::slice::from_raw_parts(self.base, self.map_len) };
-        snapshot::read_snapshot(bytes)
+        snapshot::read_snapshot(self.map.bytes())
     }
 }
 
@@ -380,29 +464,6 @@ impl CsrAccess for MmapCsr {
     fn in_probabilities(&self, v: NodeId) -> &[f32] {
         let r = self.range(self.offsets(v2_section::IN_OFFSETS), v);
         &self.probs(v2_section::IN_PROBS)[r]
-    }
-}
-
-impl Drop for MmapCsr {
-    fn drop(&mut self) {
-        #[cfg(unix)]
-        // SAFETY: (base, map_len) is the mapping created in open_impl; we
-        // are the sole owner (the open-time guard was forgotten), and no
-        // borrow of the mapping can outlive self.
-        unsafe {
-            sys::munmap(self.base as *mut u8, self.map_len);
-        }
-    }
-}
-
-impl std::fmt::Debug for MmapCsr {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MmapCsr")
-            .field("n", &self.n)
-            .field("m", &self.m)
-            .field("map_len", &self.map_len)
-            .field("checksum", &format_args!("{:#018x}", self.checksum))
-            .finish()
     }
 }
 

@@ -13,7 +13,10 @@
 //! sampling (cold miss → disk probe → build only on a true miss), a
 //! fresh build is spilled back to disk, and eviction spills a pool that
 //! grew since its last spill instead of destroying the work. Warm state
-//! thereby survives both eviction and process restarts.
+//! thereby survives both eviction and process restarts. With
+//! `mmap_pools` on, v2 spills restore as verified zero-copy mappings
+//! ([`tim_engine::PoolMmap`]) instead of heap decodes — same answers,
+//! no per-restore allocation or index rebuild.
 //!
 //! Two locking properties matter for serving:
 //!
@@ -29,7 +32,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use tim_diffusion::BackingModel;
-use tim_engine::{PoolId, PoolStore, RrPool, SharedEngine};
+use tim_engine::{PoolId, PoolStore, ProbedPool, SharedEngine};
 
 /// Pool-cache key: the full provenance a pool depends on — exactly the
 /// tuple a [`PoolStore`] keys files by, so the cache key *is* the store
@@ -96,6 +99,12 @@ pub struct PoolCache<M> {
     /// [`spill_dirty`](Self::spill_dirty) works regardless — it is the
     /// explicit-persist path.
     persist: bool,
+    /// Restore v2 spills as zero-copy mappings ([`ProbedPool::Mapped`])
+    /// instead of heap decodes. Mapped restores are checksum-verified
+    /// here, before the pool can serve — a corrupt file is quarantined
+    /// and the miss falls through to a build, exactly like a failed
+    /// heap decode.
+    mmap_pools: bool,
     hits: AtomicU64,
     misses: AtomicU64,
     builds: AtomicU64,
@@ -141,6 +150,7 @@ impl<M: BackingModel + Clone> PoolCache<M> {
             capacity,
             store: None,
             persist: false,
+            mmap_pools: false,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             builds: AtomicU64::new(0),
@@ -160,13 +170,22 @@ impl<M: BackingModel + Clone> PoolCache<M> {
     /// (spill on build, on eviction of a grown pool, and on
     /// [`spill_dirty`](Self::spill_dirty) sync); without it the store is
     /// read-only until an explicit [`spill_dirty`](Self::spill_dirty).
+    /// `mmap_pools` restores v2 spills as verified zero-copy mappings
+    /// instead of heap decodes (v1 files fall back to the heap
+    /// transparently); answers are byte-identical either way.
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
-    pub fn with_store(capacity: usize, store: Arc<PoolStore>, persist: bool) -> Self {
+    pub fn with_store(
+        capacity: usize,
+        store: Arc<PoolStore>,
+        persist: bool,
+        mmap_pools: bool,
+    ) -> Self {
         let mut cache = Self::new(capacity);
         cache.store = Some(store);
         cache.persist = persist;
+        cache.mmap_pools = mmap_pools;
         cache
     }
 
@@ -176,15 +195,15 @@ impl<M: BackingModel + Clone> PoolCache<M> {
     }
 
     /// Looks up `key`, resolving a miss by store probe first
-    /// (`restore` attaches a loaded [`RrPool`] to the caller's graph;
-    /// a restore failure quarantines the file) and samples from scratch
-    /// with `build` only on a true miss. Resolution runs without the
-    /// cache lock; concurrent callers of the same cold key share one
-    /// probe/build.
+    /// (`restore` attaches a loaded [`ProbedPool`] — heap-decoded or
+    /// zero-copy mapped — to the caller's graph; a restore failure
+    /// quarantines the file) and samples from scratch with `build` only
+    /// on a true miss. Resolution runs without the cache lock;
+    /// concurrent callers of the same cold key share one probe/build.
     pub fn get_or_load(
         &self,
         key: &PoolKey,
-        restore: impl FnOnce(RrPool) -> Result<SharedEngine<M>, String>,
+        restore: impl FnOnce(ProbedPool) -> Result<SharedEngine<M>, String>,
         build: impl FnOnce() -> SharedEngine<M>,
     ) -> Arc<SharedEngine<M>> {
         let (entry, evicted) = self.lookup(key);
@@ -284,10 +303,10 @@ impl<M: BackingModel + Clone> PoolCache<M> {
         (entry, evicted)
     }
 
-    fn store_probe(&self, key: &PoolKey) -> Option<RrPool> {
+    fn store_probe(&self, key: &PoolKey) -> Option<ProbedPool> {
         let store = self.store.as_ref()?;
-        match store.probe(key) {
-            Ok(found) => found,
+        let found = match store.probe_backed(key, self.mmap_pools) {
+            Ok(found) => found?,
             Err(e) => {
                 // IO trouble (permissions, disk): serving must not die —
                 // fall through to a build, like a store-less cache.
@@ -295,9 +314,21 @@ impl<M: BackingModel + Clone> PoolCache<M> {
                     "pool store: probe failed in {} ({e}); rebuilding",
                     store.root().display()
                 );
-                None
+                return None;
+            }
+        };
+        if let ProbedPool::Mapped(mapped) = &found {
+            // Mapping defers the section checksums; pay them here, once,
+            // before the pool can serve. The scan is sequential (and
+            // prefaults the pages selection will touch) — it replaces
+            // v1's read-everything + decode + index rebuild, not adds
+            // to it. A mismatch is corruption: quarantine and rebuild.
+            if let Err(e) = store.verify_mapped(mapped) {
+                store.quarantine_id(key, &e.to_string());
+                return None;
             }
         }
+        Some(found)
     }
 
     /// Spills `engine`'s pool and records the spilled epoch on the slot.
@@ -527,10 +558,23 @@ mod tests {
         SharedEngine::new(engine)
     }
 
-    fn restore(g: &Arc<Graph>, pool: RrPool) -> Result<SharedEngine<IndependentCascade>, String> {
-        QueryEngine::from_pool(Arc::clone(g), IndependentCascade, "ic", pool)
-            .map(SharedEngine::new)
-            .map_err(|e| e.to_string())
+    fn restore(
+        g: &Arc<Graph>,
+        pool: ProbedPool,
+    ) -> Result<SharedEngine<IndependentCascade>, String> {
+        match pool {
+            ProbedPool::Heap(pool) => {
+                QueryEngine::from_pool(Arc::clone(g), IndependentCascade, "ic", pool)
+            }
+            ProbedPool::Mapped(mapped) => QueryEngine::from_mapped_pool(
+                tim_graph::GraphStore::from_arc(Arc::clone(g)),
+                IndependentCascade,
+                "ic",
+                mapped,
+            ),
+        }
+        .map(SharedEngine::new)
+        .map_err(|e| e.to_string())
     }
 
     fn tmp_store(tag: &str) -> (std::path::PathBuf, Arc<PoolStore>) {
@@ -656,7 +700,7 @@ mod tests {
         let k = true_key(&g, 1.0);
 
         // First process: true miss → build → write-through spill.
-        let cache = PoolCache::with_store(2, Arc::clone(&store), true);
+        let cache = PoolCache::with_store(2, Arc::clone(&store), true, false);
         let want = cache
             .get_or_load(&k, |p| restore(&g, p), || cheap_engine(&g, 1.0))
             .select(2)
@@ -666,7 +710,7 @@ mod tests {
         assert_eq!(store.len(), 1, "pool on disk");
 
         // Second process (fresh cache, same store): disk hit, no build.
-        let cache2 = PoolCache::with_store(2, Arc::clone(&store), true);
+        let cache2 = PoolCache::with_store(2, Arc::clone(&store), true, false);
         let built = AtomicUsize::new(0);
         let got = cache2
             .get_or_load(
@@ -687,10 +731,51 @@ mod tests {
     }
 
     #[test]
+    fn mmap_restore_serves_mapped_verified_and_identical() {
+        let g = graph();
+        let (dir, store) = tmp_store("mmap");
+        let k = true_key(&g, 1.0);
+
+        // First process: build + write-through (spills are v2 by default).
+        let cache = PoolCache::with_store(2, Arc::clone(&store), true, false);
+        let want = cache
+            .get_or_load(&k, |p| restore(&g, p), || cheap_engine(&g, 1.0))
+            .select(2)
+            .seeds;
+
+        // Second process with mmap_pools on: zero-copy restore, verified,
+        // no rebuild, identical answers.
+        let cache2 = PoolCache::with_store(2, Arc::clone(&store), true, true);
+        let built = AtomicUsize::new(0);
+        let engine = cache2.get_or_load(
+            &k,
+            |p| {
+                assert!(matches!(p, ProbedPool::Mapped(_)), "v2 spill must map");
+                restore(&g, p)
+            },
+            || {
+                built.fetch_add(1, Ordering::SeqCst);
+                cheap_engine(&g, 1.0)
+            },
+        );
+        assert_eq!(built.load(Ordering::SeqCst), 0, "zero rebuilds");
+        assert_eq!(engine.select(2).seeds, want, "mapped answers identically");
+        let s = store.stats();
+        assert_eq!((s.mmap_opens, s.verifies, s.heap_loads), (1, 1, 0));
+        assert_eq!(cache2.stats().loads, 1);
+
+        // Growth falls back to the heap and re-dirties the slot; the
+        // explicit persist spills the grown pool as a fresh v2 file.
+        engine.select_with(2, Some(0.3), None);
+        assert_eq!(cache2.spill_dirty(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn eviction_spills_grown_pools_and_skips_clean_ones() {
         let g = graph();
         let (dir, store) = tmp_store("evict");
-        let cache = PoolCache::with_store(1, Arc::clone(&store), true);
+        let cache = PoolCache::with_store(1, Arc::clone(&store), true, false);
         let k1 = true_key(&g, 1.0);
         let e = cache.get_or_load(&k1, |p| restore(&g, p), || cheap_engine(&g, 1.0));
         assert_eq!(cache.stats().spills, 1, "write-through at build");
@@ -727,7 +812,7 @@ mod tests {
         let g = graph();
         let (dir, store) = tmp_store("dirty");
         // persist = false: the store is read-only until an explicit call.
-        let cache = PoolCache::with_store(2, Arc::clone(&store), false);
+        let cache = PoolCache::with_store(2, Arc::clone(&store), false, false);
         let k = true_key(&g, 1.0);
         let e = cache.get_or_load(&k, |p| restore(&g, p), || cheap_engine(&g, 1.0));
         assert_eq!(cache.stats().spills, 0, "no automatic write-back");
@@ -748,7 +833,7 @@ mod tests {
         let (dir, store) = tmp_store("fallback");
         let k = true_key(&g, 1.0);
         {
-            let cache = PoolCache::with_store(2, Arc::clone(&store), true);
+            let cache = PoolCache::with_store(2, Arc::clone(&store), true, false);
             cache.get_or_load(&k, |p| restore(&g, p), || cheap_engine(&g, 1.0));
         }
         // Corrupt the stored file.
@@ -758,7 +843,7 @@ mod tests {
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, bytes).unwrap();
 
-        let cache2 = PoolCache::with_store(2, Arc::clone(&store), true);
+        let cache2 = PoolCache::with_store(2, Arc::clone(&store), true, false);
         let built = AtomicUsize::new(0);
         cache2.get_or_load(
             &k,

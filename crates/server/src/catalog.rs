@@ -44,7 +44,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock, Weak};
 use tim_diffusion::BackingModel;
-use tim_engine::{PoolStore, QueryEngine, RrPool, SharedEngine};
+use tim_engine::{PoolStore, ProbedPool, QueryEngine, SharedEngine};
 use tim_graph::catalog::GraphOverrides;
 use tim_graph::{io, weights, Graph, GraphStore};
 
@@ -124,7 +124,12 @@ impl<M: BackingModel + Send + Clone + 'static> GraphState<M> {
         assert!(config.ell > 0.0, "ell must be positive");
         assert!(config.k_max >= 1, "k_max must be at least 1");
         let cache = match store {
-            Some(store) => PoolCache::with_store(config.pool_cache, store, config.persist_pools),
+            Some(store) => PoolCache::with_store(
+                config.pool_cache,
+                store,
+                config.persist_pools,
+                config.mmap_pools,
+            ),
             None => PoolCache::new(config.pool_cache),
         };
         GraphState {
@@ -214,16 +219,25 @@ impl<M: BackingModel + Send + Clone + 'static> GraphState<M> {
     }
 
     /// Attaches a pool loaded from this graph's store to the graph —
-    /// the read-through path. A failure (the file matched its name but
-    /// not the served graph) is reported to the cache, which quarantines
-    /// the file and falls back to a build.
-    fn restore_engine(&self, pool: RrPool) -> Result<SharedEngine<M>, String> {
-        let mut engine = QueryEngine::from_pool_store(
-            self.store.clone(),
-            self.model.clone(),
-            self.model_name.clone(),
-            pool,
-        )
+    /// the read-through path, heap-decoded or zero-copy mapped
+    /// (`mmap_pools`). A failure (the file matched its name but not the
+    /// served graph) is reported to the cache, which quarantines the
+    /// file and falls back to a build.
+    fn restore_engine(&self, pool: ProbedPool) -> Result<SharedEngine<M>, String> {
+        let mut engine = match pool {
+            ProbedPool::Heap(pool) => QueryEngine::from_pool_store(
+                self.store.clone(),
+                self.model.clone(),
+                self.model_name.clone(),
+                pool,
+            ),
+            ProbedPool::Mapped(mapped) => QueryEngine::from_mapped_pool(
+                self.store.clone(),
+                self.model.clone(),
+                self.model_name.clone(),
+                mapped,
+            ),
+        }
         .map_err(|e| e.to_string())?;
         engine = engine
             .select_threads(self.config.select_threads)
@@ -302,18 +316,19 @@ impl<M: BackingModel + Send + Clone + 'static> GraphState<M> {
     }
 
     /// One `stats pools` answer line: this graph's pool-cache counters
-    /// (hit/miss/build/load/spill/evict) plus the store's quarantine
-    /// count. Deliberately **not** deterministic across interleavings —
-    /// it reports live effectiveness, which is the point: the warm-path
-    /// claim (`builds=0` after a warm restart) is observable, not
-    /// inferred.
+    /// (hit/miss/build/load/spill/evict) plus the store's quarantine and
+    /// restore-backing counters (`mmap_opens`/`verifies`/`heap_loads` —
+    /// how restores were served: zero-copy mapped, checksum-verified,
+    /// or heap-decoded). Deliberately **not** deterministic across
+    /// interleavings — it reports live effectiveness, which is the
+    /// point: the warm-path claim (`builds=0` with `mmap_opens>0` after
+    /// a warm restart under `--mmap-pools`) is observable, not inferred.
     pub fn pools_line(&self) -> String {
         let s = self.cache.stats();
-        let quarantined = self
-            .pool_store()
-            .map_or(0, |store| store.stats().quarantined);
+        let store = self.pool_store().map(|store| store.stats());
+        let store = store.unwrap_or_default();
         format!(
-            "pools: graph={} cached={} hits={} misses={} builds={} loads={} spills={} evictions={} quarantined={}",
+            "pools: graph={} cached={} hits={} misses={} builds={} loads={} spills={} evictions={} quarantined={} mmap_opens={} verifies={} heap_loads={}",
             self.name,
             self.cache.len(),
             s.hits,
@@ -322,7 +337,10 @@ impl<M: BackingModel + Send + Clone + 'static> GraphState<M> {
             s.loads,
             s.spills,
             s.evictions,
-            quarantined,
+            store.quarantined,
+            store.mmap_opens,
+            store.verifies,
+            store.heap_loads,
         )
     }
 }
@@ -713,6 +731,9 @@ impl<M: BackingModel + Send + Clone + 'static> GraphCatalog<M> {
         }
         if let Some(mmap) = overrides.mmap {
             config.mmap = mmap;
+        }
+        if let Some(mmap_pools) = overrides.mmap_pools {
+            config.mmap_pools = mmap_pools;
         }
         if let Some(t) = overrides.select_threads {
             config.select_threads = t;

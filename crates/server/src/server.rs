@@ -70,6 +70,15 @@ pub struct ServerConfig {
     /// baked into the snapshot and cannot be rewritten in place. Answers
     /// are byte-identical to heap serving.
     pub mmap: bool,
+    /// Restore persisted `.timp` v2 pools as zero-copy read-only
+    /// mappings instead of decoding them onto the heap (default false).
+    /// Open is the header plus a few vectorized bounds sweeps, one
+    /// deferred integrity scan runs before the pool serves, and the
+    /// first select runs greedy over the persisted posting lists
+    /// straight out of mapped memory. v1 files fall back to the heap
+    /// decode transparently, pool growth stays heap-side, and answers
+    /// are byte-identical to heap-restored pools.
+    pub mmap_pools: bool,
     /// Most *path-backed* graphs kept loaded at once; the
     /// least-recently-used one is evicted beyond this (default 8).
     /// Resident graphs are pinned and do not consume the budget.
@@ -120,6 +129,7 @@ impl Default for ServerConfig {
             weights: "wc".to_string(),
             undirected: false,
             mmap: false,
+            mmap_pools: false,
             max_loaded: 8,
             pool_dir: None,
             persist_pools: false,

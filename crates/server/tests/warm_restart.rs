@@ -98,6 +98,162 @@ fn restart_with_pool_dir_serves_warm_with_zero_rebuilds() {
 }
 
 #[test]
+fn mmap_pools_restart_serves_mapped_zero_build_byte_identical() {
+    let dir = tmpdir("mmap_restart");
+    let pool_dir = dir.join("pools");
+    // Everything whose answer depends on pool bytes, the batch verb
+    // included: default pool, an ε-override pool, fast prefix, coverage.
+    let mix = "ping\nselect 4\nselect 2\nselect 3 eps=0.5\nselect 2 fast\n\
+               eval 0,1,2\nmarginal 0,1 2\nbatch 3\nselect 3\neval 0,3\nmarginal 0 2\nstats\n";
+
+    let state = |persist: bool, mmap_pools: bool, strategy: tim_core::SelectStrategy| {
+        let g = wc_graph(150, 1);
+        let n = g.n();
+        Arc::new(ServerState::new(
+            g,
+            LabelMap::identity(n),
+            IndependentCascade,
+            "ic",
+            ServerConfig {
+                pool_dir: Some(pool_dir.clone()),
+                persist_pools: persist,
+                mmap_pools,
+                select_strategy: strategy,
+                admin: true,
+                ..config()
+            },
+        ))
+    };
+    let serve = |state: &Arc<ServerState<IndependentCascade>>, lines: &str| {
+        let server = Server::bind(Arc::clone(state), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.start();
+        let out = tcp_session(addr, lines);
+        handle.stop();
+        out
+    };
+
+    // Cold phase: heap serving builds and spills both pools (v2 files).
+    let cold_state = state(true, false, tim_core::SelectStrategy::Auto);
+    let cold = serve(&cold_state, mix);
+    assert_eq!(cold_state.default_state().cache_stats().builds, 2);
+    drop(cold_state);
+
+    // Heap warm restart is the reference transcript.
+    let heap_state = state(false, false, tim_core::SelectStrategy::Auto);
+    let heap = serve(&heap_state, mix);
+    assert_eq!(heap, cold, "heap restart transcript byte-identical");
+    drop(heap_state);
+
+    // Mapped warm restart, under both selection strategies: byte-identical
+    // to heap serving, zero builds, and the store counters prove the pools
+    // really were mapped (and checksum-verified), not decoded.
+    for strategy in [
+        tim_core::SelectStrategy::Eager,
+        tim_core::SelectStrategy::Lazy,
+    ] {
+        let strat_state = state(false, false, strategy);
+        let strat = serve(&strat_state, mix);
+        drop(strat_state);
+
+        let mapped_state = state(false, true, strategy);
+        let mapped = serve(&mapped_state, format!("{mix}stats pools\n").as_str());
+        let (answers, pools_line) = mapped.split_at(mapped.len() - 1);
+        assert_eq!(answers, &strat[..], "mapped transcript byte-identical");
+        assert_eq!(strat, cold, "strategy never changes answers");
+        let s = mapped_state.default_state().cache_stats();
+        assert_eq!((s.builds, s.loads), (0, 2), "mapped restart builds nothing");
+        for part in [
+            "builds=0",
+            "quarantined=0",
+            "mmap_opens=2",
+            "verifies=2",
+            "heap_loads=0",
+        ] {
+            assert!(
+                pools_line[0].contains(part),
+                "want {part} in {}",
+                pools_line[0]
+            );
+        }
+        drop(mapped_state);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn growth_on_mapped_pool_races_readers_and_stays_byte_identical() {
+    let dir = tmpdir("mmap_growth");
+    let pool_dir = dir.join("pools");
+    let state = |persist: bool, mmap_pools: bool| {
+        let g = wc_graph(150, 1);
+        let n = g.n();
+        Arc::new(ServerState::new(
+            g,
+            LabelMap::identity(n),
+            IndependentCascade,
+            "ic",
+            ServerConfig {
+                pool_dir: Some(pool_dir.clone()),
+                persist_pools: persist,
+                mmap_pools,
+                ..config()
+            },
+        ))
+    };
+
+    // Reader sessions stay within the provisioned k_max=4; the grower
+    // asks for k=6, which forces ensure_theta to resample — on a mapped
+    // pool that swaps the backing heap-side mid-serve.
+    let readers: [&str; 2] = [
+        "select 3\neval 0,1\nselect 2 fast\nmarginal 0 2\nselect 4\n",
+        "select 2\nmarginal 0,1 3\neval 2,3\nselect 3 fast\nselect 4\n",
+    ];
+    let grower = "select 6\nselect 3\neval 0,1\n";
+
+    // Spill once, then capture the heap-restart reference transcripts
+    // serially (growth included).
+    let cold_state = state(true, false);
+    let server = Server::bind(Arc::clone(&cold_state), "127.0.0.1:0").unwrap();
+    let (addr, handle) = (server.local_addr(), server.start());
+    tcp_session(addr, "select 4\n");
+    handle.stop();
+    drop(cold_state);
+
+    let heap_state = state(false, false);
+    let server = Server::bind(Arc::clone(&heap_state), "127.0.0.1:0").unwrap();
+    let (addr, handle) = (server.local_addr(), server.start());
+    let want_grow = tcp_session(addr, grower);
+    let want_readers: Vec<Vec<String>> = readers.iter().map(|r| tcp_session(addr, r)).collect();
+    handle.stop();
+    drop(heap_state);
+
+    // Mapped restart: the grower races the readers. Answers must match
+    // the serial heap reference line for line regardless of interleaving.
+    let mapped_state = state(false, true);
+    let server = Server::bind(Arc::clone(&mapped_state), "127.0.0.1:0").unwrap();
+    let (addr, handle) = (server.local_addr(), server.start());
+    std::thread::scope(|scope| {
+        let grow = scope.spawn(move || tcp_session(addr, grower));
+        let got: Vec<_> = readers
+            .iter()
+            .map(|r| scope.spawn(move || tcp_session(addr, r)))
+            .collect();
+        assert_eq!(grow.join().unwrap(), want_grow, "grower byte-identical");
+        for (th, want) in got.into_iter().zip(&want_readers) {
+            assert_eq!(&th.join().unwrap(), want, "reader byte-identical");
+        }
+    });
+    handle.stop();
+    assert_eq!(
+        mapped_state.default_state().cache_stats().builds,
+        0,
+        "growth resamples in place, never a cold build"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn attach_detach_mid_session_leaves_other_graphs_byte_identical() {
     let dir = tmpdir("attach");
     // Path-backed graphs so attach/detach exercise the real load path.

@@ -222,6 +222,34 @@ kill $W2 2>/dev/null || true
 wait $W2 2>/dev/null || true
 trap - EXIT
 
+echo "== out-of-core pools: --mmap-pools restart == cold transcript =="
+# Phase 3 (mapped): restart once more with --mmap-pools — the v2 spill
+# restores as a zero-copy read-only mapping instead of a heap decode.
+# Same transcript to the byte, zero builds, and the counters must show
+# the mapped path served it (mmap_opens + verifies, not heap_loads).
+"$TIM" serve "$SNAP" --addr 127.0.0.1:0 --pool-dir "$POOLDIR" --mmap-pools --admin \
+    -k 10 --eps 0.3 --seed 7 \
+    > out/kick-tires/warm3.addr 2> out/kick-tires/warm3.log &
+W3=$!
+trap 'kill $W3 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q '^listening on ' out/kick-tires/warm3.addr 2>/dev/null && break
+    sleep 0.1
+done
+ADDR3=$(sed -n 's/^listening on //p' out/kick-tires/warm3.addr)
+echo "mapped-pool server at $ADDR3 (pid $W3)"
+"$TIM" client --addr "$ADDR3" --timeout 60 < "$SESSION" > out/kick-tires/restart_mapped.txt
+diff out/kick-tires/restart_cold.txt out/kick-tires/restart_mapped.txt \
+    && echo "--mmap-pools transcript byte-identical to the cold run: OK"
+printf 'select 10\nstats pools\n' | "$TIM" client --addr "$ADDR3" --timeout 60 \
+    | tee out/kick-tires/restart_mapped_pools.txt | grep -q 'builds=0 loads=1' \
+    && echo "mapped phase loaded from the store, zero rebuilds: OK"
+grep -q 'mmap_opens=1 verifies=1 heap_loads=0' out/kick-tires/restart_mapped_pools.txt \
+    && echo "restore went through the mmap path (mmap_opens=1, heap_loads=0): OK"
+kill $W3 2>/dev/null || true
+wait $W3 2>/dev/null || true
+trap - EXIT
+
 echo "== out-of-core: v2 snapshot served via mmap == heap transcript =="
 # Bake the WC probabilities into a page-aligned v2 snapshot, then run the
 # same scripted session through the heap loader (--weights keep) and the
